@@ -1,0 +1,55 @@
+// Fig. 5 reproduction: performance trends of the TT modules across
+// timesteps T in {2, 4, 6} on CIFAR10/ResNet18 —
+//   (a) accuracy per mode per T, (b) training time per mode per T.
+//
+// Paper trends: PTT holds the highest accuracy at every T; HTT is the
+// fastest at every T; training time grows roughly linearly with T.
+// Accuracy is averaged over three seeds (tiny-scale runs are noisy).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "data/synthetic_image.h"
+
+using namespace ttsnn;
+
+int main() {
+  std::printf("=== Fig. 5: TT modules across timesteps (scaled ResNet18, "
+              "synthetic CIFAR10 stand-in, mean of 3 seeds) ===\n");
+  std::printf("paper: PTT accuracy-best and HTT fastest at every T\n");
+  std::printf("%-4s %-6s %-10s %-12s\n", "T", "mode", "accuracy", "s/batch");
+
+  SyntheticImageDataset train({.num_classes = 5, .samples_per_class = 24,
+                               .size = 12, .seed = 700});
+  SyntheticImageDataset test({.num_classes = 5, .samples_per_class = 8,
+                              .size = 12, .seed = 701});
+
+  for (int64_t t : {2, 4, 6}) {
+    for (BenchMode mode : {BenchMode::kSTT, BenchMode::kPTT, BenchMode::kHTT}) {
+      double acc = 0.0;
+      double time_s = 0.0;
+      const uint64_t seeds[] = {23, 24, 25};
+      for (uint64_t seed : seeds) {
+        BenchSetup setup;
+        setup.make_model = make_ms_resnet18;
+        setup.model = {.in_channels = 3, .num_classes = 5, .base_width = 10,
+                       .timesteps = t};
+        setup.input_size = 12;
+        setup.train = {.epochs = 8, .batch_size = 16, .timesteps = t,
+                       .lr = 0.1F, .seed = seed};
+        setup.model_seed = seed;
+        // First half of the steps full, second half half (paper policy).
+        setup.htt_schedule.assign(static_cast<size_t>(t), false);
+        for (int64_t i = 0; i < t / 2; ++i) {
+          setup.htt_schedule[static_cast<size_t>(i)] = true;
+        }
+        BenchRun run = run_mode(mode, setup, train, test);
+        acc += run.accuracy / 3.0;
+        time_s += run.batch_time_s / 3.0;
+      }
+      std::printf("%-4lld %-6s %6.1f%%    %8.4f\n", static_cast<long long>(t),
+                  bench_mode_name(mode), 100.0 * acc, time_s);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Micro-benchmarks (google-benchmark) for the op-level building blocks:
+// dense conv vs the TT pipelines (forward and forward+backward), merge
+// contractions, TT-SVD and VBMF. Not a paper exhibit — supports the
+// latency claims behind Table II and profiles regressions.
+
+#include <benchmark/benchmark.h>
+
+#include "core/ttconv.h"
+#include "nn/conv2d.h"
+#include "tensor/linalg.h"
+#include "tt/tt_svd.h"
+#include "tt/vbmf.h"
+
+namespace ttsnn {
+namespace {
+
+constexpr int64_t kC = 32;
+constexpr int64_t kHW = 16;
+constexpr int64_t kRank = 8;
+
+Tensor make_input() {
+  Rng rng(1);
+  return Tensor::bernoulli({4, 2, kC, kHW, kHW}, rng, 0.2F);
+}
+
+void BM_DenseConvForward(benchmark::State& state) {
+  Rng rng(2);
+  Conv2d conv({.in_channels = kC, .out_channels = kC}, rng);
+  Tensor x = make_input();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(x));
+  }
+}
+BENCHMARK(BM_DenseConvForward);
+
+void BM_TTConvForward(benchmark::State& state) {
+  const auto mode = static_cast<TTMode>(state.range(0));
+  const bool parallel = state.range(1) != 0;
+  Rng rng(3);
+  TTConv2d conv({.in_channels = kC, .out_channels = kC, .kernel = 3,
+                 .stride = 1, .rank = kRank, .mode = mode,
+                 .full_step = std::vector<bool>{true, true, false, false},
+                 .parallel_branches = parallel},
+                rng);
+  Tensor x = make_input();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(x));
+  }
+}
+BENCHMARK(BM_TTConvForward)
+    ->ArgsProduct({{static_cast<long>(TTMode::kSTT), static_cast<long>(TTMode::kPTT),
+                    static_cast<long>(TTMode::kHTT)},
+                   {0, 1}})
+    ->ArgNames({"mode", "parallel"});
+
+void BM_TTConvTrainStep(benchmark::State& state) {
+  const auto mode = static_cast<TTMode>(state.range(0));
+  Rng rng(4);
+  TTConv2d conv({.in_channels = kC, .out_channels = kC, .kernel = 3,
+                 .stride = 1, .rank = kRank, .mode = mode,
+                 .full_step = std::vector<bool>{true, true, false, false}},
+                rng);
+  Tensor x = make_input();
+  Tensor g = Tensor::randn({4, 2, kC, kHW, kHW}, rng);
+  for (auto _ : state) {
+    conv.forward(x);
+    benchmark::DoNotOptimize(conv.backward(g));
+  }
+}
+BENCHMARK(BM_TTConvTrainStep)
+    ->Arg(static_cast<long>(TTMode::kSTT))
+    ->Arg(static_cast<long>(TTMode::kPTT))
+    ->Arg(static_cast<long>(TTMode::kHTT))
+    ->ArgName("mode");
+
+void BM_MergePtt(benchmark::State& state) {
+  Rng rng(5);
+  TTConv2d conv({.in_channels = 64, .out_channels = 64, .kernel = 3,
+                 .stride = 1, .rank = 24, .mode = TTMode::kPTT},
+                rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.merged_kernel());
+  }
+}
+BENCHMARK(BM_MergePtt);
+
+void BM_TtSvd(benchmark::State& state) {
+  Rng rng(6);
+  Tensor dense = Tensor::randn({64, 64, 3, 3}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tt_svd(dense, 24));
+  }
+}
+BENCHMARK(BM_TtSvd);
+
+void BM_Vbmf(benchmark::State& state) {
+  Rng rng(7);
+  Tensor dense = Tensor::randn({64, 64, 3, 3}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimate_tt_rank(dense));
+  }
+}
+BENCHMARK(BM_Vbmf);
+
+}  // namespace
+}  // namespace ttsnn
+
+BENCHMARK_MAIN();

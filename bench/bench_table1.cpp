@@ -1,0 +1,43 @@
+// Table I reproduction: the hardware implementation parameters of the
+// proposed TT-SNN training accelerator (Sec. IV). These are configuration
+// constants, not measurements — this binary prints the design point the
+// Fig. 4(b) simulations run at and checks internal consistency (the five
+// Fig. 3 buffers must add up to the published 272 KB total).
+
+#include <cstdio>
+
+#include "hw/multi_cluster.h"
+
+using namespace ttsnn;
+
+int main() {
+  MultiClusterConfig cfg;
+  std::printf("=== Table I: Hardware Implementation Parameters ===\n");
+  std::printf("%-28s %s\n", "Technology", cfg.technology.c_str());
+  std::printf("%-28s %lld\n", "# of Cluster",
+              static_cast<long long>(cfg.clusters));
+  std::printf("%-28s %lld\n", "# of PE / Cluster",
+              static_cast<long long>(cfg.pes_per_cluster));
+  std::printf("%-28s %lld bytes\n", "Scratch Pad Size / PE",
+              static_cast<long long>(cfg.spad_bytes_per_pe));
+  std::printf("%-28s %lld KB\n", "Total Global Buffer Size",
+              static_cast<long long>(cfg.total_global_buffer_kb()));
+  std::printf("%-28s %lld-bits\n", "Accumulator Precision",
+              static_cast<long long>(cfg.accumulator_bits));
+  std::printf("%-28s %lld-bits\n", "Multiplier Precision",
+              static_cast<long long>(cfg.multiplier_bits));
+  std::printf("\nFig. 3 buffer breakdown: filter %lld + input-spike %lld + "
+              "output %lld + memP %lld + output-spike %lld KB\n",
+              static_cast<long long>(cfg.filter_buffer_kb),
+              static_cast<long long>(cfg.input_spike_buffer_kb),
+              static_cast<long long>(cfg.output_buffer_kb),
+              static_cast<long long>(cfg.membrane_buffer_kb),
+              static_cast<long long>(cfg.output_spike_buffer_kb));
+  // Paper values: 4 clusters x 32 PEs, 32-byte scratch pads, 272 KB total,
+  // 16-bit accumulators, 8-bit multipliers.
+  const bool ok = cfg.clusters == 4 && cfg.pes_per_cluster == 32 &&
+                  cfg.total_global_buffer_kb() == 272 &&
+                  cfg.accumulator_bits == 16 && cfg.multiplier_bits == 8;
+  std::printf("matches paper Table I: %s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,102 @@
+// Table III reproduction: PTT plugged into four existing SNN training
+// methods — tdBN (ResNet20 / CIFAR10), TEBN (VGG9 / CIFAR10), TET (VGG9 /
+// DVS Gesture) and NDA (VGG11 / DVS Gesture) — comparing base vs PTT
+// accuracy and per-batch training time.
+//
+// Paper trends: PTT cuts training time on every host method (25.0% / 15.2% /
+// 9.1% / 19.7%) without significant accuracy degradation.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "data/synthetic_gesture.h"
+#include "data/synthetic_image.h"
+
+using namespace ttsnn;
+
+namespace {
+
+struct MethodSpec {
+  const char* name;
+  ModulePtr (*make_model)(const ModelConfig&, Rng&);
+  BatchNorm::Mode bn_mode;
+  LossKind loss;
+  bool augment;
+  bool gesture_data;  ///< DVS-Gesture stand-in (else CIFAR stand-in)
+  int64_t timesteps;
+  int64_t base_width;
+  /// Shortcut-free VGG stacks are LR-sensitive once TT-decomposed (no
+  /// residual path to stabilize the factored layers); ResNet hosts train
+  /// with the hotter default.
+  float lr;
+};
+
+void run_method(const MethodSpec& spec) {
+  BenchSetup setup;
+  setup.make_model = spec.make_model;
+  setup.model = {.in_channels = spec.gesture_data ? int64_t{2} : int64_t{3},
+                 .num_classes = 5,
+                 .base_width = spec.base_width,
+                 .timesteps = spec.timesteps,
+                 .bn_mode = spec.bn_mode};
+  setup.model.bn_alpha_vth = setup.model.lif.v_th;
+  setup.input_size = 16;
+  setup.train = {.epochs = 5,
+                 .batch_size = 16,
+                 .timesteps = spec.timesteps,
+                 .lr = spec.lr,
+                 .loss = spec.loss,
+                 .augment = spec.augment,
+                 .augment_opts = {.max_shift = 1, .cutout_size = 0},
+                 .seed = 42};
+
+  BenchRun base, ptt;
+  if (spec.gesture_data) {
+    SyntheticGestureDataset train({.num_classes = 5, .samples_per_class = 20,
+                                   .size = 16, .seed = 31});
+    SyntheticGestureDataset test({.num_classes = 5, .samples_per_class = 8,
+                                  .size = 16, .seed = 32});
+    base = run_mode(BenchMode::kBaseline, setup, train, test);
+    ptt = run_mode(BenchMode::kPTT, setup, train, test);
+  } else {
+    SyntheticImageDataset train({.num_classes = 5, .samples_per_class = 20,
+                                 .size = 16, .seed = 31});
+    SyntheticImageDataset test({.num_classes = 5, .samples_per_class = 8,
+                                .size = 16, .seed = 32});
+    base = run_mode(BenchMode::kBaseline, setup, train, test);
+    ptt = run_mode(BenchMode::kPTT, setup, train, test);
+  }
+  std::printf("%-6s %-22s acc %5.1f%% / %5.1f%%   time %6.4f / %6.4f s "
+              "(%5.1f%% faster)\n",
+              spec.name, spec.gesture_data ? "(DVS-Gesture stand-in)"
+                                           : "(CIFAR10 stand-in)",
+              100.0 * base.accuracy, 100.0 * ptt.accuracy, base.batch_time_s,
+              ptt.batch_time_s,
+              100.0 * (1.0 - ptt.batch_time_s / base.batch_time_s));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table III: PTT as a plug-in to prior SNN training methods "
+              "(base / PTT) ===\n");
+  std::printf("paper: tdBN 92.96/91.10 (25.0%% faster), TEBN 91.78/90.56 "
+              "(15.2%%), TET 94.79/94.49 (9.1%%), NDA 96.88/95.83 (19.7%%)\n");
+  run_method({.name = "tdBN", .make_model = make_resnet20,
+              .bn_mode = BatchNorm::Mode::kTdBn, .loss = LossKind::kCeSum,
+              .augment = false, .gesture_data = false, .timesteps = 4,
+              .base_width = 8, .lr = 0.08F});
+  run_method({.name = "TEBN", .make_model = make_vgg9,
+              .bn_mode = BatchNorm::Mode::kTebn, .loss = LossKind::kCeSum,
+              .augment = false, .gesture_data = false, .timesteps = 4,
+              .base_width = 16, .lr = 0.02F});
+  run_method({.name = "TET", .make_model = make_vgg9,
+              .bn_mode = BatchNorm::Mode::kPerStep, .loss = LossKind::kTet,
+              .augment = false, .gesture_data = true, .timesteps = 6,
+              .base_width = 16, .lr = 0.02F});
+  run_method({.name = "NDA", .make_model = make_vgg11,
+              .bn_mode = BatchNorm::Mode::kPerStep, .loss = LossKind::kCeSum,
+              .augment = true, .gesture_data = true, .timesteps = 6,
+              .base_width = 16, .lr = 0.01F});
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Accelerator simulation walkthrough: maps a TT-SNN training workload onto
+// (a) the existing single-engine SNN training accelerator [3] and (b) the
+// proposed 4-cluster pipelined design (Sec. IV, Fig. 3), and prints the
+// per-component energy breakdown for one training image.
+//
+// Build & run:  ./build/examples/accelerator_sim
+
+#include <cstdio>
+
+#include "core/factorize.h"
+#include "core/flops.h"
+#include "core/models.h"
+#include "core/paper_config.h"
+#include "hw/multi_cluster.h"
+#include "hw/sata_baseline.h"
+
+using namespace ttsnn;
+
+namespace {
+
+HwWorkload resnet18_workload(TTMode mode, bool factorize, bool parallel) {
+  Rng rng(1);
+  ModelConfig cfg;
+  cfg.base_width = 64;  // paper scale
+  cfg.num_classes = 10;
+  cfg.timesteps = 4;
+  ModulePtr net = make_ms_resnet18(cfg, rng);
+  if (factorize) {
+    FactorizeOptions f;
+    f.mode = mode;
+    f.explicit_ranks = paper_ranks_resnet18();  // published VBMF ranks
+    f.init_from_dense = false;                  // shapes only; no training here
+    if (mode == TTMode::kHTT) f.htt_schedule = {true, true, false, false};
+    factorize_network(*net, f, rng);
+  }
+  ModelStats stats = analyze_model(*net, 3, 32, 32);
+  WorkloadOptions w;
+  w.timesteps = 4;
+  w.parallel_strips = parallel;
+  return build_workload("ResNet18", stats, w);
+}
+
+void print_report(const char* design, const char* mode, const EnergyReport& r,
+                  double clock_ghz) {
+  std::printf("%-12s %-9s total %9.1f uJ | compute %7.1f  sram %7.1f  dram "
+              "%7.1f  lif %5.1f  leak %7.1f | %.2f ms\n",
+              design, mode, r.total_pj() / 1e6, r.compute_pj / 1e6,
+              r.sram_pj / 1e6, r.dram_pj / 1e6, r.lif_pj / 1e6,
+              r.leakage_pj / 1e6, r.milliseconds(clock_ghz));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Training energy for ONE image, forward + BPTT backward, T=4,\n"
+              "MS-ResNet18 @ 32x32 with the paper's published VBMF ranks.\n\n");
+
+  SataConfig sata;
+  MultiClusterConfig mc;
+
+  HwWorkload base = resnet18_workload(TTMode::kSTT, false, false);
+  HwWorkload stt = resnet18_workload(TTMode::kSTT, true, false);
+  HwWorkload ptt = resnet18_workload(TTMode::kPTT, true, true);
+  HwWorkload htt = resnet18_workload(TTMode::kHTT, true, true);
+
+  std::printf("--- existing single-engine accelerator (SATA-style [3]) ---\n");
+  print_report("existing", "baseline", simulate_sata(base, sata),
+               sata.energy.clock_ghz);
+  EnergyReport s = simulate_sata(stt, sata);
+  print_report("existing", "STT", s, sata.energy.clock_ghz);
+  EnergyReport p = simulate_sata(ptt, sata);
+  print_report("existing", "PTT", p, sata.energy.clock_ghz);
+  print_report("existing", "HTT", simulate_sata(htt, sata),
+               sata.energy.clock_ghz);
+  std::printf("PTT pays +%.1f%% over STT here: one strip output round-trips "
+              "through DRAM before the merge.\n\n",
+              100.0 * (p.total_pj() / s.total_pj() - 1.0));
+
+  std::printf("--- proposed 4-cluster pipelined accelerator (Fig. 3) ---\n");
+  EnergyReport ms = simulate_multi_cluster(stt, mc);
+  print_report("proposed", "STT", ms, mc.energy.clock_ghz);
+  EnergyReport mp = simulate_multi_cluster(ptt, mc);
+  print_report("proposed", "PTT", mp, mc.energy.clock_ghz);
+  EnergyReport mh = simulate_multi_cluster(htt, mc);
+  print_report("proposed", "HTT", mh, mc.energy.clock_ghz);
+  std::printf("PTT saves %.1f%% and HTT %.1f%% vs STT: parallel strip "
+              "clusters + adder-array merge remove the buffer bounces.\n",
+              100.0 * (1.0 - mp.total_pj() / ms.total_pj()),
+              100.0 * (1.0 - mh.total_pj() / ms.total_pj()));
+  return 0;
+}

@@ -1,0 +1,115 @@
+#include "core/factorize.h"
+
+#include <cmath>
+
+#include "tt/tt_svd.h"
+#include "tt/vbmf.h"
+
+namespace ttsnn {
+
+int64_t FactorizeReport::dense_params() const {
+  int64_t n = 0;
+  for (const FactorizedLayer& l : layers) n += l.dense_params;
+  return n;
+}
+
+int64_t FactorizeReport::tt_params() const {
+  int64_t n = 0;
+  for (const FactorizedLayer& l : layers) n += l.tt_params;
+  return n;
+}
+
+FactorizeReport factorize_network(Module& root, const FactorizeOptions& opts,
+                                  Rng& rng) {
+  if (opts.mode == TTMode::kHTT) {
+    TTSNN_CHECK(!opts.htt_schedule.empty(),
+                "factorize_network: HTT mode requires a schedule");
+  }
+  FactorizeReport report;
+  size_t rank_cursor = 0;
+
+  visit_module_slots(root, [&](ModulePtr& slot) {
+    auto* conv = dynamic_cast<Conv2d*>(slot.get());
+    if (conv == nullptr) return;
+    const Conv2d::Options& c = conv->options();
+    // Eligibility: square odd kernel >= 3, uniform stride, non-stem input.
+    if (c.kernel_h != c.kernel_w || c.kernel_h < 3 || c.kernel_h % 2 == 0) return;
+    if (c.resolved_stride_h() != c.resolved_stride_w()) return;
+    if (c.in_channels < opts.min_in_channels) return;
+
+    int64_t rank = 0;
+    if (!opts.explicit_ranks.empty()) {
+      TTSNN_CHECK(rank_cursor < opts.explicit_ranks.size(),
+                  "explicit_ranks list shorter than decomposed layer count");
+      rank = opts.explicit_ranks[rank_cursor];
+    } else if (opts.use_vbmf) {
+      rank = estimate_tt_rank(conv->weight().value);
+    } else {
+      rank = std::max<int64_t>(
+          1, static_cast<int64_t>(std::llround(
+                 opts.rank_fraction *
+                 static_cast<double>(std::min(c.in_channels, c.out_channels)))));
+    }
+    rank = std::clamp<int64_t>(rank, 1, std::min(c.in_channels, c.out_channels));
+    ++rank_cursor;
+
+    TTConv2d::Options tt_opts{.in_channels = c.in_channels,
+                              .out_channels = c.out_channels,
+                              .kernel = c.kernel_h,
+                              .stride = c.resolved_stride_h(),
+                              .rank = rank,
+                              .mode = opts.mode,
+                              .full_step = opts.mode == TTMode::kHTT
+                                               ? opts.htt_schedule
+                                               : std::vector<bool>{},
+                              .parallel_branches = opts.parallel_branches};
+
+    FactorizedLayer info;
+    info.index = report.replaced();
+    info.in_c = c.in_channels;
+    info.out_c = c.out_channels;
+    info.kernel = c.kernel_h;
+    info.stride = c.resolved_stride_h();
+    info.rank = rank;
+    info.dense_params = conv->weight().value.numel();
+    info.tt_params = tt_num_params(c.in_channels, c.out_channels, c.kernel_h, rank);
+
+    ModulePtr replacement;
+    if (opts.init_from_dense) {
+      TTCores cores = tt_svd(conv->weight().value, rank);
+      info.init_error = tt_reconstruction_error(conv->weight().value, cores);
+      replacement = std::make_unique<TTConv2d>(tt_opts, cores);
+    } else {
+      replacement = std::make_unique<TTConv2d>(tt_opts, rng);
+    }
+    slot = std::move(replacement);
+    report.layers.push_back(info);
+  });
+
+  if (!opts.explicit_ranks.empty()) {
+    TTSNN_CHECK(rank_cursor == opts.explicit_ranks.size(),
+                "explicit_ranks has " << opts.explicit_ranks.size()
+                                      << " entries but " << rank_cursor
+                                      << " layers were decomposed");
+  }
+  return report;
+}
+
+MergeReport merge_network(Module& root) {
+  MergeReport report;
+  visit_module_slots(root, [&](ModulePtr& slot) {
+    auto* tt = dynamic_cast<TTConv2d*>(slot.get());
+    if (tt == nullptr) return;
+    const TTConv2d::Options& o = tt->options();
+    Conv2d::Options dense_opts{.in_channels = o.in_channels,
+                               .out_channels = o.out_channels,
+                               .kernel_h = o.kernel,
+                               .kernel_w = o.kernel,
+                               .stride = o.stride};
+    slot = std::make_unique<Conv2d>(dense_opts, tt->merged_kernel());
+    ++report.merged;
+  });
+  return report;
+}
+
+}  // namespace ttsnn

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file factorize.h
+/// Network rewrite passes of Algorithm 1:
+///  - factorize_network(): replaces eligible dense Conv2d layers with
+///    TTConv2d modules, with ranks from VBMF (line 2) or an explicit list,
+///    initialized by TT-SVD of the pretrained dense weights (line 4).
+///  - merge_network(): after training, replaces every TTConv2d with a dense
+///    Conv2d carrying the merged kernel (lines 20-22) so inference runs the
+///    standard spike-driven pipeline.
+///
+/// Eligibility follows the paper: the first conv layer (detected by its small
+/// input channel count — RGB or event-polarity input) and the classifier are
+/// never decomposed; 1x1 projection shortcuts are also kept dense.
+
+#include <optional>
+
+#include "core/ttconv.h"
+#include "nn/module.h"
+
+namespace ttsnn {
+
+struct FactorizeOptions {
+  TTMode mode = TTMode::kPTT;
+  /// HTT per-timestep schedule (true = full step); required for kHTT.
+  std::vector<bool> htt_schedule;
+  /// If non-empty, ranks are taken from this list in traversal order
+  /// (the format of the paper's published VBMF rank lists).
+  std::vector<int64_t> explicit_ranks;
+  /// Rank source when explicit_ranks is empty: VBMF on the trained weight,
+  /// or a fixed fraction of min(in_c, out_c).
+  bool use_vbmf = true;
+  double rank_fraction = 0.25;
+  /// Convs with fewer input channels are treated as stem layers and skipped.
+  int64_t min_in_channels = 8;
+  /// Initialize cores by TT-SVD of the dense weight (true) or randomly.
+  bool init_from_dense = true;
+  /// Run PTT/HTT strip branches on two threads.
+  bool parallel_branches = true;
+};
+
+struct FactorizedLayer {
+  int64_t index = 0;  ///< order of replacement (matches explicit_ranks order)
+  int64_t in_c = 0, out_c = 0, kernel = 0, stride = 1;
+  int64_t rank = 0;
+  int64_t dense_params = 0;
+  int64_t tt_params = 0;
+  double init_error = 0.0;  ///< TT-SVD relative reconstruction error
+};
+
+struct FactorizeReport {
+  std::vector<FactorizedLayer> layers;
+  int64_t replaced() const { return static_cast<int64_t>(layers.size()); }
+  int64_t dense_params() const;
+  int64_t tt_params() const;
+};
+
+/// Rewrites the module tree in place. `rng` is used for random init when
+/// init_from_dense is false.
+FactorizeReport factorize_network(Module& root, const FactorizeOptions& opts,
+                                  Rng& rng);
+
+struct MergeReport {
+  int64_t merged = 0;
+};
+
+/// Replaces every TTConv2d with a dense Conv2d holding the merged kernel.
+MergeReport merge_network(Module& root);
+
+}  // namespace ttsnn

@@ -1,0 +1,71 @@
+#include "core/flops.h"
+
+#include <sstream>
+
+namespace ttsnn {
+
+ModelStats analyze_model(const Module& root, int64_t in_c, int64_t in_h,
+                         int64_t in_w) {
+  ModelStats stats;
+  ShapeState s{.c = in_c, .h = in_h, .w = in_w};
+  root.describe(s, stats.layers);
+
+  // Spike-input fixup: a convolution consumes binary spikes iff the previous
+  // compute layer in program order is an LIF. TTConv sub-layers w2..w4 keep
+  // their analog flag (only w1 sees the layer input). Track WHICH LIF feeds
+  // each spike-input layer so measured densities can be attached later.
+  bool after_lif = false;
+  int64_t lif_count = 0;
+  for (LayerDesc& d : stats.layers) {
+    if (d.kind == "conv" || d.kind == "linear" || d.detail.ends_with(".w1")) {
+      d.spike_input = after_lif;
+      d.source_lif = after_lif ? lif_count - 1 : -1;
+    }
+    if (d.kind == "lif") {
+      after_lif = true;
+      ++lif_count;
+    } else if (d.kind == "conv" || d.kind == "ttconv" || d.kind == "linear") {
+      after_lif = false;
+    }
+    // bn / pool keep the spike flag alive: they're element-wise reshapes of
+    // the spiking activity from the preceding LIF in MS-ResNet ordering.
+  }
+
+  for (const LayerDesc& d : stats.layers) {
+    stats.total_params += d.params;
+    if (d.kind == "conv" || d.kind == "ttconv" || d.kind == "linear") {
+      stats.macs_per_step += static_cast<double>(d.macs) * d.utilization;
+    }
+  }
+  return stats;
+}
+
+SynopReport inference_synops(const ModelStats& stats,
+                             const std::vector<double>& lif_densities,
+                             int64_t timesteps) {
+  SynopReport report;
+  for (const LayerDesc& d : stats.layers) {
+    if (d.kind != "conv" && d.kind != "ttconv" && d.kind != "linear") continue;
+    const double ops =
+        static_cast<double>(d.macs) * d.utilization * static_cast<double>(timesteps);
+    if (d.spike_input && d.source_lif >= 0) {
+      TTSNN_CHECK(d.source_lif < static_cast<int64_t>(lif_densities.size()),
+                  "inference_synops: density list shorter than LIF count");
+      report.ac_ops += ops * lif_densities[static_cast<size_t>(d.source_lif)];
+    } else {
+      report.mac_ops += ops;
+    }
+  }
+  return report;
+}
+
+std::string stats_summary(const ModelStats& stats, int64_t timesteps) {
+  std::ostringstream oss;
+  oss.setf(std::ios::fixed);
+  oss.precision(3);
+  oss << "P=" << stats.params_m() << "M, FLOPs(T=" << timesteps
+      << ")=" << stats.flops_g(timesteps) << "G";
+  return oss.str();
+}
+
+}  // namespace ttsnn

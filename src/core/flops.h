@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file flops.h
+/// Static model analysis: parameter counts and FLOPs in the paper's
+/// convention (FLOPs == multiply-accumulates of conv/linear layers, summed
+/// over timesteps; Table II reports e.g. ResNet18 @ 32x32, T=4 as 2.221G).
+
+#include "nn/module.h"
+
+namespace ttsnn {
+
+struct ModelStats {
+  std::vector<LayerDesc> layers;
+  int64_t total_params = 0;      ///< all trainable scalars (incl. BN affine)
+  double macs_per_step = 0.0;    ///< utilization-weighted conv+linear MACs,
+                                 ///< one sample, one timestep
+  double params_m() const { return static_cast<double>(total_params) / 1e6; }
+  double flops_g(int64_t timesteps) const {
+    return macs_per_step * static_cast<double>(timesteps) / 1e9;
+  }
+};
+
+/// Walks the module tree with describe() from the given input shape, fixing
+/// up spike-input flags (a conv consumes spikes iff an LIF feeds it).
+ModelStats analyze_model(const Module& root, int64_t in_c, int64_t in_h,
+                         int64_t in_w);
+
+/// Formats a one-line summary: "P=1.83M, FLOPs(T=4)=0.372G".
+std::string stats_summary(const ModelStats& stats, int64_t timesteps);
+
+/// Synaptic-operation accounting for spike-driven inference (the reason the
+/// paper merges TT cores back into dense kernels: spiking inference costs
+/// accumulates, not multiplies). Given measured per-LIF spike densities (in
+/// LIF traversal order — see profile_spikes in snn/profile.h), splits each
+/// compute layer's MACs into sparse ACs (spike input, scaled by the measured
+/// density of its source LIF) and dense MACs (analog input).
+struct SynopReport {
+  double ac_ops = 0.0;    ///< accumulate-only ops over all timesteps
+  double mac_ops = 0.0;   ///< full multiply-accumulates over all timesteps
+  double total() const { return ac_ops + mac_ops; }
+};
+
+SynopReport inference_synops(const ModelStats& stats,
+                             const std::vector<double>& lif_densities,
+                             int64_t timesteps);
+
+}  // namespace ttsnn

@@ -1,0 +1,150 @@
+#include "core/models.h"
+
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+
+namespace ttsnn {
+
+namespace {
+
+BatchNorm::Options bn_opts(const ModelConfig& cfg, int64_t channels) {
+  return {.channels = channels,
+          .mode = cfg.bn_mode,
+          .alpha_vth = cfg.bn_mode == BatchNorm::Mode::kTdBn ? cfg.bn_alpha_vth
+                                                             : 1.0F,
+          .timesteps = cfg.timesteps};
+}
+
+/// One MS-ResNet basic block: pre-activation body with membrane shortcut.
+ModulePtr make_ms_block(const ModelConfig& cfg, int64_t in_c, int64_t out_c,
+                        int64_t stride, Rng& rng) {
+  auto body = std::make_unique<Sequential>();
+  body->emplace<LIFNeuron>(cfg.lif);
+  body->emplace<Conv2d>(
+      Conv2d::Options{.in_channels = in_c, .out_channels = out_c, .stride = stride},
+      rng);
+  body->emplace<BatchNorm>(bn_opts(cfg, out_c));
+  body->emplace<LIFNeuron>(cfg.lif);
+  body->emplace<Conv2d>(
+      Conv2d::Options{.in_channels = out_c, .out_channels = out_c}, rng);
+  auto bn2 = std::make_unique<BatchNorm>(bn_opts(cfg, out_c));
+  if (cfg.zero_init_residual) bn2->gamma().value.zero_();
+  body->add(std::move(bn2));
+
+  ModulePtr shortcut;
+  if (stride != 1 || in_c != out_c) {
+    auto sc = std::make_unique<Sequential>();
+    sc->emplace<Conv2d>(Conv2d::Options{.in_channels = in_c,
+                                        .out_channels = out_c,
+                                        .kernel_h = 1,
+                                        .kernel_w = 1,
+                                        .stride = stride},
+                        rng);
+    sc->emplace<BatchNorm>(bn_opts(cfg, out_c));
+    shortcut = std::move(sc);
+  }
+  return std::make_unique<Residual>(std::move(body), std::move(shortcut));
+}
+
+}  // namespace
+
+ModulePtr make_ms_resnet(const ModelConfig& cfg, const std::vector<int64_t>& blocks,
+                         Rng& rng) {
+  TTSNN_CHECK(!blocks.empty(), "make_ms_resnet: empty stage list");
+  auto net = std::make_unique<Sequential>();
+  // Stem: dense conv + BN (never decomposed; Algorithm 1).
+  net->emplace<Conv2d>(Conv2d::Options{.in_channels = cfg.in_channels,
+                                       .out_channels = cfg.base_width},
+                       rng);
+  net->emplace<BatchNorm>(bn_opts(cfg, cfg.base_width));
+
+  int64_t in_c = cfg.base_width;
+  for (size_t stage = 0; stage < blocks.size(); ++stage) {
+    const int64_t out_c = cfg.base_width << stage;
+    for (int64_t b = 0; b < blocks[stage]; ++b) {
+      const int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+      net->add(make_ms_block(cfg, in_c, out_c, stride, rng));
+      in_c = out_c;
+    }
+  }
+  // Head: spike, pool, classify (classifier kept dense; Algorithm 1 line 14).
+  net->emplace<LIFNeuron>(cfg.lif);
+  net->emplace<GlobalAvgPool>();
+  net->emplace<Linear>(in_c, cfg.num_classes, rng);
+  return net;
+}
+
+ModulePtr make_ms_resnet18(const ModelConfig& cfg, Rng& rng) {
+  return make_ms_resnet(cfg, {2, 2, 2, 2}, rng);
+}
+
+ModulePtr make_ms_resnet34(const ModelConfig& cfg, Rng& rng) {
+  return make_ms_resnet(cfg, {3, 4, 6, 3}, rng);
+}
+
+ModulePtr make_resnet20(const ModelConfig& cfg, Rng& rng) {
+  ModelConfig c = cfg;
+  if (c.bn_mode == BatchNorm::Mode::kPerStep) {
+    // ResNet20's reference training recipe is tdBN [26].
+    c.bn_mode = BatchNorm::Mode::kTdBn;
+    c.bn_alpha_vth = c.lif.v_th;
+  }
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Conv2d>(Conv2d::Options{.in_channels = c.in_channels,
+                                       .out_channels = c.base_width},
+                       rng);
+  net->emplace<BatchNorm>(bn_opts(c, c.base_width));
+  int64_t in_c = c.base_width;
+  for (int64_t stage = 0; stage < 3; ++stage) {
+    const int64_t out_c = c.base_width << stage;
+    for (int64_t b = 0; b < 3; ++b) {
+      const int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+      net->add(make_ms_block(c, in_c, out_c, stride, rng));
+      in_c = out_c;
+    }
+  }
+  net->emplace<LIFNeuron>(c.lif);
+  net->emplace<GlobalAvgPool>();
+  net->emplace<Linear>(in_c, c.num_classes, rng);
+  return net;
+}
+
+namespace {
+
+/// Shared VGG builder: `plan` lists conv widths (in units of base_width / 64)
+/// with 0 marking a 2x2 average pool.
+ModulePtr make_vgg(const ModelConfig& cfg, const std::vector<int64_t>& plan,
+                   Rng& rng) {
+  auto net = std::make_unique<Sequential>();
+  int64_t in_c = cfg.in_channels;
+  for (int64_t entry : plan) {
+    if (entry == 0) {
+      net->emplace<AvgPool2d>(2);
+      continue;
+    }
+    const int64_t out_c = entry * cfg.base_width / 64;
+    net->emplace<Conv2d>(
+        Conv2d::Options{.in_channels = in_c, .out_channels = out_c}, rng);
+    net->emplace<BatchNorm>(bn_opts(cfg, out_c));
+    net->emplace<LIFNeuron>(cfg.lif);
+    in_c = out_c;
+  }
+  net->emplace<GlobalAvgPool>();
+  net->emplace<Linear>(in_c, cfg.num_classes, rng);
+  return net;
+}
+
+}  // namespace
+
+ModulePtr make_vgg9(const ModelConfig& cfg, Rng& rng) {
+  // 7 convs: 64,64 P 128,128 P 256,256,256 P  (in base_width/64 units).
+  return make_vgg(cfg, {64, 64, 0, 128, 128, 0, 256, 256, 256, 0}, rng);
+}
+
+ModulePtr make_vgg11(const ModelConfig& cfg, Rng& rng) {
+  // 8 convs: 64 P 128 P 256,256 P 512,512 P 512,512.
+  return make_vgg(cfg, {64, 0, 128, 0, 256, 256, 0, 512, 512, 0, 512, 512}, rng);
+}
+
+}  // namespace ttsnn

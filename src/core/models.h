@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file models.h
+/// Model zoo for the paper's experiments (all width/size-parameterized so the
+/// same code runs both at paper scale for static analysis and scaled down for
+/// CPU training):
+///
+///  - MS-ResNet18 / MS-ResNet34 [30]: the baseline architectures of Table II.
+///    Pre-activation spiking residual blocks — LIF precedes conv, and the
+///    residual sum acts on full-precision post-BN features (the "membrane
+///    shortcut").
+///  - ResNet20 with tdBN [26], VGG9 [27][28], VGG11 [29]: Table III hosts.
+
+#include "nn/batchnorm.h"
+#include "nn/containers.h"
+#include "nn/lif.h"
+#include "nn/module.h"
+
+namespace ttsnn {
+
+struct ModelConfig {
+  int64_t in_channels = 3;
+  int64_t num_classes = 10;
+  /// Channel width of the first stage; later stages double it. Paper scale
+  /// is 64 for ResNet18/34; benches use 8-16 to fit the CPU budget.
+  int64_t base_width = 64;
+  /// Timesteps (needed by TEBN's per-step parameters).
+  int64_t timesteps = 4;
+  BatchNorm::Mode bn_mode = BatchNorm::Mode::kPerStep;
+  /// tdBN's alpha * V_th scale (used when bn_mode == kTdBn).
+  float bn_alpha_vth = 1.0F;
+  LIFNeuron::Options lif = {};
+  /// Zero-initialize each residual block's final BN gamma so blocks start as
+  /// identities. Without it the membrane-shortcut sums grow with depth and
+  /// deep stacks (ResNet34) start from exploded logits — the standard
+  /// residual-SNN initialization (tdBN [26] / MS-ResNet [30] practice).
+  bool zero_init_residual = true;
+};
+
+/// MS-ResNet with basic blocks; `blocks` gives the per-stage block counts.
+ModulePtr make_ms_resnet(const ModelConfig& cfg, const std::vector<int64_t>& blocks,
+                         Rng& rng);
+/// MS-ResNet18: stages {2, 2, 2, 2}.
+ModulePtr make_ms_resnet18(const ModelConfig& cfg, Rng& rng);
+/// MS-ResNet34: stages {3, 4, 6, 3}.
+ModulePtr make_ms_resnet34(const ModelConfig& cfg, Rng& rng);
+/// CIFAR ResNet20: 3 stages x 3 blocks at widths {w, 2w, 4w}; tdBN default.
+ModulePtr make_resnet20(const ModelConfig& cfg, Rng& rng);
+/// VGG9: 7 conv layers; used by TEBN/TET rows of Table III.
+ModulePtr make_vgg9(const ModelConfig& cfg, Rng& rng);
+/// VGG11: 8 conv layers; used by the NDA row of Table III.
+ModulePtr make_vgg11(const ModelConfig& cfg, Rng& rng);
+
+}  // namespace ttsnn

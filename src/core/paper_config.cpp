@@ -1,0 +1,149 @@
+#include "core/paper_config.h"
+
+#include "tt/tt_cores.h"
+
+namespace ttsnn {
+
+namespace {
+
+int64_t conv_out(int64_t in, int64_t kernel, int64_t stride) {
+  const int64_t pad = (kernel - 1) / 2;
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+}  // namespace
+
+PaperModel paper_ms_resnet(const std::string& name,
+                           const std::vector<int64_t>& blocks, int64_t in_c,
+                           int64_t classes, int64_t input, int64_t timesteps,
+                           int64_t base_width) {
+  PaperModel m;
+  m.name = name;
+  m.in_channels = in_c;
+  m.input_h = m.input_w = input;
+  m.timesteps = timesteps;
+
+  int64_t h = input;
+  int64_t c = base_width;
+  // Stem (never decomposed).
+  m.convs.push_back({.in_c = in_c, .out_c = c, .kernel = 3, .stride = 1,
+                     .in_h = h, .in_w = h, .decomposed = false});
+  m.bn_channels.push_back(c);
+
+  int64_t cur_c = c;
+  for (size_t stage = 0; stage < blocks.size(); ++stage) {
+    const int64_t out_c = base_width << stage;
+    for (int64_t b = 0; b < blocks[stage]; ++b) {
+      const int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+      // conv1 (3x3, maybe strided) - decomposed
+      m.convs.push_back({.in_c = cur_c, .out_c = out_c, .kernel = 3,
+                         .stride = stride, .in_h = h, .in_w = h,
+                         .decomposed = true});
+      m.bn_channels.push_back(out_c);
+      const int64_t h2 = conv_out(h, 3, stride);
+      // conv2 (3x3) - decomposed
+      m.convs.push_back({.in_c = out_c, .out_c = out_c, .kernel = 3,
+                         .stride = 1, .in_h = h2, .in_w = h2,
+                         .decomposed = true});
+      m.bn_channels.push_back(out_c);
+      // projection shortcut (1x1) - kept dense
+      if (stride != 1 || cur_c != out_c) {
+        m.convs.push_back({.in_c = cur_c, .out_c = out_c, .kernel = 1,
+                           .stride = stride, .in_h = h, .in_w = h,
+                           .decomposed = false});
+        m.bn_channels.push_back(out_c);
+      }
+      h = h2;
+      cur_c = out_c;
+    }
+  }
+  m.fc_in = cur_c;
+  m.fc_out = classes;
+  return m;
+}
+
+PaperModel paper_resnet18_cifar(int64_t classes) {
+  return paper_ms_resnet("MS-ResNet18", {2, 2, 2, 2}, 3, classes, 32, 4);
+}
+
+PaperModel paper_resnet34_ncaltech() {
+  return paper_ms_resnet("MS-ResNet34", {3, 4, 6, 3}, 2, 101, 48, 6);
+}
+
+const std::vector<int64_t>& paper_ranks_resnet18() {
+  static const std::vector<int64_t> ranks{24, 27, 25, 29, 37, 45, 43, 41,
+                                          65, 74, 70, 63, 104, 153, 186, 145};
+  return ranks;
+}
+
+const std::vector<int64_t>& paper_ranks_resnet34() {
+  static const std::vector<int64_t> ranks{
+      24, 23, 22, 17, 16, 12, 22, 31, 25, 25, 24,  21,  20,  19,  48,  79,
+      64, 69, 63, 69, 60, 65, 63, 63, 62, 58, 121, 170, 173, 147, 161, 108};
+  return ranks;
+}
+
+PaperCounts paper_baseline_counts(const PaperModel& model) {
+  PaperCounts out;
+  double params = 0.0;
+  double macs = 0.0;
+  for (const PaperConv& c : model.convs) {
+    params += static_cast<double>(c.out_c) * c.in_c * c.kernel * c.kernel;
+    const int64_t oh = conv_out(c.in_h, c.kernel, c.stride);
+    const int64_t ow = conv_out(c.in_w, c.kernel, c.stride);
+    macs += static_cast<double>(c.out_c) * oh * ow * c.in_c * c.kernel * c.kernel;
+  }
+  for (int64_t bc : model.bn_channels) params += 2.0 * static_cast<double>(bc);
+  params += static_cast<double>(model.fc_in) * model.fc_out + model.fc_out;
+  macs += static_cast<double>(model.fc_in) * model.fc_out;
+
+  out.params_m = params / 1e6;
+  out.flops_g = macs * static_cast<double>(model.timesteps) / 1e9;
+  return out;
+}
+
+PaperCounts paper_tt_counts(const PaperModel& model,
+                            const std::vector<int64_t>& ranks, TTMode mode,
+                            double strip_utilization) {
+  PaperCounts out;
+  double params = 0.0;
+  double macs = 0.0;
+  size_t rank_cursor = 0;
+  for (const PaperConv& c : model.convs) {
+    const int64_t oh = conv_out(c.in_h, c.kernel, c.stride);
+    const int64_t ow = conv_out(c.in_w, c.kernel, c.stride);
+    if (!c.decomposed) {
+      params += static_cast<double>(c.out_c) * c.in_c * c.kernel * c.kernel;
+      macs += static_cast<double>(c.out_c) * oh * ow * c.in_c * c.kernel *
+              c.kernel;
+      continue;
+    }
+    TTSNN_CHECK(rank_cursor < ranks.size(),
+                "rank list shorter than decomposed conv count");
+    const int64_t r = ranks[rank_cursor++];
+    params += static_cast<double>(tt_num_params(c.in_c, c.out_c, c.kernel, r));
+
+    // w1: pointwise at input resolution.
+    macs += static_cast<double>(r) * c.in_c * c.in_h * c.in_w;
+    // Strips at the strided resolution. STT strides the vertical strip by
+    // (s,1) — its output keeps full width; PTT/HTT stride both by (s,s).
+    const double strips =
+        mode == TTMode::kSTT
+            ? static_cast<double>(r) * r * c.kernel * (oh * c.in_w + oh * ow)
+            : static_cast<double>(r) * r * c.kernel * (2.0 * oh * ow);
+    macs += strips * strip_utilization;
+    // w4: pointwise at output resolution (runs on every step in all modes).
+    macs += static_cast<double>(c.out_c) * r * oh * ow;
+  }
+  TTSNN_CHECK(rank_cursor == ranks.size(),
+              "rank list longer than decomposed conv count");
+  for (int64_t bc : model.bn_channels) params += 2.0 * static_cast<double>(bc);
+  params += static_cast<double>(model.fc_in) * model.fc_out + model.fc_out;
+  macs += static_cast<double>(model.fc_in) * model.fc_out;
+
+  out.params_m = params / 1e6;
+  out.flops_g = macs * static_cast<double>(model.timesteps) / 1e9;
+  return out;
+}
+
+}  // namespace ttsnn

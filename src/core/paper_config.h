@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file paper_config.h
+/// Full-scale (paper-scale) model descriptions and the published VBMF rank
+/// lists from Sec. V-A. These drive the exact params / FLOPs columns of
+/// Table II as pure arithmetic — no tensors are materialized, so the counts
+/// are at true ResNet18/34 scale even though training runs scaled down.
+
+#include <string>
+#include <vector>
+
+#include "core/ttconv.h"
+
+namespace ttsnn {
+
+/// One convolution of a paper-scale model, with its input resolution.
+struct PaperConv {
+  int64_t in_c = 0, out_c = 0;
+  int64_t kernel = 3;
+  int64_t stride = 1;
+  int64_t in_h = 0, in_w = 0;
+  bool decomposed = false;  ///< 3x3 block convs only (Algorithm 1)
+};
+
+struct PaperModel {
+  std::string name;
+  std::vector<PaperConv> convs;
+  std::vector<int64_t> bn_channels;  ///< one entry per BatchNorm layer
+  int64_t fc_in = 0, fc_out = 0;
+  int64_t timesteps = 4;
+  int64_t in_channels = 3, input_h = 32, input_w = 32;
+};
+
+/// MS-ResNet with the given per-stage block counts at paper scale.
+PaperModel paper_ms_resnet(const std::string& name,
+                           const std::vector<int64_t>& blocks, int64_t in_c,
+                           int64_t classes, int64_t input, int64_t timesteps,
+                           int64_t base_width = 64);
+
+/// ResNet18 on CIFAR10/100: 32x32 RGB, T = 4.
+PaperModel paper_resnet18_cifar(int64_t classes);
+/// ResNet34 on N-Caltech101: 48x48 two-polarity events, 101 classes, T = 6.
+PaperModel paper_resnet34_ncaltech();
+
+/// Published VBMF TT-ranks (Sec. V-A), in block-conv traversal order.
+const std::vector<int64_t>& paper_ranks_resnet18();
+const std::vector<int64_t>& paper_ranks_resnet34();
+
+struct PaperCounts {
+  double params_m = 0.0;
+  double flops_g = 0.0;
+};
+
+/// Dense baseline parameters and FLOPs (MACs x T) of the model.
+PaperCounts paper_baseline_counts(const PaperModel& model);
+
+/// Counts after TT decomposition with the given per-layer ranks.
+/// `strip_utilization` is the fraction of timesteps executing the w2/w3
+/// strips (1.0 for STT/PTT; the full-step fraction for HTT).
+PaperCounts paper_tt_counts(const PaperModel& model,
+                            const std::vector<int64_t>& ranks, TTMode mode,
+                            double strip_utilization = 1.0);
+
+}  // namespace ttsnn

@@ -1,0 +1,56 @@
+#include "data/painters.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace ttsnn {
+
+void paint_grating(float* plane, int64_t h, int64_t w, double angle,
+                   double freq, double phase, double amplitude) {
+  const double ca = std::cos(angle);
+  const double sa = std::sin(angle);
+  const double extent = static_cast<double>(std::max(h, w));
+  for (int64_t y = 0; y < h; ++y) {
+    for (int64_t x = 0; x < w; ++x) {
+      const double u = (x * ca + y * sa) / extent;
+      plane[y * w + x] += static_cast<float>(
+          amplitude * std::sin(2.0 * std::numbers::pi * freq * u + phase));
+    }
+  }
+}
+
+void paint_blob(float* plane, int64_t h, int64_t w, double cy, double cx,
+                double sigma, double amplitude) {
+  const double inv = 1.0 / (2.0 * sigma * sigma);
+  for (int64_t y = 0; y < h; ++y) {
+    for (int64_t x = 0; x < w; ++x) {
+      const double dy = y - cy;
+      const double dx = x - cx;
+      plane[y * w + x] +=
+          static_cast<float>(amplitude * std::exp(-(dy * dy + dx * dx) * inv));
+    }
+  }
+}
+
+void paint_bar(float* plane, int64_t h, int64_t w, double cy, double cx,
+               double angle, double half_len, double half_thick,
+               double amplitude) {
+  const double ca = std::cos(angle);
+  const double sa = std::sin(angle);
+  for (int64_t y = 0; y < h; ++y) {
+    for (int64_t x = 0; x < w; ++x) {
+      const double dy = y - cy;
+      const double dx = x - cx;
+      // Coordinates in the bar frame.
+      const double along = dx * ca + dy * sa;
+      const double across = -dx * sa + dy * ca;
+      // Soft edges: 1 inside, linear falloff over one pixel.
+      const double fa = std::clamp(half_len + 0.5 - std::fabs(along), 0.0, 1.0);
+      const double fc = std::clamp(half_thick + 0.5 - std::fabs(across), 0.0, 1.0);
+      plane[y * w + x] += static_cast<float>(amplitude * fa * fc);
+    }
+  }
+}
+
+}  // namespace ttsnn

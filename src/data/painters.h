@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file painters.h
+/// Shared procedural drawing helpers for the synthetic datasets: oriented
+/// gratings, Gaussian blobs, and rotated bars rendered into single-channel
+/// H x W planes (pointer + dims; the callers own the tensor).
+
+#include <cstdint>
+
+namespace ttsnn {
+
+/// Adds amplitude * sin(2*pi*freq*(x cos a + y sin a)/extent + phase).
+void paint_grating(float* plane, int64_t h, int64_t w, double angle,
+                   double freq, double phase, double amplitude);
+
+/// Adds amplitude * exp(-d^2 / (2 sigma^2)) centered at (cy, cx).
+void paint_blob(float* plane, int64_t h, int64_t w, double cy, double cx,
+                double sigma, double amplitude);
+
+/// Adds an anti-aliased rotated bar of given half-length and half-thickness
+/// centered at (cy, cx) with orientation `angle`.
+void paint_bar(float* plane, int64_t h, int64_t w, double cy, double cx,
+               double angle, double half_len, double half_thick,
+               double amplitude);
+
+}  // namespace ttsnn

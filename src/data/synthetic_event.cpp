@@ -1,0 +1,91 @@
+#include "data/synthetic_event.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "data/painters.h"
+
+namespace ttsnn {
+
+SyntheticEventDataset::SyntheticEventDataset(Options opts) : opts_(opts) {
+  TTSNN_CHECK(opts_.num_classes >= 2 && opts_.samples_per_class >= 1,
+              "SyntheticEventDataset: bad sizes");
+  TTSNN_CHECK(opts_.size >= 8, "SyntheticEventDataset: size too small");
+}
+
+void SyntheticEventDataset::render_shape(int64_t cls, double cy, double cx,
+                                         float* plane) const {
+  const int64_t s = opts_.size;
+  // Class signature: bar orientation + satellite blob offset (shape identity,
+  // as in N-Caltech; the motion is the same saccade for every class).
+  const double angle =
+      std::numbers::pi * static_cast<double>(cls) / opts_.num_classes;
+  const double blob_angle =
+      2.0 * std::numbers::pi * static_cast<double>(cls) / opts_.num_classes;
+  paint_bar(plane, s, s, cy, cx, angle, s / 4.0, 1.0, 1.0);
+  paint_blob(plane, s, s, cy + (s / 5.0) * std::sin(blob_angle),
+             cx + (s / 5.0) * std::cos(blob_angle), 1.5, 1.0);
+}
+
+Batch SyntheticEventDataset::get_batch(const std::vector<int64_t>& indices,
+                                       int64_t timesteps) const {
+  TTSNN_CHECK(!indices.empty(), "get_batch: empty index list");
+  const int64_t s = opts_.size;
+  const int64_t n = static_cast<int64_t>(indices.size());
+  Batch batch;
+  batch.input = Tensor({timesteps, n, 2, s, s});
+
+  // Triangular saccade in the style of the N-Caltech recording protocol:
+  // three sweep directions visited in sequence.
+  const double dirs[3] = {std::numbers::pi / 6.0, 5.0 * std::numbers::pi / 6.0,
+                          -std::numbers::pi / 2.0};
+
+  std::vector<float> prev(static_cast<size_t>(s * s));
+  std::vector<float> cur(static_cast<size_t>(s * s));
+
+  for (int64_t b = 0; b < n; ++b) {
+    const int64_t idx = indices[static_cast<size_t>(b)];
+    TTSNN_CHECK(idx >= 0 && idx < size(), "get_batch: index out of range");
+    const int64_t cls = label(idx);
+    // Per-sample determinism: the generator depends only on (seed, idx).
+    Rng rng(opts_.seed * 1000003ULL + static_cast<uint64_t>(idx));
+    double cy = s / 2.0 + rng.uniform(-2.0F, 2.0F);
+    double cx = s / 2.0 + rng.uniform(-2.0F, 2.0F);
+    const double phase = rng.uniform(0.0F, 3.0F);
+
+    std::fill(prev.begin(), prev.end(), 0.0F);
+    render_shape(cls, cy, cx, prev.data());
+
+    for (int64_t t = 0; t < timesteps; ++t) {
+      const double dir = dirs[(t + static_cast<int64_t>(phase)) % 3];
+      cy += opts_.speed * std::sin(dir);
+      cx += opts_.speed * std::cos(dir);
+      // Keep the shape inside the frame.
+      cy = std::clamp(cy, s / 4.0, 3.0 * s / 4.0);
+      cx = std::clamp(cx, s / 4.0, 3.0 * s / 4.0);
+
+      std::fill(cur.begin(), cur.end(), 0.0F);
+      render_shape(cls, cy, cx, cur.data());
+
+      float* on = batch.input.data() + (((t * n + b) * 2 + 0) * s * s);
+      float* off = batch.input.data() + (((t * n + b) * 2 + 1) * s * s);
+      for (int64_t p = 0; p < s * s; ++p) {
+        const float diff = cur[static_cast<size_t>(p)] - prev[static_cast<size_t>(p)];
+        // Event threshold 0.15 mimics a DVS contrast threshold.
+        if (diff > 0.15F) on[p] = 1.0F;
+        if (diff < -0.15F) off[p] = 1.0F;
+        // Sensor noise: spurious events of either polarity.
+        if (rng.bernoulli(opts_.noise_events)) {
+          (rng.bernoulli(0.5F) ? on : off)[p] = 1.0F;
+        }
+      }
+      std::swap(prev, cur);
+    }
+    batch.labels.push_back(cls);
+  }
+  return batch;
+}
+
+}  // namespace ttsnn

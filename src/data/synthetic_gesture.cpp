@@ -1,0 +1,89 @@
+#include "data/synthetic_gesture.h"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "data/painters.h"
+
+namespace ttsnn {
+
+SyntheticGestureDataset::SyntheticGestureDataset(Options opts) : opts_(opts) {
+  TTSNN_CHECK(opts_.num_classes >= 2 && opts_.samples_per_class >= 1,
+              "SyntheticGestureDataset: bad sizes");
+  TTSNN_CHECK(opts_.size >= 8, "SyntheticGestureDataset: size too small");
+}
+
+Batch SyntheticGestureDataset::get_batch(const std::vector<int64_t>& indices,
+                                         int64_t timesteps) const {
+  TTSNN_CHECK(!indices.empty(), "get_batch: empty index list");
+  const int64_t s = opts_.size;
+  const int64_t n = static_cast<int64_t>(indices.size());
+  Batch batch;
+  batch.input = Tensor({timesteps, n, 2, s, s});
+
+  std::vector<float> prev(static_cast<size_t>(s * s));
+  std::vector<float> cur(static_cast<size_t>(s * s));
+
+  // The last two classes are rotations (cw / ccw); the rest are translations
+  // along equally spaced directions.
+  const int64_t translation_classes = std::max<int64_t>(opts_.num_classes - 2, 1);
+
+  for (int64_t b = 0; b < n; ++b) {
+    const int64_t idx = indices[static_cast<size_t>(b)];
+    TTSNN_CHECK(idx >= 0 && idx < size(), "get_batch: index out of range");
+    const int64_t cls = label(idx);
+    Rng rng(opts_.seed * 1000003ULL + static_cast<uint64_t>(idx));
+
+    const bool rotating = opts_.num_classes > 2 && cls >= translation_classes;
+    const double dir = 2.0 * std::numbers::pi *
+                       static_cast<double>(cls % translation_classes) /
+                       static_cast<double>(translation_classes);
+    const double spin = (cls - translation_classes) == 0 ? 1.0 : -1.0;
+    const double radius = s / 4.0;
+    double angle0 = rng.uniform(0.0F, 6.28F);
+    double cy = s / 2.0 + rng.uniform(-1.5F, 1.5F);
+    double cx = s / 2.0 + rng.uniform(-1.5F, 1.5F);
+
+    auto position = [&](int64_t t) {
+      if (rotating) {
+        const double a =
+            angle0 + spin * 0.7 * static_cast<double>(t);
+        return std::pair<double, double>(s / 2.0 + radius * std::sin(a),
+                                         s / 2.0 + radius * std::cos(a));
+      }
+      // Translation with wrap-around so long clips stay inside the frame.
+      double py = cy + opts_.speed * std::sin(dir) * static_cast<double>(t);
+      double px = cx + opts_.speed * std::cos(dir) * static_cast<double>(t);
+      py = std::fmod(std::fmod(py, s) + s, s);
+      px = std::fmod(std::fmod(px, s) + s, s);
+      return std::pair<double, double>(py, px);
+    };
+
+    auto [py, px] = position(0);
+    std::fill(prev.begin(), prev.end(), 0.0F);
+    paint_blob(prev.data(), s, s, py, px, 1.8, 1.2);
+
+    for (int64_t t = 0; t < timesteps; ++t) {
+      auto [qy, qx] = position(t + 1);
+      std::fill(cur.begin(), cur.end(), 0.0F);
+      paint_blob(cur.data(), s, s, qy, qx, 1.8, 1.2);
+
+      float* on = batch.input.data() + (((t * n + b) * 2 + 0) * s * s);
+      float* off = batch.input.data() + (((t * n + b) * 2 + 1) * s * s);
+      for (int64_t p = 0; p < s * s; ++p) {
+        const float diff = cur[static_cast<size_t>(p)] - prev[static_cast<size_t>(p)];
+        if (diff > 0.15F) on[p] = 1.0F;
+        if (diff < -0.15F) off[p] = 1.0F;
+        if (rng.bernoulli(opts_.noise_events)) {
+          (rng.bernoulli(0.5F) ? on : off)[p] = 1.0F;
+        }
+      }
+      std::swap(prev, cur);
+    }
+    batch.labels.push_back(cls);
+  }
+  return batch;
+}
+
+}  // namespace ttsnn

@@ -1,0 +1,83 @@
+#include "data/synthetic_image.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "data/painters.h"
+#include "snn/encoder.h"
+
+namespace ttsnn {
+
+SyntheticImageDataset::SyntheticImageDataset(Options opts) : opts_(opts) {
+  TTSNN_CHECK(opts_.num_classes >= 2 && opts_.samples_per_class >= 1,
+              "SyntheticImageDataset: bad sizes");
+  const int64_t n = opts_.num_classes * opts_.samples_per_class;
+  const int64_t s = opts_.size;
+  images_ = Tensor({n, opts_.channels, s, s});
+  labels_.resize(static_cast<size_t>(n));
+  Rng rng(opts_.seed);
+
+  int64_t idx = 0;
+  for (int64_t k = 0; k < opts_.num_classes; ++k) {
+    // Class signature: primary orientation, frequency, blob position.
+    const double angle =
+        std::numbers::pi * static_cast<double>(k) / opts_.num_classes;
+    const double freq = 2.0 + static_cast<double>(k % 3);
+    const double blob_y =
+        s * (0.25 + 0.5 * static_cast<double>(k % 4) / 3.0);
+    const double blob_x =
+        s * (0.25 + 0.5 * static_cast<double>((k / 4) % 4) / 3.0);
+    for (int64_t i = 0; i < opts_.samples_per_class; ++i, ++idx) {
+      labels_[static_cast<size_t>(idx)] = k;
+      const double jy = rng.uniform(-static_cast<float>(opts_.max_jitter),
+                                    static_cast<float>(opts_.max_jitter));
+      const double jx = rng.uniform(-static_cast<float>(opts_.max_jitter),
+                                    static_cast<float>(opts_.max_jitter));
+      const double phase = rng.uniform(0.0F, 0.6F);
+      for (int64_t c = 0; c < opts_.channels; ++c) {
+        float* plane = images_.data() + ((idx * opts_.channels + c) * s * s);
+        const double cphase = phase + 0.7 * static_cast<double>(c);
+        // Primary grating plus a perpendicular secondary one: classes are
+        // distinguishable only by joint horizontal+vertical structure.
+        paint_grating(plane, s, s, angle, freq, cphase, 0.5);
+        paint_grating(plane, s, s, angle + std::numbers::pi / 2.0, freq + 1.0,
+                      cphase, 0.3);
+        paint_blob(plane, s, s, blob_y + jy, blob_x + jx, s / 8.0, 0.8);
+        // Pixel noise and [0, 1] range.
+        for (int64_t p = 0; p < s * s; ++p) {
+          plane[p] = 0.5F + 0.5F * plane[p] + opts_.noise * rng.normal();
+        }
+      }
+    }
+  }
+  images_.clamp_(0.0F, 1.0F);
+}
+
+Batch SyntheticImageDataset::get_batch(const std::vector<int64_t>& indices,
+                                       int64_t timesteps) const {
+  TTSNN_CHECK(!indices.empty(), "get_batch: empty index list");
+  const int64_t s = opts_.size;
+  Tensor frames({static_cast<int64_t>(indices.size()), opts_.channels, s, s});
+  Batch batch;
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t idx = indices[i];
+    TTSNN_CHECK(idx >= 0 && idx < size(), "get_batch: index out of range");
+    const int64_t chw = opts_.channels * s * s;
+    std::copy(images_.data() + idx * chw, images_.data() + (idx + 1) * chw,
+              frames.data() + static_cast<int64_t>(i) * chw);
+    batch.labels.push_back(labels_[static_cast<size_t>(idx)]);
+  }
+  batch.input = direct_code(frames, timesteps);
+  return batch;
+}
+
+Tensor SyntheticImageDataset::image(int64_t index) const {
+  TTSNN_CHECK(index >= 0 && index < size(), "image index out of range");
+  const int64_t chw = opts_.channels * opts_.size * opts_.size;
+  Tensor out({opts_.channels, opts_.size, opts_.size});
+  std::copy(images_.data() + index * chw, images_.data() + (index + 1) * chw,
+            out.data());
+  return out;
+}
+
+}  // namespace ttsnn

@@ -1,0 +1,6 @@
+#include "hw/energy_model.h"
+
+// The energy model is a plain constants struct; this translation unit exists
+// so the target has a home for future calibration tables.
+
+namespace ttsnn {}  // namespace ttsnn

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file energy_model.h
+/// 28 nm per-operation energy and timing constants for the accelerator
+/// simulators (Sec. IV). The paper synthesizes at 400 MHz in 28 nm CMOS and
+/// uses CACTI for SRAM/DRAM; we use first-order constants in the style of
+/// Horowitz (ISSCC'14) scaled to 28 nm, in the same spirit as SATASim [3].
+/// Absolute pJ values are CALIBRATION CONSTANTS — the reproduced quantity is
+/// the energy *ratio* between mapping strategies (Fig. 4), which depends on
+/// op counts and traffic, not on the absolute scale.
+
+#include <cstdint>
+
+namespace ttsnn {
+
+struct EnergyModel {
+  // ---- arithmetic (pJ per op) ----------------------------------------------
+  double add_16b = 0.05;   ///< accumulator update (spike input: AC only)
+  double mac_8b = 0.25;    ///< 8-bit multiply + 16-bit accumulate
+  double lif_update = 0.3; ///< leak multiply + compare + conditional reset
+
+  // ---- memory (pJ per byte) ------------------------------------------------
+  double spad = 0.03;        ///< register-file scratch pad
+  double sram_small = 0.45;  ///< 32 KB global buffers
+  double sram_large = 0.95;  ///< 144 KB filter buffer
+  double dram = 20.0;        ///< off-chip DRAM
+
+  // ---- static power --------------------------------------------------------
+  /// Leakage energy per cycle for the whole 128-PE chip (pJ/cycle). Converts
+  /// latency differences into energy differences.
+  double leakage_per_cycle = 15.0;
+
+  // ---- timing --------------------------------------------------------------
+  double clock_ghz = 0.4;  ///< 400 MHz
+
+  /// Energy of one synaptic operation given the input representation:
+  /// binary spikes need only an accumulate; analog values need a full MAC.
+  double synop(bool spike_input) const {
+    return spike_input ? add_16b : mac_8b;
+  }
+};
+
+/// Energy/latency totals of one simulated training pass (one image, all
+/// timesteps, forward + backward), in pJ and cycles.
+struct EnergyReport {
+  double compute_pj = 0.0;  ///< MACs / ACs / adder arrays
+  double lif_pj = 0.0;      ///< LIF unit updates (incl. membrane traffic)
+  double sram_pj = 0.0;     ///< global buffer traffic
+  double dram_pj = 0.0;     ///< off-chip traffic
+  double leakage_pj = 0.0;  ///< static energy over the run
+  int64_t cycles = 0;
+
+  double total_pj() const {
+    return compute_pj + lif_pj + sram_pj + dram_pj + leakage_pj;
+  }
+  double total_nj() const { return total_pj() / 1e3; }
+  double milliseconds(double clock_ghz) const {
+    return static_cast<double>(cycles) / (clock_ghz * 1e6);
+  }
+};
+
+}  // namespace ttsnn

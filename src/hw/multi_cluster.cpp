@@ -1,0 +1,137 @@
+#include "hw/multi_cluster.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ttsnn {
+
+namespace {
+
+/// Op counts of one part over the run (forward; backward input/weight).
+struct PartOps {
+  double fwd = 0.0;
+  double bwd_input = 0.0;
+  double bwd_weight = 0.0;
+  double total() const { return fwd + bwd_input + bwd_weight; }
+};
+
+PartOps part_ops(const LayerWork& p, int64_t t_steps) {
+  const double steps = static_cast<double>(t_steps) * p.utilization;
+  PartOps ops;
+  ops.fwd = static_cast<double>(p.macs) * steps * p.input_density;
+  ops.bwd_input = static_cast<double>(p.macs) * steps;
+  ops.bwd_weight = static_cast<double>(p.macs) * steps * p.input_density;
+  return ops;
+}
+
+/// Arithmetic + weight-traffic + scratch-pad costs shared by every mapping.
+void charge_compute_and_weights(const LayerWork& p, int64_t t_steps,
+                                const EnergyModel& e, EnergyReport& r) {
+  const PartOps ops = part_ops(p, t_steps);
+  r.compute_pj += ops.fwd * e.synop(p.spike_input);
+  r.compute_pj += (ops.bwd_input + ops.bwd_weight) * e.mac_8b;
+  const double wbytes = static_cast<double>(p.weight_bytes);
+  r.dram_pj += 3.0 * wbytes * e.dram;
+  r.sram_pj += 3.0 * wbytes * e.sram_large;
+  r.sram_pj += (ops.fwd + ops.bwd_input) * 2.0 * e.spad;
+}
+
+/// DRAM + SRAM cost of a stream that crosses the chip boundary.
+void charge_offchip(double bytes, const EnergyModel& e, EnergyReport& r) {
+  r.dram_pj += bytes * e.dram;
+  r.sram_pj += bytes * e.sram_small;
+}
+
+void charge_lif(const LayerWork& last_part, int64_t t_steps,
+                const MultiClusterConfig& cfg, EnergyReport& r) {
+  const EnergyModel& e = cfg.energy;
+  const double neurons =
+      static_cast<double>(last_part.out_elems) * static_cast<double>(t_steps);
+  r.lif_pj += 2.0 * neurons * e.lif_update;  // forward + surrogate backward
+  const double mem_bytes = neurons * static_cast<double>(cfg.membrane_bytes);
+  r.sram_pj += 2.0 * mem_bytes * e.sram_small;
+}
+
+}  // namespace
+
+EnergyReport simulate_multi_cluster(const HwWorkload& workload,
+                                    const MultiClusterConfig& cfg) {
+  const EnergyModel& e = cfg.energy;
+  const double cluster_pes = static_cast<double>(cfg.pes_per_cluster);
+  const double all_pes = static_cast<double>(cfg.total_pes());
+  EnergyReport r;
+
+  for (const HwBlock& block : workload.blocks) {
+    const int64_t t = workload.timesteps;
+
+    if (block.kind == HwBlock::Kind::kDense) {
+      // Dense layers run like on the baseline engine, ganging all clusters.
+      const LayerWork& p = block.parts[0];
+      charge_compute_and_weights(p, t, e, r);
+      const double steps = static_cast<double>(t) * p.utilization;
+      charge_offchip((2.0 * p.in_bytes() + p.out_bytes()) * steps, e, r);
+      charge_offchip((p.in_grad_bytes() + p.out_grad_bytes()) * steps, e, r);
+      r.cycles += static_cast<int64_t>(std::ceil(part_ops(p, t).total() / all_pes));
+      if (block.followed_by_lif) charge_lif(p, t, cfg, r);
+      continue;
+    }
+
+    // ---- TT block: w1, w2, w3, w4 ------------------------------------------
+    const LayerWork& w1 = block.parts[0];
+    const LayerWork& w2 = block.parts[1];
+    const LayerWork& w3 = block.parts[2];
+    const LayerWork& w4 = block.parts[3];
+    for (const LayerWork& p : block.parts) charge_compute_and_weights(p, t, e, r);
+
+    const double steps = static_cast<double>(t);
+    const double strip_steps = steps * block.strip_utilization;
+    // Block boundary streams: spike input (read twice: forward + BPTT
+    // backward), spike output, and the analog gradient maps.
+    charge_offchip(2.0 * w1.in_bytes() * steps + w4.out_bytes() * steps, e, r);
+    charge_offchip((w1.in_grad_bytes() + w4.out_grad_bytes()) * steps, e, r);
+    // BPTT saves of the analog intermediates (o1, merged strips): the
+    // training-memory cost of decomposition, paid by every mapping.
+    const double o1_b = static_cast<double>(w1.out_elems) * steps;
+    const double strip_b = static_cast<double>(w2.out_elems) * strip_steps;
+    charge_offchip(2.0 * (o1_b + strip_b), e, r);
+
+    const PartOps o1 = part_ops(w1, t);
+    const PartOps s2 = part_ops(w2, t);
+    const PartOps s3 = part_ops(w3, t);
+    const PartOps o4 = part_ops(w4, t);
+
+    if (block.parallel_strips) {
+      // Pipelined mapping (Fig. 3): o1 written once to the output buffer and
+      // read by both strip clusters; strip outputs merge in the adder array
+      // and stream straight into cluster 4 — no further global-buffer hops.
+      r.sram_pj += 3.0 * o1_b * e.sram_small;
+      r.compute_pj += strip_b * e.add_16b;      // adder array merge
+      r.sram_pj += 4.0 * strip_b * e.spad;      // branch regs + merge regs
+      // Latency: the pipeline's steady state is bounded by its slowest
+      // cluster (strips concurrent), forward and backward alike.
+      const double fwd_stage = std::max({o1.fwd, s2.fwd, s3.fwd, o4.fwd});
+      const double bwd_stage =
+          std::max({o1.bwd_input + o1.bwd_weight, s2.bwd_input + s2.bwd_weight,
+                    s3.bwd_input + s3.bwd_weight, o4.bwd_input + o4.bwd_weight});
+      r.cycles +=
+          static_cast<int64_t>(std::ceil((fwd_stage + bwd_stage) / cluster_pes));
+    } else {
+      // STT mapping: the chain is serial, so each sub-convolution runs alone
+      // on its (specialized) cluster while the other three idle, and every
+      // intermediate bounces through the global buffer in both directions.
+      const double z2_b = static_cast<double>(w2.out_elems) * strip_steps;
+      const double z3_b = static_cast<double>(w3.out_elems) * strip_steps;
+      r.sram_pj += 2.0 * 2.0 * (o1_b + z2_b + z3_b) * e.sram_small;
+      r.cycles += static_cast<int64_t>(
+          std::ceil((o1.total() + s2.total() + s3.total() + o4.total()) /
+                    cluster_pes));
+    }
+
+    if (block.followed_by_lif) charge_lif(w4, t, cfg, r);
+  }
+
+  r.leakage_pj += static_cast<double>(r.cycles) * e.leakage_per_cycle;
+  return r;
+}
+
+}  // namespace ttsnn

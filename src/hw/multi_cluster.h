@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file multi_cluster.h
+/// Simulator of the PROPOSED multi-cluster systolic-array training
+/// accelerator (Sec. IV, Fig. 3) used for Fig. 4(b): four 32-PE clusters,
+/// spike-simplified PEs (no multipliers) in cluster 1, weight-stationary
+/// clusters 2/3 running the two strips in parallel, an adder array merging
+/// their outputs, output-stationary cluster 4, and an LIF array — all run in
+/// a pipelined fashion so intermediate sub-convolution results are consumed
+/// instantly instead of bouncing through the global buffers / DRAM.
+///
+/// Mapping by mode:
+///  - PTT / HTT full steps: the pipelined 4-cluster mapping above.
+///  - HTT half steps: clusters 1 and 4 only (w1 -> w4), strips idle.
+///  - STT: sub-convolutions run sequentially using the whole 128-PE fabric,
+///    with each intermediate written to and re-read from the global buffer
+///    (no pipelining is possible across a serial chain).
+///  - Dense layers: whole fabric as one engine (same as the baseline).
+
+#include <string>
+
+#include "hw/energy_model.h"
+#include "hw/workload.h"
+
+namespace ttsnn {
+
+struct MultiClusterConfig {
+  // Table I: Hardware Implementation Parameters.
+  int64_t clusters = 4;
+  int64_t pes_per_cluster = 32;
+  int64_t spad_bytes_per_pe = 32;
+  int64_t filter_buffer_kb = 144;     // Fig. 3 buffer labels
+  int64_t input_spike_buffer_kb = 32;
+  int64_t output_buffer_kb = 32;
+  int64_t membrane_buffer_kb = 32;
+  int64_t output_spike_buffer_kb = 32;
+  int64_t accumulator_bits = 16;
+  int64_t multiplier_bits = 8;
+  std::string technology = "28nm CMOS";
+
+  EnergyModel energy;
+  int64_t membrane_bytes = 2;
+
+  int64_t total_pes() const { return clusters * pes_per_cluster; }
+  /// Table I "Total Global Buffer Size": 272 KB.
+  int64_t total_global_buffer_kb() const {
+    return filter_buffer_kb + input_spike_buffer_kb + output_buffer_kb +
+           membrane_buffer_kb + output_spike_buffer_kb;
+  }
+};
+
+/// Simulates the forward + BPTT-backward training pass of one image across
+/// all timesteps on the proposed accelerator.
+EnergyReport simulate_multi_cluster(const HwWorkload& workload,
+                                    const MultiClusterConfig& cfg = {});
+
+}  // namespace ttsnn

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file report.h
+/// Presentation helpers for EnergyReport results: aligned text tables and
+/// CSV export for plotting the Fig. 4 bar charts.
+
+#include <string>
+#include <vector>
+
+#include "hw/energy_model.h"
+
+namespace ttsnn {
+
+struct NamedReport {
+  std::string design;  ///< "existing" | "proposed" | ...
+  std::string mode;    ///< "baseline" | "STT" | "PTT" | "HTT"
+  EnergyReport report;
+};
+
+/// Multi-line aligned table of the reports (header + one row each), with
+/// energies in uJ and the ratio against the first row.
+std::string format_energy_table(const std::vector<NamedReport>& rows,
+                                double clock_ghz);
+
+/// CSV with header: design,mode,compute_pj,lif_pj,sram_pj,dram_pj,
+/// leakage_pj,total_pj,cycles.
+std::string energy_csv(const std::vector<NamedReport>& rows);
+
+/// Writes the CSV to a file (throws on I/O failure).
+void write_energy_csv(const std::vector<NamedReport>& rows,
+                      const std::string& path);
+
+}  // namespace ttsnn

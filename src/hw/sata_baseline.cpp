@@ -1,0 +1,104 @@
+#include "hw/sata_baseline.h"
+
+#include <cmath>
+
+namespace ttsnn {
+
+namespace {
+
+/// Forward + backward energy/cycles of one compute part on the single engine.
+void simulate_part(const LayerWork& p, int64_t t_steps, const SataConfig& cfg,
+                   EnergyReport& r) {
+  const EnergyModel& e = cfg.energy;
+  const double steps = static_cast<double>(t_steps) * p.utilization;
+
+  // ---- forward compute: sparsity-aware (spikes -> accumulate only).
+  const double fwd_ops = static_cast<double>(p.macs) * steps * p.input_density;
+  r.compute_pj += fwd_ops * e.synop(p.spike_input);
+
+  // ---- backward compute (BPTT): grad-input is dense multi-bit; grad-weight
+  // reuses the sparse forward activations.
+  const double bwd_input_ops = static_cast<double>(p.macs) * steps;
+  const double bwd_weight_ops =
+      static_cast<double>(p.macs) * steps * p.input_density;
+  r.compute_pj += (bwd_input_ops + bwd_weight_ops) * e.mac_8b;
+
+  // ---- weight traffic: fetched for forward and for backward, gradients
+  // written back.
+  const double wbytes = static_cast<double>(p.weight_bytes);
+  r.dram_pj += 3.0 * wbytes * e.dram;
+  r.sram_pj += 3.0 * wbytes * e.sram_large;
+
+  // ---- activation traffic. Streams that cross the layer boundary go
+  // through DRAM (layer-sequential execution; spike maps packed at 1 bit):
+  // input forward + BPTT re-read, output forward, and the analog gradient
+  // maps. Chained TT intermediates fit the 32 KB global buffers and stay on
+  // chip (SRAM hops) — except for the PTT merge spill handled by the caller.
+  const bool in_offchip = p.boundary_input;
+  const bool out_offchip = p.boundary_output;
+  const double in_traffic = 2.0 * p.in_bytes() * steps +
+                            p.in_grad_bytes() * steps;  // fwd + save + grad
+  const double out_traffic = p.out_bytes() * steps + p.out_grad_bytes() * steps;
+  r.sram_pj += (in_traffic + out_traffic) * e.sram_small;
+  r.dram_pj += (in_offchip ? in_traffic : 0.0) * e.dram;
+  r.dram_pj += (out_offchip ? out_traffic : 0.0) * e.dram;
+  // On-chip intermediates still need their BPTT copies saved off-chip
+  // (the training-memory cost of storing analog sub-conv activations).
+  if (!in_offchip) r.dram_pj += 2.0 * p.in_grad_bytes() * steps * e.dram;
+  // Scratch-pad traffic scales with the op count.
+  r.sram_pj += (fwd_ops + bwd_input_ops) * 2.0 * e.spad;
+
+  // ---- latency: compute-bound on the single engine (fwd + bwd).
+  const double total_ops = fwd_ops + bwd_input_ops + bwd_weight_ops;
+  r.cycles += static_cast<int64_t>(
+      std::ceil(total_ops / static_cast<double>(cfg.pes)));
+}
+
+/// LIF array + membrane-potential handling for one block's output neurons.
+/// Membrane potentials are 16-bit and stay in the on-chip MemP buffer; the
+/// backward pass recomputes them from the stored spike maps [3].
+void simulate_lif(const LayerWork& last_part, int64_t t_steps,
+                  const SataConfig& cfg, EnergyReport& r) {
+  const EnergyModel& e = cfg.energy;
+  const double neurons =
+      static_cast<double>(last_part.out_elems) * static_cast<double>(t_steps);
+  r.lif_pj += 2.0 * neurons * e.lif_update;  // forward + surrogate backward
+  const double mem_bytes = neurons * static_cast<double>(cfg.membrane_bytes);
+  r.sram_pj += 2.0 * mem_bytes * e.sram_small;
+}
+
+}  // namespace
+
+EnergyReport simulate_sata(const HwWorkload& workload, const SataConfig& cfg) {
+  EnergyReport r;
+  for (const HwBlock& block : workload.blocks) {
+    for (const LayerWork& p : block.parts) {
+      simulate_part(p, workload.timesteps, cfg, r);
+    }
+    if (block.kind == HwBlock::Kind::kTT && block.parallel_strips) {
+      // Layer-sequential mapping cannot co-execute the strips: the first
+      // strip's (analog) output goes to DRAM and is re-fetched for the merge
+      // before the last sub-convolution (Sec. V-B); the same spill happens
+      // in the backward pass when the two branch gradients are merged into
+      // the o1 gradient, and o1 itself is re-fetched for the second branch.
+      // Full steps only (HTT).
+      const double full_steps = static_cast<double>(workload.timesteps) *
+                                block.strip_utilization;
+      const double strip_bytes =
+          static_cast<double>(block.parts[1].out_elems) * full_steps;
+      const double o1_bytes =
+          static_cast<double>(block.parts[0].out_elems) * full_steps;
+      const double round_trip = 4.0 * strip_bytes + o1_bytes;
+      r.dram_pj += round_trip * cfg.energy.dram;
+      r.sram_pj += round_trip * cfg.energy.sram_small;
+    }
+    if (block.followed_by_lif) {
+      simulate_lif(block.parts.back(), workload.timesteps, cfg, r);
+    }
+  }
+  r.leakage_pj +=
+      static_cast<double>(r.cycles) * cfg.energy.leakage_per_cycle;
+  return r;
+}
+
+}  // namespace ttsnn

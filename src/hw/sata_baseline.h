@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file sata_baseline.h
+/// Simulator of the EXISTING single-engine SNN training accelerator ([3],
+/// SATA-style) used for Fig. 4(a). One 128-PE compute engine executes layers
+/// strictly one at a time (all timesteps per layer before moving on [25]),
+/// with sparsity-aware accumulate-only arithmetic for spike inputs and a
+/// DRAM spill/refetch of inter-layer activations.
+///
+/// Key modeled behaviour from the paper: with layer-sequential mapping the
+/// PTT branches cannot run concurrently, and the engine must push the first
+/// strip's output to DRAM and re-fetch it to merge with the second strip —
+/// the mechanism behind PTT's energy overhead on prior accelerators.
+
+#include "hw/energy_model.h"
+#include "hw/workload.h"
+
+namespace ttsnn {
+
+struct SataConfig {
+  int64_t pes = 128;
+  EnergyModel energy;
+  int64_t membrane_bytes = 2;  ///< 16-bit membrane potentials
+};
+
+/// Simulates the forward + BPTT-backward training pass of one image across
+/// all timesteps (the paper's energy metric).
+EnergyReport simulate_sata(const HwWorkload& workload,
+                           const SataConfig& cfg = {});
+
+}  // namespace ttsnn

@@ -1,0 +1,69 @@
+#include "hw/workload.h"
+
+namespace ttsnn {
+
+namespace {
+
+LayerWork make_work(const LayerDesc& d, const WorkloadOptions& opts,
+                    bool last_in_block, bool followed_by_lif) {
+  LayerWork w;
+  w.name = d.detail.empty() ? d.kind : d.detail;
+  w.macs = d.macs;
+  w.utilization = d.utilization;
+  w.spike_input = d.spike_input;
+  w.input_density = d.spike_input ? opts.spike_density : 1.0;
+  w.weight_bytes = d.params;  // 8-bit quantized weights
+  w.in_elems = d.in_c * std::max<int64_t>(d.in_h, 1) * std::max<int64_t>(d.in_w, 1);
+  w.out_elems =
+      d.out_c * std::max<int64_t>(d.out_h, 1) * std::max<int64_t>(d.out_w, 1);
+  w.in_bits = d.spike_input ? 1.0 : 8.0;
+  // The block's final output passes through the LIF array and is stored as a
+  // packed spike map; intermediates are analog.
+  w.out_bits = (last_in_block && followed_by_lif) ? 1.0 : 8.0;
+  return w;
+}
+
+}  // namespace
+
+HwWorkload build_workload(const std::string& name, const ModelStats& stats,
+                          const WorkloadOptions& opts) {
+  HwWorkload wl;
+  wl.name = name;
+  wl.timesteps = opts.timesteps;
+
+  for (size_t i = 0; i < stats.layers.size(); ++i) {
+    const LayerDesc& d = stats.layers[i];
+    if (d.kind == "conv" || d.kind == "linear") {
+      HwBlock block;
+      block.kind = HwBlock::Kind::kDense;
+      // The classifier head produces analog logits (no LIF after it).
+      block.followed_by_lif = d.kind != "linear";
+      block.parts.push_back(
+          make_work(d, opts, /*last_in_block=*/true, block.followed_by_lif));
+      wl.blocks.push_back(std::move(block));
+    } else if (d.kind == "ttconv") {
+      // Consume the four consecutive sub-conv descriptors.
+      TTSNN_CHECK(i + 3 < stats.layers.size() &&
+                      stats.layers[i + 3].kind == "ttconv",
+                  "truncated ttconv descriptor group");
+      HwBlock block;
+      block.kind = HwBlock::Kind::kTT;
+      for (size_t j = 0; j < 4; ++j) {
+        LayerWork w = make_work(stats.layers[i + j], opts,
+                                /*last_in_block=*/j == 3,
+                                /*followed_by_lif=*/true);
+        w.boundary_input = j == 0;
+        w.boundary_output = j == 3;
+        block.parts.push_back(std::move(w));
+      }
+      block.strip_utilization = stats.layers[i + 1].utilization;
+      block.parallel_strips = opts.parallel_strips;
+      wl.blocks.push_back(std::move(block));
+      i += 3;
+    }
+    // bn / lif / pool are folded into the block-level LIF and buffer costs.
+  }
+  return wl;
+}
+
+}  // namespace ttsnn

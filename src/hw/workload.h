@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file workload.h
+/// Hardware workload extraction: converts a model's LayerDesc list (from
+/// analyze_model) into per-layer op/traffic counts the accelerator
+/// simulators consume. A "block" is either one dense convolution / linear
+/// layer or one TT-decomposed layer with its four sub-convolutions.
+///
+/// Stream widths follow the SNN-accelerator convention [3]: LIF outputs are
+/// binary spike maps stored packed (1 bit/element); TT intermediates and all
+/// gradient maps are 8-bit analog values; membrane potentials are 16-bit and
+/// stay on chip.
+
+#include <string>
+#include <vector>
+
+#include "core/flops.h"
+
+namespace ttsnn {
+
+/// One compute part (a dense layer or one TT sub-convolution).
+struct LayerWork {
+  std::string name;
+  int64_t macs = 0;          ///< per sample, per timestep (before utilization)
+  double utilization = 1.0;  ///< fraction of timesteps this part executes
+  bool spike_input = false;  ///< binary input -> accumulate-only arithmetic
+  double input_density = 1.0;  ///< fraction of non-zero inputs (spikes)
+  int64_t weight_bytes = 0;
+  int64_t in_elems = 0;   ///< input activation elements per timestep
+  int64_t out_elems = 0;  ///< output activation elements per timestep
+  double in_bits = 8.0;   ///< stream width of the input activations
+  double out_bits = 8.0;  ///< stream width of the output activations
+  /// Whether the input/output tensors cross the layer (block) boundary.
+  /// Chained TT intermediates stay within the block's buffer working set.
+  bool boundary_input = true;
+  bool boundary_output = true;
+
+  double in_bytes() const { return static_cast<double>(in_elems) * in_bits / 8.0; }
+  double out_bytes() const { return static_cast<double>(out_elems) * out_bits / 8.0; }
+  /// Gradient maps are always analog (8-bit).
+  double in_grad_bytes() const { return static_cast<double>(in_elems); }
+  double out_grad_bytes() const { return static_cast<double>(out_elems); }
+};
+
+struct HwBlock {
+  enum class Kind { kDense, kTT };
+  Kind kind = Kind::kDense;
+  /// 1 part for dense, 4 parts (w1, w2, w3, w4) for TT.
+  std::vector<LayerWork> parts;
+  /// Fraction of timesteps running the strip branches (HTT < 1).
+  double strip_utilization = 1.0;
+  /// True when the strips execute in parallel (PTT/HTT full steps).
+  bool parallel_strips = false;
+  bool followed_by_lif = true;
+};
+
+struct HwWorkload {
+  std::string name;
+  std::vector<HwBlock> blocks;
+  int64_t timesteps = 4;
+};
+
+struct WorkloadOptions {
+  int64_t timesteps = 4;
+  /// Mean spike density of LIF outputs feeding spike-input layers. The
+  /// paper's SATA baseline exploits this sparsity; 0.15 is a representative
+  /// trained-SNN value.
+  double spike_density = 0.15;
+  bool parallel_strips = true;  ///< strips parallel (PTT/HTT) vs chained (STT)
+};
+
+/// Builds the workload from analyzed layer descriptors.
+HwWorkload build_workload(const std::string& name, const ModelStats& stats,
+                          const WorkloadOptions& opts);
+
+}  // namespace ttsnn

@@ -1,0 +1,107 @@
+#include "nn/containers.h"
+
+#include "tensor/ops.h"
+
+namespace ttsnn {
+
+Sequential::Sequential(std::vector<ModulePtr> modules)
+    : modules_(std::move(modules)) {
+  for (const ModulePtr& m : modules_) {
+    TTSNN_CHECK(m != nullptr, "Sequential: null module");
+  }
+}
+
+Sequential& Sequential::add(ModulePtr m) {
+  TTSNN_CHECK(m != nullptr, "Sequential::add null module");
+  modules_.push_back(std::move(m));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& x) {
+  Tensor cur = x;
+  for (ModulePtr& m : modules_) cur = m->forward(cur);
+  return cur;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor cur = grad_out;
+  for (auto it = modules_.rbegin(); it != modules_.rend(); ++it) {
+    cur = (*it)->backward(cur);
+  }
+  return cur;
+}
+
+void Sequential::describe(ShapeState& s, std::vector<LayerDesc>& out) const {
+  for (const ModulePtr& m : modules_) m->describe(s, out);
+}
+
+std::vector<ModulePtr*> Sequential::child_slots() {
+  std::vector<ModulePtr*> slots;
+  slots.reserve(modules_.size());
+  for (ModulePtr& m : modules_) slots.push_back(&m);
+  return slots;
+}
+
+void Sequential::clear_cache() {
+  for (ModulePtr& m : modules_) m->clear_cache();
+}
+
+Residual::Residual(ModulePtr body, ModulePtr shortcut)
+    : body_(std::move(body)), shortcut_(std::move(shortcut)) {
+  TTSNN_CHECK(body_ != nullptr, "Residual requires a body");
+}
+
+Tensor Residual::forward(const Tensor& x) {
+  Tensor main = body_->forward(x);
+  Tensor skip = shortcut_ ? shortcut_->forward(x) : x;
+  TTSNN_CHECK(main.same_shape(skip),
+              "Residual branch shapes differ: " << shape_str(main.shape())
+                                                << " vs " << shape_str(skip.shape()));
+  return add(main, skip);
+}
+
+Tensor Residual::backward(const Tensor& grad_out) {
+  Tensor g_body = body_->backward(grad_out);
+  if (shortcut_) {
+    Tensor g_skip = shortcut_->backward(grad_out);
+    return add(g_body, g_skip);
+  }
+  return add(g_body, grad_out);
+}
+
+void Residual::describe(ShapeState& s, std::vector<LayerDesc>& out) const {
+  ShapeState skip_state = s;
+  body_->describe(s, out);
+  if (shortcut_) shortcut_->describe(skip_state, out);
+}
+
+std::vector<ModulePtr*> Residual::child_slots() {
+  std::vector<ModulePtr*> slots{&body_};
+  if (shortcut_) slots.push_back(&shortcut_);
+  return slots;
+}
+
+void Residual::clear_cache() {
+  body_->clear_cache();
+  if (shortcut_) shortcut_->clear_cache();
+}
+
+Tensor Flatten::forward(const Tensor& x) {
+  TTSNN_CHECK(x.dim() >= 3, "Flatten expects [T, N, ...]");
+  cached_in_shape_ = x.shape();
+  return x.reshape({x.size(0), x.size(1), -1});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  TTSNN_CHECK(!cached_in_shape_.empty(), "Flatten::backward before forward");
+  return grad_out.reshape(cached_in_shape_);
+}
+
+void Flatten::describe(ShapeState& s, std::vector<LayerDesc>& out) const {
+  (void)out;
+  s.c = s.c * s.h * s.w;
+  s.h = 1;
+  s.w = 1;
+}
+
+}  // namespace ttsnn

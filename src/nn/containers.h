@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file containers.h
+/// Composite modules: Sequential chains, residual blocks (the MS-ResNet
+/// "membrane shortcut" pattern [30] — addition happens on real-valued
+/// features, activations precede convolutions), and a Flatten adapter.
+
+#include "nn/module.h"
+
+namespace ttsnn {
+
+/// Runs children in order; backward in reverse order.
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+  explicit Sequential(std::vector<ModulePtr> modules);
+
+  /// Appends a module; returns *this for chaining.
+  Sequential& add(ModulePtr m);
+  /// Convenience: constructs M in place.
+  template <typename M, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_unique<M>(std::forward<Args>(args)...));
+  }
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void describe(ShapeState& s, std::vector<LayerDesc>& out) const override;
+  std::vector<ModulePtr*> child_slots() override;
+  void clear_cache() override;
+  std::string name() const override { return "Sequential"; }
+
+  size_t size() const { return modules_.size(); }
+  Module& at(size_t i) { return *modules_.at(i); }
+
+ private:
+  std::vector<ModulePtr> modules_;
+};
+
+/// y = body(x) + shortcut(x); shortcut == nullptr means identity.
+/// This is the MS-ResNet residual: the body is (LIF, Conv, BN, LIF, Conv, BN)
+/// so the sum is on full-precision post-BN values, not on spikes.
+class Residual : public Module {
+ public:
+  Residual(ModulePtr body, ModulePtr shortcut);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void describe(ShapeState& s, std::vector<LayerDesc>& out) const override;
+  std::vector<ModulePtr*> child_slots() override;
+  void clear_cache() override;
+  std::string name() const override { return "Residual"; }
+
+ private:
+  ModulePtr body_;
+  ModulePtr shortcut_;  ///< may be null (identity)
+};
+
+/// [T, N, C, H, W] -> [T, N, C*H*W]; backward restores the shape.
+class Flatten : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void describe(ShapeState& s, std::vector<LayerDesc>& out) const override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  Shape cached_in_shape_;
+};
+
+}  // namespace ttsnn

@@ -1,0 +1,190 @@
+#include "nn/conv2d.h"
+
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+#include "tensor/random.h"
+
+namespace ttsnn {
+
+namespace {
+
+/// Folds all leading dims of x ([..., C, H, W]) into a batch extent.
+int64_t folded_batch(const Tensor& x, int64_t c, const char* who) {
+  TTSNN_CHECK(x.dim() >= 3, who << ": input must be at least [C, H, W], got "
+                                << shape_str(x.shape()));
+  TTSNN_CHECK(x.size(-3) == c, who << ": channel mismatch, expected " << c
+                                   << " in " << shape_str(x.shape()));
+  const int64_t chw = x.size(-3) * x.size(-2) * x.size(-1);
+  return x.numel() / chw;
+}
+
+Shape output_shape(const Tensor& x, int64_t out_c, int64_t oh, int64_t ow) {
+  Shape s = x.shape();
+  s[s.size() - 3] = out_c;
+  s[s.size() - 2] = oh;
+  s[s.size() - 1] = ow;
+  return s;
+}
+
+}  // namespace
+
+Conv2d::Conv2d(Options opts, Rng& rng) : opts_(opts) {
+  TTSNN_CHECK(opts_.in_channels > 0 && opts_.out_channels > 0,
+              "Conv2d channels must be positive");
+  const int64_t fan_in = opts_.in_channels * opts_.kernel_h * opts_.kernel_w;
+  weight_ = Parameter(
+      "conv.weight",
+      kaiming_normal({opts_.out_channels, opts_.in_channels, opts_.kernel_h,
+                      opts_.kernel_w},
+                     fan_in, rng));
+  if (opts_.bias) {
+    bias_ = Parameter("conv.bias", Tensor::zeros({opts_.out_channels}));
+  }
+}
+
+Conv2d::Conv2d(Options opts, Tensor weight) : opts_(opts) {
+  TTSNN_CHECK(weight.shape() == (Shape{opts_.out_channels, opts_.in_channels,
+                                       opts_.kernel_h, opts_.kernel_w}),
+              "Conv2d explicit weight shape " << shape_str(weight.shape())
+                                              << " does not match options");
+  weight_ = Parameter("conv.weight", std::move(weight));
+  if (opts_.bias) {
+    bias_ = Parameter("conv.bias", Tensor::zeros({opts_.out_channels}));
+  }
+}
+
+ConvGeometry Conv2d::geometry(int64_t in_h, int64_t in_w) const {
+  return ConvGeometry{.in_channels = opts_.in_channels,
+                      .in_h = in_h,
+                      .in_w = in_w,
+                      .kernel_h = opts_.kernel_h,
+                      .kernel_w = opts_.kernel_w,
+                      .stride_h = opts_.resolved_stride_h(),
+                      .stride_w = opts_.resolved_stride_w(),
+                      .pad_h = opts_.resolved_pad_h(),
+                      .pad_w = opts_.resolved_pad_w()};
+}
+
+Tensor conv2d_forward(const Tensor& x, const Tensor& weight,
+                      const Conv2d::Options& opts) {
+  const int64_t batch = folded_batch(x, opts.in_channels, "conv2d_forward");
+  ConvGeometry g{.in_channels = opts.in_channels,
+                 .in_h = x.size(-2),
+                 .in_w = x.size(-1),
+                 .kernel_h = opts.kernel_h,
+                 .kernel_w = opts.kernel_w,
+                 .stride_h = opts.resolved_stride_h(),
+                 .stride_w = opts.resolved_stride_w(),
+                 .pad_h = opts.resolved_pad_h(),
+                 .pad_w = opts.resolved_pad_w()};
+  const int64_t oh = g.out_h();
+  const int64_t ow = g.out_w();
+  TTSNN_CHECK(oh > 0 && ow > 0, "conv2d output would be empty for input "
+                                    << shape_str(x.shape()));
+  Tensor out(output_shape(x, opts.out_channels, oh, ow));
+  Tensor col({g.col_rows(), g.col_cols()});
+  const int64_t in_stride = opts.in_channels * g.in_h * g.in_w;
+  const int64_t out_stride = opts.out_channels * oh * ow;
+  for (int64_t b = 0; b < batch; ++b) {
+    im2col(x.data() + b * in_stride, g, col.data());
+    // out_b [O, oh*ow] = W [O, C*kh*kw] * col
+    gemm(false, false, opts.out_channels, g.col_cols(), g.col_rows(), 1.0F,
+         weight.data(), col.data(), 0.0F, out.data() + b * out_stride);
+  }
+  return out;
+}
+
+Tensor conv2d_backward(const Tensor& x, const Tensor& weight,
+                       const Conv2d::Options& opts, const Tensor& grad_out,
+                       Tensor& weight_grad) {
+  const int64_t batch = folded_batch(x, opts.in_channels, "conv2d_backward");
+  ConvGeometry g{.in_channels = opts.in_channels,
+                 .in_h = x.size(-2),
+                 .in_w = x.size(-1),
+                 .kernel_h = opts.kernel_h,
+                 .kernel_w = opts.kernel_w,
+                 .stride_h = opts.resolved_stride_h(),
+                 .stride_w = opts.resolved_stride_w(),
+                 .pad_h = opts.resolved_pad_h(),
+                 .pad_w = opts.resolved_pad_w()};
+  const int64_t oh = g.out_h();
+  const int64_t ow = g.out_w();
+  TTSNN_CHECK(grad_out.size(-3) == opts.out_channels &&
+                  grad_out.size(-2) == oh && grad_out.size(-1) == ow,
+              "conv2d_backward grad shape " << shape_str(grad_out.shape())
+                                            << " mismatch");
+  Tensor grad_in(x.shape());
+  Tensor col({g.col_rows(), g.col_cols()});
+  Tensor dcol({g.col_rows(), g.col_cols()});
+  const int64_t in_stride = opts.in_channels * g.in_h * g.in_w;
+  const int64_t out_stride = opts.out_channels * oh * ow;
+  for (int64_t b = 0; b < batch; ++b) {
+    const float* gout = grad_out.data() + b * out_stride;
+    // dW += g_b [O, ohw] * col^T  -> [O, C*kh*kw]
+    im2col(x.data() + b * in_stride, g, col.data());
+    gemm(false, true, opts.out_channels, g.col_rows(), g.col_cols(), 1.0F,
+         gout, col.data(), 1.0F, weight_grad.data());
+    // dcol = W^T [Ckk, O] * g_b [O, ohw]
+    gemm(true, false, g.col_rows(), g.col_cols(), opts.out_channels, 1.0F,
+         weight.data(), gout, 0.0F, dcol.data());
+    col2im(dcol.data(), g, grad_in.data() + b * in_stride);
+  }
+  return grad_in;
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  cached_input_ = x;
+  Tensor out = conv2d_forward(x, weight_.value, opts_);
+  if (opts_.bias) {
+    // Bias broadcasts over the folded batch; reuse the NCHW helper by viewing
+    // output as [B, O, oh, ow].
+    const int64_t b = out.numel() / (out.size(-3) * out.size(-2) * out.size(-1));
+    Tensor flat = out.reshape({b, out.size(-3), out.size(-2), out.size(-1)});
+    out = add_channel_bias(flat, bias_.value).reshape(out.shape());
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  TTSNN_CHECK(cached_input_.defined(), "Conv2d::backward before forward");
+  if (opts_.bias) {
+    const int64_t b = grad_out.numel() /
+                      (grad_out.size(-3) * grad_out.size(-2) * grad_out.size(-1));
+    Tensor flat = grad_out.reshape(
+        {b, grad_out.size(-3), grad_out.size(-2), grad_out.size(-1)});
+    bias_.grad.add_(sum_nhw(flat));
+  }
+  return conv2d_backward(cached_input_, weight_.value, opts_, grad_out,
+                         weight_.grad);
+}
+
+void Conv2d::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&weight_);
+  if (opts_.bias) out.push_back(&bias_);
+}
+
+void Conv2d::describe(ShapeState& s, std::vector<LayerDesc>& out) const {
+  ConvGeometry g = geometry(s.h, s.w);
+  LayerDesc d;
+  d.kind = "conv";
+  d.in_c = opts_.in_channels;
+  d.out_c = opts_.out_channels;
+  d.kernel_h = opts_.kernel_h;
+  d.kernel_w = opts_.kernel_w;
+  d.stride = opts_.stride;
+  d.in_h = s.h;
+  d.in_w = s.w;
+  d.out_h = g.out_h();
+  d.out_w = g.out_w();
+  d.params = opts_.out_channels * opts_.in_channels * opts_.kernel_h *
+                 opts_.kernel_w +
+             (opts_.bias ? opts_.out_channels : 0);
+  d.macs = d.out_c * d.out_h * d.out_w * opts_.in_channels * opts_.kernel_h *
+           opts_.kernel_w;
+  out.push_back(d);
+  s.c = d.out_c;
+  s.h = d.out_h;
+  s.w = d.out_w;
+}
+
+}  // namespace ttsnn

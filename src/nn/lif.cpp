@@ -1,0 +1,123 @@
+#include "nn/lif.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace ttsnn {
+
+float surrogate_grad(Surrogate kind, float alpha, float v_th, float u) {
+  const float x = u - v_th;
+  switch (kind) {
+    case Surrogate::kRectangle:
+      return std::fabs(x) < 0.5F * alpha ? 1.0F / alpha : 0.0F;
+    case Surrogate::kTriangle: {
+      const float v = 1.0F - std::fabs(x) / alpha;
+      return v > 0.0F ? v / alpha : 0.0F;
+    }
+    case Surrogate::kAtan: {
+      const float z = 0.5F * std::numbers::pi_v<float> * alpha * x;
+      return alpha / (2.0F * (1.0F + z * z));
+    }
+    case Surrogate::kSigmoid: {
+      const float s = 1.0F / (1.0F + std::exp(-x / alpha));
+      return s * (1.0F - s) / alpha;
+    }
+  }
+  return 0.0F;
+}
+
+LIFNeuron::LIFNeuron(Options opts) : opts_(opts) {
+  TTSNN_CHECK(opts_.tau > 0.0F && opts_.tau <= 1.0F,
+              "LIF tau must be in (0, 1], got " << opts_.tau);
+  TTSNN_CHECK(opts_.surrogate_alpha > 0.0F, "surrogate alpha must be positive");
+}
+
+Tensor LIFNeuron::forward(const Tensor& x) {
+  TTSNN_CHECK(x.dim() >= 2, "LIF expects [T, N, ...], got " << shape_str(x.shape()));
+  const int64_t t_steps = x.size(0);
+  const int64_t m = x.numel() / t_steps;
+
+  cached_u_ = Tensor(x.shape());
+  cached_spikes_ = Tensor(x.shape());
+  const float* in = x.data();
+  float* u_out = cached_u_.data();
+  float* s_out = cached_spikes_.data();
+
+  std::vector<float> u_post(static_cast<size_t>(m), 0.0F);
+  for (int64_t t = 0; t < t_steps; ++t) {
+    const float* it = in + t * m;
+    float* ut = u_out + t * m;
+    float* st = s_out + t * m;
+    for (int64_t i = 0; i < m; ++i) {
+      const float u = opts_.tau * u_post[static_cast<size_t>(i)] + it[i];
+      const float s = u >= opts_.v_th ? 1.0F : 0.0F;
+      ut[i] = u;
+      st[i] = s;
+      u_post[static_cast<size_t>(i)] = opts_.reset == ResetMode::kZero
+                                           ? u * (1.0F - s)
+                                           : u - opts_.v_th * s;
+    }
+  }
+  last_density_ = cached_spikes_.density();
+  return cached_spikes_;
+}
+
+Tensor LIFNeuron::backward(const Tensor& grad_out) {
+  TTSNN_CHECK(cached_u_.defined(), "LIF::backward before forward");
+  TTSNN_CHECK(grad_out.same_shape(cached_u_), "LIF grad shape mismatch");
+  const int64_t t_steps = cached_u_.size(0);
+  const int64_t m = cached_u_.numel() / t_steps;
+
+  Tensor grad_in(cached_u_.shape());
+  const float* gs = grad_out.data();
+  const float* u_all = cached_u_.data();
+  const float* s_all = cached_spikes_.data();
+  float* gi = grad_in.data();
+
+  std::vector<float> gu_post(static_cast<size_t>(m), 0.0F);
+  for (int64_t t = t_steps - 1; t >= 0; --t) {
+    const float* gst = gs + t * m;
+    const float* ut = u_all + t * m;
+    const float* st = s_all + t * m;
+    float* git = gi + t * m;
+    for (int64_t i = 0; i < m; ++i) {
+      const float surr =
+          surrogate_grad(opts_.surrogate, opts_.surrogate_alpha, opts_.v_th, ut[i]);
+      // d u_post / d u: hard reset scales the carried gradient by (1 - s);
+      // soft reset passes it through unchanged. The reset's own dependence
+      // on the spike adds a surrogate term unless detached.
+      const float carry = opts_.reset == ResetMode::kZero
+                              ? gu_post[static_cast<size_t>(i)] * (1.0F - st[i])
+                              : gu_post[static_cast<size_t>(i)];
+      float gu = gst[i] * surr + carry;
+      if (!opts_.detach_reset) {
+        const float reset_term =
+            opts_.reset == ResetMode::kZero ? ut[i] : opts_.v_th;
+        gu -= gu_post[static_cast<size_t>(i)] * reset_term * surr;
+      }
+      git[i] = gu;
+      gu_post[static_cast<size_t>(i)] = opts_.tau * gu;
+    }
+  }
+  return grad_in;
+}
+
+void LIFNeuron::describe(ShapeState& s, std::vector<LayerDesc>& out) const {
+  LayerDesc d;
+  d.kind = "lif";
+  d.in_c = s.c;
+  d.out_c = s.c;
+  d.in_h = s.h;
+  d.in_w = s.w;
+  d.out_h = s.h;
+  d.out_w = s.w;
+  d.macs = s.c * s.h * s.w;  // one multiply-add per neuron per step
+  out.push_back(d);
+}
+
+void LIFNeuron::clear_cache() {
+  cached_u_ = Tensor();
+  cached_spikes_ = Tensor();
+}
+
+}  // namespace ttsnn

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file lif.h
+/// Leaky-Integrate-and-Fire neuron (Eq. 1 of the paper) with surrogate
+/// gradient backprop-through-time.
+///
+/// Forward, per timestep t (u_post is the after-reset potential):
+///   u[t]      = tau_m * u_post[t-1] + I[t]          (u_post[-1] = 0)
+///   s[t]      = H(u[t] - v_th)                      (binary spike)
+///   u_post[t] = u[t] * (1 - s[t])                   (hard reset to 0)
+///
+/// Backward iterates t = T-1 .. 0 carrying d L/d u_post[t]:
+///   du[t] = ds[t] * surr'(u[t]) + du_post[t] * (1 - s[t])
+///           [+ du_post[t] * (-u[t]) * surr'(u[t]) unless detach_reset]
+///   dI[t] = du[t];   du_post[t-1] = tau_m * du[t]
+///
+/// surr' is the surrogate derivative of the Heaviside step — rectangular
+/// window by default (STBP [6]).
+
+#include "nn/module.h"
+
+namespace ttsnn {
+
+/// Surrogate gradient family for the Heaviside step.
+enum class Surrogate {
+  kRectangle,  ///< 1/alpha inside |u - v_th| < alpha/2 (STBP)
+  kTriangle,   ///< (1/alpha) * max(0, 1 - |u - v_th| / alpha)
+  kAtan,       ///< alpha / (2 * (1 + (pi/2 * alpha * (u - v_th))^2))
+  kSigmoid,    ///< s'(x/alpha)/alpha with s the logistic function
+};
+
+/// Evaluates the surrogate derivative at membrane potential u.
+float surrogate_grad(Surrogate kind, float alpha, float v_th, float u);
+
+/// Reset behaviour after a spike.
+enum class ResetMode {
+  kZero,      ///< hard reset: u <- 0 (the paper's Eq. 1)
+  kSubtract,  ///< soft reset: u <- u - v_th (common SNN variant)
+};
+
+class LIFNeuron : public Module {
+ public:
+  struct Options {
+    float tau = 0.25F;              ///< membrane leak (paper Sec. V-A)
+    float v_th = 0.5F;              ///< firing threshold (paper Sec. V-A)
+    Surrogate surrogate = Surrogate::kRectangle;
+    float surrogate_alpha = 1.0F;   ///< surrogate window width
+    bool detach_reset = true;       ///< detach the reset from the gradient path
+    ResetMode reset = ResetMode::kZero;
+  };
+
+  LIFNeuron() : LIFNeuron(Options{}) {}
+  explicit LIFNeuron(Options opts);
+
+  /// x: [T, N, ...]; returns binary spikes of the same shape.
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void describe(ShapeState& s, std::vector<LayerDesc>& out) const override;
+  void clear_cache() override;
+  std::string name() const override { return "LIF"; }
+
+  const Options& options() const { return opts_; }
+  /// Mean spike density of the last forward pass (for HW sparsity modeling).
+  double last_spike_density() const { return last_density_; }
+
+ private:
+  Options opts_;
+  Tensor cached_u_;       ///< pre-reset membrane potentials, same shape as input
+  Tensor cached_spikes_;  ///< emitted spikes
+  double last_density_ = 0.0;
+};
+
+}  // namespace ttsnn

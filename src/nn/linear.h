@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file linear.h
+/// Fully-connected layer (the classifier head; never TT-decomposed per
+/// Algorithm 1, which keeps the first conv and the final classifier dense).
+
+#include "nn/module.h"
+
+namespace ttsnn {
+
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng& rng, bool bias = true);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  void describe(ShapeState& s, std::vector<LayerDesc>& out) const override;
+  void clear_cache() override { cached_input_ = Tensor(); }
+  std::string name() const override { return "Linear"; }
+
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+  int64_t in_features() const { return in_; }
+  int64_t out_features() const { return out_; }
+
+ private:
+  int64_t in_ = 0;
+  int64_t out_ = 0;
+  bool has_bias_ = true;
+  Parameter weight_;  ///< [out, in]
+  Parameter bias_;    ///< [out]
+  Tensor cached_input_;
+};
+
+}  // namespace ttsnn

@@ -1,0 +1,44 @@
+#include "nn/module.h"
+
+namespace ttsnn {
+
+void Module::collect_parameters(std::vector<Parameter*>& out) {
+  for (ModulePtr* slot : child_slots()) {
+    if (*slot) (*slot)->collect_parameters(out);
+  }
+}
+
+std::vector<Parameter*> Module::parameters() {
+  std::vector<Parameter*> out;
+  collect_parameters(out);
+  return out;
+}
+
+void Module::set_training(bool training) {
+  training_ = training;
+  for (ModulePtr* slot : child_slots()) {
+    if (*slot) (*slot)->set_training(training);
+  }
+}
+
+void Module::describe(ShapeState& s, std::vector<LayerDesc>& out) const {
+  (void)s;
+  (void)out;
+}
+
+int64_t Module::num_params() {
+  int64_t n = 0;
+  for (Parameter* p : parameters()) n += p->value.numel();
+  return n;
+}
+
+void visit_module_slots(Module& root,
+                        const std::function<void(ModulePtr& slot)>& fn) {
+  for (ModulePtr* slot : root.child_slots()) {
+    if (!*slot) continue;
+    fn(*slot);
+    if (*slot) visit_module_slots(**slot, fn);
+  }
+}
+
+}  // namespace ttsnn

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file pooling.h
+/// Average pooling layers. SNN stacks use average pooling (max pooling over
+/// binary spikes is lossy), matching the VGG architectures of Table III.
+
+#include "nn/module.h"
+
+namespace ttsnn {
+
+/// Non-overlapping average pooling with square kernel == stride.
+class AvgPool2d : public Module {
+ public:
+  explicit AvgPool2d(int64_t kernel);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void describe(ShapeState& s, std::vector<LayerDesc>& out) const override;
+  std::string name() const override { return "AvgPool2d"; }
+
+ private:
+  int64_t kernel_ = 2;
+  Shape cached_in_shape_;
+};
+
+/// Global average pool: [T, N, C, H, W] -> [T, N, C].
+class GlobalAvgPool : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void describe(ShapeState& s, std::vector<LayerDesc>& out) const override;
+  std::string name() const override { return "GlobalAvgPool"; }
+
+ private:
+  Shape cached_in_shape_;
+};
+
+}  // namespace ttsnn

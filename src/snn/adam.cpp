@@ -1,0 +1,49 @@
+#include "snn/adam.h"
+
+#include <cmath>
+
+namespace ttsnn {
+
+Adam::Adam(std::vector<Parameter*> params, Options opts)
+    : params_(std::move(params)), opts_(opts) {
+  TTSNN_CHECK(!params_.empty(), "Adam: no parameters");
+  TTSNN_CHECK(opts_.lr > 0.0F, "Adam: lr must be positive");
+  TTSNN_CHECK(opts_.beta1 >= 0.0F && opts_.beta1 < 1.0F &&
+                  opts_.beta2 >= 0.0F && opts_.beta2 < 1.0F,
+              "Adam: betas must be in [0, 1)");
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    TTSNN_CHECK(p != nullptr, "Adam: null parameter");
+    m_.push_back(Tensor::zeros(p->value.shape()));
+    v_.push_back(Tensor::zeros(p->value.shape()));
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0F - std::pow(opts_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0F - std::pow(opts_.beta2, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    float* w = p.value.data();
+    const float* g = p.grad.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const float decay = p.decay ? opts_.weight_decay : 0.0F;
+    const int64_t n = p.value.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      m[j] = opts_.beta1 * m[j] + (1.0F - opts_.beta1) * g[j];
+      v[j] = opts_.beta2 * v[j] + (1.0F - opts_.beta2) * g[j] * g[j];
+      const float m_hat = m[j] / bc1;
+      const float v_hat = v[j] / bc2;
+      w[j] -= opts_.lr * (m_hat / (std::sqrt(v_hat) + opts_.eps) + decay * w[j]);
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (Parameter* p : params_) p->grad.zero_();
+}
+
+}  // namespace ttsnn

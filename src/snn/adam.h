@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file adam.h
+/// Adam optimizer (Kingma & Ba) with decoupled weight decay (AdamW-style).
+/// The paper trains with SGD+momentum; Adam is provided as the standard
+/// alternative for users adopting the library on other tasks, and for the
+/// optimizer ablations.
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace ttsnn {
+
+class Adam {
+ public:
+  struct Options {
+    float lr = 1e-3F;
+    float beta1 = 0.9F;
+    float beta2 = 0.999F;
+    float eps = 1e-8F;
+    /// Decoupled weight decay (applied to the weights, not the gradient).
+    float weight_decay = 0.0F;
+  };
+
+  Adam(std::vector<Parameter*> params, Options opts);
+
+  void step();
+  void zero_grad();
+  void set_lr(float lr) { opts_.lr = lr; }
+  float lr() const { return opts_.lr; }
+
+ private:
+  std::vector<Parameter*> params_;
+  std::vector<Tensor> m_;  ///< first-moment estimates
+  std::vector<Tensor> v_;  ///< second-moment estimates
+  Options opts_;
+  int64_t t_ = 0;  ///< step count for bias correction
+};
+
+}  // namespace ttsnn

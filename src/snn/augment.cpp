@@ -1,0 +1,56 @@
+#include "snn/augment.h"
+
+#include <algorithm>
+
+namespace ttsnn {
+
+Tensor augment_events(const Tensor& x, const AugmentOptions& opts, Rng& rng) {
+  TTSNN_CHECK(x.dim() == 5, "augment_events expects [T, N, C, H, W]");
+  const int64_t t_steps = x.size(0);
+  const int64_t n = x.size(1);
+  const int64_t c = x.size(2);
+  const int64_t h = x.size(3);
+  const int64_t w = x.size(4);
+
+  Tensor out = Tensor::zeros(x.shape());
+  const float* src = x.data();
+  float* dst = out.data();
+
+  for (int64_t b = 0; b < n; ++b) {
+    // One transform per sample, applied to every timestep.
+    const int64_t dy = opts.max_shift > 0
+                           ? rng.index(2 * opts.max_shift + 1) - opts.max_shift
+                           : 0;
+    const int64_t dx = opts.max_shift > 0
+                           ? rng.index(2 * opts.max_shift + 1) - opts.max_shift
+                           : 0;
+    const bool flip = opts.hflip && rng.bernoulli(0.5F);
+    const bool cut = opts.cutout_size > 0 && rng.bernoulli(opts.cutout_prob);
+    const int64_t cy = cut ? rng.index(h) : 0;
+    const int64_t cx = cut ? rng.index(w) : 0;
+
+    for (int64_t t = 0; t < t_steps; ++t) {
+      for (int64_t ch = 0; ch < c; ++ch) {
+        const float* plane = src + (((t * n + b) * c) + ch) * h * w;
+        float* oplane = dst + (((t * n + b) * c) + ch) * h * w;
+        for (int64_t y = 0; y < h; ++y) {
+          const int64_t sy = y - dy;
+          if (sy < 0 || sy >= h) continue;
+          for (int64_t xx = 0; xx < w; ++xx) {
+            int64_t sx = xx - dx;
+            if (flip) sx = w - 1 - sx;
+            if (sx < 0 || sx >= w) continue;
+            if (cut && std::llabs(y - cy) <= opts.cutout_size / 2 &&
+                std::llabs(xx - cx) <= opts.cutout_size / 2) {
+              continue;
+            }
+            oplane[y * w + xx] = plane[sy * w + sx];
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ttsnn

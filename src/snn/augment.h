@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file augment.h
+/// Neuromorphic data augmentation in the style of NDA [29]: geometric
+/// transforms applied consistently across all timesteps of an event clip —
+/// rolling (integer translation), horizontal flip, and cutout. These are the
+/// NDA operations that act on event frames without resampling.
+
+#include "tensor/tensor.h"
+
+namespace ttsnn {
+
+struct AugmentOptions {
+  int64_t max_shift = 2;    ///< rolling range in pixels (+/-)
+  bool hflip = true;        ///< random horizontal flip with p = 0.5
+  int64_t cutout_size = 4;  ///< square cutout side; 0 disables
+  float cutout_prob = 0.5F;
+};
+
+/// Augments a batch sequence [T, N, C, H, W] in place-like fashion (returns a
+/// new tensor). One transform draw per sample, shared across its timesteps —
+/// event clips must stay temporally coherent.
+Tensor augment_events(const Tensor& x, const AugmentOptions& opts, Rng& rng);
+
+}  // namespace ttsnn

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file dataset.h
+/// Abstract dataset interface consumed by the Trainer. Implementations live
+/// in src/data. A dataset produces [T, N, C, H, W] sequences directly:
+/// static image datasets replicate each frame across timesteps (direct
+/// coding); event datasets return a distinct frame per timestep — the
+/// property the paper's HTT analysis hinges on.
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ttsnn {
+
+struct Batch {
+  Tensor input;  ///< [T, N, C, H, W]
+  std::vector<int64_t> labels;
+};
+
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+
+  virtual int64_t size() const = 0;
+  virtual int64_t num_classes() const = 0;
+  virtual int64_t channels() const = 0;
+  virtual int64_t height() const = 0;
+  virtual int64_t width() const = 0;
+  /// True when each timestep carries distinct content (event data).
+  virtual bool is_temporal() const = 0;
+
+  /// Assembles a batch for the given sample indices with T timesteps.
+  virtual Batch get_batch(const std::vector<int64_t>& indices,
+                          int64_t timesteps) const = 0;
+};
+
+}  // namespace ttsnn

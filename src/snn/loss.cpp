@@ -1,0 +1,118 @@
+#include "snn/loss.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace ttsnn {
+
+namespace {
+
+void check_logits(const Tensor& logits, const std::vector<int64_t>& labels) {
+  TTSNN_CHECK(logits.dim() == 3, "loss expects [T, N, C] logits, got "
+                                     << shape_str(logits.shape()));
+  TTSNN_CHECK(static_cast<int64_t>(labels.size()) == logits.size(1),
+              "labels size " << labels.size() << " vs batch " << logits.size(1));
+  for (int64_t label : labels) {
+    TTSNN_CHECK(label >= 0 && label < logits.size(2),
+                "label " << label << " out of range");
+  }
+}
+
+/// Sums logits over the time dimension: [T, N, C] -> [N, C].
+Tensor sum_over_time(const Tensor& logits) {
+  const int64_t t_steps = logits.size(0);
+  const int64_t nc = logits.size(1) * logits.size(2);
+  Tensor out({logits.size(1), logits.size(2)});
+  float* dst = out.data();
+  const float* src = logits.data();
+  for (int64_t t = 0; t < t_steps; ++t) {
+    for (int64_t i = 0; i < nc; ++i) dst[i] += src[t * nc + i];
+  }
+  return out;
+}
+
+}  // namespace
+
+LossResult cross_entropy_sum_loss(const Tensor& logits,
+                                  const std::vector<int64_t>& labels) {
+  check_logits(logits, labels);
+  const int64_t t_steps = logits.size(0);
+  const int64_t n = logits.size(1);
+  const int64_t c = logits.size(2);
+
+  Tensor summed = sum_over_time(logits);
+  Tensor logp = log_softmax(summed);
+
+  LossResult out;
+  for (int64_t i = 0; i < n; ++i) {
+    out.value -= logp.at({i, labels[static_cast<size_t>(i)]});
+  }
+  out.value /= static_cast<double>(n);
+
+  // d loss / d summed = (softmax - onehot) / n; identical for every timestep
+  // because d summed / d logits[t] = identity.
+  Tensor p = softmax(summed);
+  const float inv_n = 1.0F / static_cast<float>(n);
+  out.grad = Tensor({t_steps, n, c});
+  float* g = out.grad.data();
+  const float* pp = p.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < c; ++j) {
+      const float v =
+          (pp[i * c + j] - (labels[static_cast<size_t>(i)] == j ? 1.0F : 0.0F)) *
+          inv_n;
+      for (int64_t t = 0; t < t_steps; ++t) g[(t * n + i) * c + j] = v;
+    }
+  }
+  return out;
+}
+
+LossResult tet_loss(const Tensor& logits, const std::vector<int64_t>& labels,
+                    float lambda, float phi) {
+  check_logits(logits, labels);
+  const int64_t t_steps = logits.size(0);
+  const int64_t n = logits.size(1);
+  const int64_t c = logits.size(2);
+  TTSNN_CHECK(lambda >= 0.0F && lambda <= 1.0F, "tet lambda must be in [0, 1]");
+
+  LossResult out;
+  out.grad = Tensor({t_steps, n, c});
+  float* g = out.grad.data();
+  const float ce_w = (1.0F - lambda) / static_cast<float>(t_steps * n);
+  const float mse_w = lambda / static_cast<float>(t_steps * n * c);
+
+  for (int64_t t = 0; t < t_steps; ++t) {
+    Tensor step = logits.slice0(t, t + 1).reshape({n, c});
+    Tensor logp = log_softmax(step);
+    Tensor p = softmax(step);
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t label = labels[static_cast<size_t>(i)];
+      out.value -= (1.0F - lambda) * logp.at({i, label}) /
+                   static_cast<double>(t_steps * n);
+      for (int64_t j = 0; j < c; ++j) {
+        const float onehot = label == j ? 1.0F : 0.0F;
+        const float diff = step.at({i, j}) - phi * onehot;
+        out.value += static_cast<double>(mse_w) * diff * diff;
+        g[(t * n + i) * c + j] =
+            ce_w * (p.at({i, j}) - onehot) + 2.0F * mse_w * diff;
+      }
+    }
+  }
+  return out;
+}
+
+double accuracy(const Tensor& logits, const std::vector<int64_t>& labels) {
+  TTSNN_CHECK(logits.dim() == 3, "accuracy expects [T, N, C]");
+  Tensor summed = sum_over_time(logits);
+  auto pred = argmax_rows(summed);
+  int64_t correct = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    correct += pred[i] == labels[i] ? 1 : 0;
+  }
+  return labels.empty() ? 0.0
+                        : static_cast<double>(correct) /
+                              static_cast<double>(labels.size());
+}
+
+}  // namespace ttsnn

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file loss.h
+/// Training losses over per-timestep logits [T, N, C]:
+///  - cross_entropy_sum_loss: CE on the summed logits (Algorithm 1 line 16),
+///    the main TT-SNN objective.
+///  - tet_loss: Temporal Efficient Training [28] — per-timestep CE averaged
+///    over T, optionally blended with an MSE regularizer that pulls each
+///    step's correct-class logit toward phi.
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ttsnn {
+
+struct LossResult {
+  double value = 0.0;  ///< mean loss over the batch
+  Tensor grad;         ///< gradient w.r.t. the per-step logits [T, N, C]
+};
+
+LossResult cross_entropy_sum_loss(const Tensor& logits,
+                                  const std::vector<int64_t>& labels);
+
+LossResult tet_loss(const Tensor& logits, const std::vector<int64_t>& labels,
+                    float lambda = 0.05F, float phi = 1.0F);
+
+/// Top-1 accuracy of summed logits against labels.
+double accuracy(const Tensor& logits, const std::vector<int64_t>& labels);
+
+}  // namespace ttsnn

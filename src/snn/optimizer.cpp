@@ -1,0 +1,50 @@
+#include "snn/optimizer.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace ttsnn {
+
+SGD::SGD(std::vector<Parameter*> params, Options opts)
+    : params_(std::move(params)), opts_(opts) {
+  TTSNN_CHECK(!params_.empty(), "SGD: no parameters");
+  TTSNN_CHECK(opts_.lr > 0.0F, "SGD: lr must be positive");
+  velocity_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    TTSNN_CHECK(p != nullptr, "SGD: null parameter");
+    velocity_.push_back(Tensor::zeros(p->value.shape()));
+  }
+}
+
+void SGD::step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    Tensor& v = velocity_[i];
+    float* vd = v.data();
+    float* wd = p.value.data();
+    const float* gd = p.grad.data();
+    const float decay = p.decay ? opts_.weight_decay : 0.0F;
+    const int64_t n = p.value.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      vd[j] = opts_.momentum * vd[j] + gd[j] + decay * wd[j];
+      wd[j] -= opts_.lr * vd[j];
+    }
+  }
+}
+
+void SGD::zero_grad() {
+  for (Parameter* p : params_) p->grad.zero_();
+}
+
+CosineLr::CosineLr(float base_lr, int64_t total_epochs)
+    : base_lr_(base_lr), total_epochs_(total_epochs) {
+  TTSNN_CHECK(total_epochs_ >= 1, "CosineLr: total_epochs must be >= 1");
+}
+
+float CosineLr::at(int64_t epoch) const {
+  const double x = std::numbers::pi * static_cast<double>(epoch) /
+                   static_cast<double>(total_epochs_);
+  return static_cast<float>(0.5 * base_lr_ * (1.0 + std::cos(x)));
+}
+
+}  // namespace ttsnn

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file optimizer.h
+/// SGD with momentum and weight decay plus a cosine-annealing learning-rate
+/// schedule — the training recipe of Sec. V-A (momentum 0.9, weight decay
+/// 1e-4, cosine annealing from lr 0.1).
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace ttsnn {
+
+class SGD {
+ public:
+  struct Options {
+    float lr = 0.1F;
+    float momentum = 0.9F;
+    float weight_decay = 1e-4F;
+  };
+
+  SGD(std::vector<Parameter*> params, Options opts);
+
+  /// v = momentum * v + (grad + wd * w);  w -= lr * v.
+  void step();
+  void zero_grad();
+  void set_lr(float lr) { opts_.lr = lr; }
+  float lr() const { return opts_.lr; }
+
+ private:
+  std::vector<Parameter*> params_;
+  std::vector<Tensor> velocity_;
+  Options opts_;
+};
+
+/// Cosine annealing: lr(e) = 0.5 * base * (1 + cos(pi * e / total)).
+class CosineLr {
+ public:
+  CosineLr(float base_lr, int64_t total_epochs);
+  float at(int64_t epoch) const;
+
+ private:
+  float base_lr_;
+  int64_t total_epochs_;
+};
+
+}  // namespace ttsnn

@@ -1,0 +1,27 @@
+#include "snn/profile.h"
+
+#include "nn/lif.h"
+
+namespace ttsnn {
+
+SpikeProfile profile_spikes(Module& root, const Tensor& input) {
+  const bool was_training = root.is_training();
+  root.set_training(false);
+  root.forward(input);
+  root.set_training(was_training);
+
+  SpikeProfile profile;
+  visit_module_slots(root, [&](ModulePtr& slot) {
+    if (auto* lif = dynamic_cast<LIFNeuron*>(slot.get())) {
+      profile.lif_densities.push_back(lif->last_spike_density());
+    }
+  });
+  TTSNN_CHECK(!profile.lif_densities.empty(),
+              "profile_spikes: model has no LIF layers");
+  double sum = 0.0;
+  for (double d : profile.lif_densities) sum += d;
+  profile.mean_density = sum / static_cast<double>(profile.lif_densities.size());
+  return profile;
+}
+
+}  // namespace ttsnn

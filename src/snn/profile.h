@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file profile.h
+/// Runtime profiling of a spiking network: per-LIF spike densities measured
+/// on real data. This closes the loop between the training framework and
+/// the hardware simulators — instead of assuming a representative sparsity,
+/// the HW workload can be built from densities the trained model actually
+/// produces (SATA's energy advantage is sparsity-dependent).
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace ttsnn {
+
+struct SpikeProfile {
+  /// Mean output density of each LIF layer, in traversal order.
+  std::vector<double> lif_densities;
+  /// Mean over all LIF layers (weighted equally).
+  double mean_density = 0.0;
+};
+
+/// Runs one forward pass of `root` on `input` ([T, N, C, H, W]) in eval mode
+/// and collects the spike density of every LIFNeuron in the tree.
+SpikeProfile profile_spikes(Module& root, const Tensor& input);
+
+}  // namespace ttsnn

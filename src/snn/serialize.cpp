@@ -1,0 +1,85 @@
+#include "snn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+
+namespace ttsnn {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x54545F534E4E3031ULL;  // "TT_SNN01"
+
+void write_u64(std::ofstream& out, uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+uint64_t read_u64(std::ifstream& in) {
+  uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  TTSNN_CHECK(in.good(), "checkpoint truncated");
+  return v;
+}
+
+void write_string(std::ofstream& out, const std::string& s) {
+  write_u64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::ifstream& in) {
+  const uint64_t n = read_u64(in);
+  TTSNN_CHECK(n < (1 << 20), "checkpoint string too long");
+  std::string s(n, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(n));
+  TTSNN_CHECK(in.good(), "checkpoint truncated");
+  return s;
+}
+
+}  // namespace
+
+void save_parameters(Module& root, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  TTSNN_CHECK(out.is_open(), "cannot open " << path << " for writing");
+  std::vector<Parameter*> params = root.parameters();
+  write_u64(out, kMagic);
+  write_u64(out, params.size());
+  for (const Parameter* p : params) {
+    write_string(out, p->name);
+    write_u64(out, static_cast<uint64_t>(p->value.dim()));
+    for (int64_t d = 0; d < p->value.dim(); ++d) {
+      write_u64(out, static_cast<uint64_t>(p->value.size(d)));
+    }
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+  }
+  TTSNN_CHECK(out.good(), "write failure on " << path);
+}
+
+void load_parameters(Module& root, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  TTSNN_CHECK(in.is_open(), "cannot open " << path << " for reading");
+  TTSNN_CHECK(read_u64(in) == kMagic, "not a TT-SNN checkpoint: " << path);
+  std::vector<Parameter*> params = root.parameters();
+  const uint64_t count = read_u64(in);
+  TTSNN_CHECK(count == params.size(),
+              "checkpoint has " << count << " parameters, model has "
+                                << params.size());
+  for (Parameter* p : params) {
+    const std::string name = read_string(in);
+    TTSNN_CHECK(name == p->name, "parameter order mismatch: checkpoint '"
+                                     << name << "' vs model '" << p->name << "'");
+    const uint64_t dims = read_u64(in);
+    Shape shape(dims);
+    for (uint64_t d = 0; d < dims; ++d) {
+      shape[d] = static_cast<int64_t>(read_u64(in));
+    }
+    TTSNN_CHECK(shape == p->value.shape(),
+                "shape mismatch for '" << name << "': checkpoint "
+                                       << shape_str(shape) << " vs model "
+                                       << shape_str(p->value.shape()));
+    in.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+    TTSNN_CHECK(in.good(), "checkpoint truncated in '" << name << "'");
+  }
+}
+
+}  // namespace ttsnn

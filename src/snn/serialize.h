@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file serialize.h
+/// Binary checkpointing of module parameters. The format is a simple tagged
+/// stream: magic, parameter count, then per parameter its name, shape and
+/// raw float32 data. Loading matches parameters by position AND name, so a
+/// checkpoint only loads into an architecturally identical module tree
+/// (including the factorization state — a PTT checkpoint loads into a PTT
+/// model, not a dense one).
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace ttsnn {
+
+/// Writes all parameters of `root` to `path`. Throws ttsnn::Error on I/O
+/// failure.
+void save_parameters(Module& root, const std::string& path);
+
+/// Loads parameters saved by save_parameters into `root`. Throws on I/O
+/// failure, count/name/shape mismatch.
+void load_parameters(Module& root, const std::string& path);
+
+}  // namespace ttsnn

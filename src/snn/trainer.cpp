@@ -1,0 +1,136 @@
+#include "snn/trainer.h"
+
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+namespace ttsnn {
+
+Trainer::Trainer(Module& model, const Dataset& train, const Dataset& test,
+                 TrainConfig cfg)
+    : model_(model),
+      train_(train),
+      test_(test),
+      cfg_(cfg),
+      optimizer_(model.parameters(),
+                 {.lr = cfg.lr, .momentum = cfg.momentum,
+                  .weight_decay = cfg.weight_decay}),
+      schedule_(cfg.lr, std::max<int64_t>(cfg.epochs, 1)),
+      rng_(cfg.seed) {
+  TTSNN_CHECK(cfg_.batch_size >= 1 && cfg_.timesteps >= 1,
+              "Trainer: batch_size and timesteps must be >= 1");
+}
+
+LossResult Trainer::compute_loss(const Tensor& logits,
+                                 const std::vector<int64_t>& labels) const {
+  switch (cfg_.loss) {
+    case LossKind::kCeSum:
+      return cross_entropy_sum_loss(logits, labels);
+    case LossKind::kTet:
+      return tet_loss(logits, labels, cfg_.tet_lambda);
+  }
+  TTSNN_CHECK(false, "unknown loss kind");
+  return {};
+}
+
+EpochStats Trainer::run_epoch(int64_t epoch) {
+  if (cfg_.cosine_lr) optimizer_.set_lr(schedule_.at(epoch));
+  model_.set_training(true);
+
+  std::vector<int64_t> order(static_cast<size_t>(train_.size()));
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng_.engine());
+
+  Timer timer;
+  EpochStats stats;
+  int64_t batches = 0;
+  int64_t correct = 0, seen = 0;
+  for (int64_t cursor = 0; cursor + cfg_.batch_size <= train_.size();
+       cursor += cfg_.batch_size) {
+    std::vector<int64_t> idx(order.begin() + cursor,
+                             order.begin() + cursor + cfg_.batch_size);
+    Batch batch = train_.get_batch(idx, cfg_.timesteps);
+    Tensor input = batch.input;
+    if (cfg_.augment) input = augment_events(input, cfg_.augment_opts, rng_);
+
+    Tensor logits = model_.forward(input);
+    LossResult loss = compute_loss(logits, batch.labels);
+    optimizer_.zero_grad();
+    model_.backward(loss.grad);
+    optimizer_.step();
+
+    stats.loss += loss.value;
+    correct += static_cast<int64_t>(
+        std::llround(accuracy(logits, batch.labels) *
+                     static_cast<double>(batch.labels.size())));
+    seen += static_cast<int64_t>(batch.labels.size());
+    ++batches;
+  }
+  TTSNN_CHECK(batches > 0, "run_epoch: dataset smaller than one batch");
+  stats.loss /= static_cast<double>(batches);
+  stats.train_accuracy = static_cast<double>(correct) / static_cast<double>(seen);
+  stats.seconds = timer.seconds();
+  if (cfg_.verbose) {
+    std::cout << "epoch " << epoch << ": loss " << stats.loss << " acc "
+              << stats.train_accuracy << " (" << stats.seconds << " s)\n";
+  }
+  return stats;
+}
+
+double Trainer::evaluate() {
+  model_.set_training(false);
+  int64_t correct = 0, seen = 0;
+  for (int64_t cursor = 0; cursor < test_.size(); cursor += cfg_.batch_size) {
+    const int64_t end = std::min<int64_t>(cursor + cfg_.batch_size, test_.size());
+    std::vector<int64_t> idx(static_cast<size_t>(end - cursor));
+    std::iota(idx.begin(), idx.end(), cursor);
+    Batch batch = test_.get_batch(idx, cfg_.timesteps);
+    Tensor logits = model_.forward(batch.input);
+    correct += static_cast<int64_t>(
+        std::llround(accuracy(logits, batch.labels) *
+                     static_cast<double>(batch.labels.size())));
+    seen += static_cast<int64_t>(batch.labels.size());
+  }
+  model_.set_training(true);
+  return seen > 0 ? static_cast<double>(correct) / static_cast<double>(seen) : 0.0;
+}
+
+FitResult Trainer::fit() {
+  FitResult result;
+  for (int64_t e = 0; e < cfg_.epochs; ++e) {
+    result.epochs.push_back(run_epoch(e));
+  }
+  // Timing runs training-mode forward passes, which nudge the BN running
+  // statistics; measure BEFORE the final evaluation so the reported accuracy
+  // corresponds to the model state a caller sees after fit() returns.
+  result.batch_time_s = time_batch();
+  result.test_accuracy = evaluate();
+  return result;
+}
+
+double Trainer::time_batch(int64_t reps) {
+  TTSNN_CHECK(reps >= 1, "time_batch: reps must be >= 1");
+  model_.set_training(true);
+  std::vector<int64_t> idx(static_cast<size_t>(
+      std::min<int64_t>(cfg_.batch_size, train_.size())));
+  std::iota(idx.begin(), idx.end(), 0);
+  Batch batch = train_.get_batch(idx, cfg_.timesteps);
+
+  // Warm-up pass (first-touch allocations).
+  Tensor logits = model_.forward(batch.input);
+  LossResult loss = compute_loss(logits, batch.labels);
+  model_.backward(loss.grad);
+  optimizer_.zero_grad();
+
+  Timer timer;
+  for (int64_t r = 0; r < reps; ++r) {
+    Tensor out = model_.forward(batch.input);
+    LossResult l = compute_loss(out, batch.labels);
+    model_.backward(l.grad);
+  }
+  const double elapsed = timer.seconds() / static_cast<double>(reps);
+  optimizer_.zero_grad();
+  return elapsed;
+}
+
+}  // namespace ttsnn

@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file trainer.h
+/// BPTT training loop implementing the paper's recipe (Sec. V-A): SGD with
+/// momentum 0.9, weight decay 1e-4, cosine-annealed lr from 0.1, CE loss on
+/// time-summed logits (or the TET loss for Table III), optional NDA-style
+/// augmentation. Also provides the paper's "training time" metric — wall
+/// clock of forward+backward over a single batch.
+
+#include <functional>
+
+#include "nn/module.h"
+#include "snn/augment.h"
+#include "snn/dataset.h"
+#include "snn/loss.h"
+#include "snn/optimizer.h"
+
+namespace ttsnn {
+
+enum class LossKind { kCeSum, kTet };
+
+struct TrainConfig {
+  int64_t epochs = 10;
+  int64_t batch_size = 32;
+  int64_t timesteps = 4;
+  float lr = 0.1F;
+  float momentum = 0.9F;
+  float weight_decay = 1e-4F;
+  bool cosine_lr = true;
+  LossKind loss = LossKind::kCeSum;
+  float tet_lambda = 0.05F;
+  bool augment = false;
+  AugmentOptions augment_opts;
+  uint64_t seed = 7;
+  bool verbose = false;
+};
+
+struct EpochStats {
+  double loss = 0.0;
+  double train_accuracy = 0.0;
+  double seconds = 0.0;
+};
+
+struct FitResult {
+  std::vector<EpochStats> epochs;
+  double test_accuracy = 0.0;
+  /// Mean forward+backward wall clock per batch (the Table II metric).
+  double batch_time_s = 0.0;
+};
+
+class Trainer {
+ public:
+  Trainer(Module& model, const Dataset& train, const Dataset& test,
+          TrainConfig cfg);
+
+  /// One pass over the training set.
+  EpochStats run_epoch(int64_t epoch);
+  /// Accuracy on the held-out set (eval mode).
+  double evaluate();
+  /// Full training run; also measures batch_time_s at the end.
+  FitResult fit();
+  /// The paper's "training time": mean wall clock of forward+backward on one
+  /// batch, over `reps` repetitions (no optimizer step).
+  double time_batch(int64_t reps = 3);
+
+ private:
+  LossResult compute_loss(const Tensor& logits,
+                          const std::vector<int64_t>& labels) const;
+
+  Module& model_;
+  const Dataset& train_;
+  const Dataset& test_;
+  TrainConfig cfg_;
+  SGD optimizer_;
+  CosineLr schedule_;
+  Rng rng_;
+};
+
+}  // namespace ttsnn

@@ -1,0 +1,117 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <vector>
+
+#include "util/common.h"
+
+namespace ttsnn {
+
+namespace {
+
+std::atomic<int> g_gemm_threads{1};
+
+/// Computes rows [m0, m1) of C for the non-transposed case A[m,k] * B[k,n].
+/// Inner loops are ordered i-k-j so the B row is streamed contiguously.
+void gemm_nn_rows(int64_t m0, int64_t m1, int64_t n, int64_t k, float alpha,
+                  const float* a, const float* b, float* c) {
+  for (int64_t i = m0; i < m1; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = alpha * arow[p];
+      if (av == 0.0F) continue;  // spike matrices are sparse; skip zero rows
+      const float* brow = b + p * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// Rows [m0, m1) of C for A[m,k] * B^T where B is [n, k].
+void gemm_nt_rows(int64_t m0, int64_t m1, int64_t n, int64_t k, float alpha,
+                  const float* a, const float* b, float* c) {
+  for (int64_t i = m0; i < m1; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      double s = 0.0;
+      for (int64_t p = 0; p < k; ++p) s += static_cast<double>(arow[p]) * brow[p];
+      crow[j] += alpha * static_cast<float>(s);
+    }
+  }
+}
+
+/// Rows [m0, m1) of C for A^T * B where A is [k, m], B is [k, n].
+void gemm_tn_rows(int64_t m0, int64_t m1, int64_t n, int64_t k, int64_t lda,
+                  float alpha, const float* a, const float* b, float* c) {
+  for (int64_t p = 0; p < k; ++p) {
+    const float* arow = a + p * lda;
+    const float* brow = b + p * n;
+    for (int64_t i = m0; i < m1; ++i) {
+      const float av = alpha * arow[i];
+      if (av == 0.0F) continue;
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void scale_c(float beta, int64_t mn, float* c) {
+  if (beta == 1.0F) return;
+  if (beta == 0.0F) {
+    std::fill(c, c + mn, 0.0F);
+    return;
+  }
+  for (int64_t i = 0; i < mn; ++i) c[i] *= beta;
+}
+
+}  // namespace
+
+void set_gemm_threads(int threads) {
+  TTSNN_CHECK(threads >= 1, "gemm thread count must be >= 1");
+  g_gemm_threads.store(threads);
+}
+
+int gemm_threads() { return g_gemm_threads.load(); }
+
+void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+          float alpha, const float* a, const float* b, float beta, float* c) {
+  TTSNN_CHECK(m >= 0 && n >= 0 && k >= 0, "negative gemm dims");
+  scale_c(beta, m * n, c);
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.0F) return;
+
+  // A^T with B^T is not needed anywhere in the library.
+  TTSNN_CHECK(!(trans_a && trans_b), "gemm: TT case unsupported");
+
+  const int threads = g_gemm_threads.load();
+  const bool parallel = threads > 1 && m >= 2 * threads && m * n * k > (1 << 16);
+
+  auto run_rows = [&](int64_t m0, int64_t m1) {
+    if (trans_a) {
+      gemm_tn_rows(m0, m1, n, k, m, alpha, a, b, c);
+    } else if (trans_b) {
+      gemm_nt_rows(m0, m1, n, k, alpha, a, b, c);
+    } else {
+      gemm_nn_rows(m0, m1, n, k, alpha, a, b, c);
+    }
+  };
+
+  if (!parallel) {
+    run_rows(0, m);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  const int64_t chunk = (m + threads - 1) / threads;
+  for (int t = 0; t < threads; ++t) {
+    const int64_t m0 = t * chunk;
+    const int64_t m1 = std::min<int64_t>(m, m0 + chunk);
+    if (m0 >= m1) break;
+    futures.push_back(std::async(std::launch::async, run_rows, m0, m1));
+  }
+  for (auto& f : futures) f.get();
+}
+
+}  // namespace ttsnn

@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file gemm.h
+/// Small blocked single-precision GEMM for packed row-major matrices.
+/// C = alpha * op(A) * op(B) + beta * C, with op controlled by trans flags.
+/// Matrices are densely packed: op(A) is [m, k], op(B) is [k, n], C is [m, n].
+///
+/// Work is split across a small thread pool when the problem is large enough;
+/// the PTT branch parallelism (DESIGN.md §4) uses threads one level up, so
+/// GEMM keeps its own parallelism conservative to avoid oversubscription.
+
+#include <cstdint>
+
+namespace ttsnn {
+
+void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
+          float alpha, const float* a, const float* b, float beta, float* c);
+
+/// Number of worker threads GEMM may use (defaults to 1; the training loop
+/// raises it for the dense baseline where no branch parallelism exists).
+void set_gemm_threads(int threads);
+int gemm_threads();
+
+}  // namespace ttsnn

@@ -1,0 +1,60 @@
+#include "tensor/im2col.h"
+
+#include <cstring>
+
+namespace ttsnn {
+
+void im2col(const float* image, const ConvGeometry& g, float* col) {
+  const int64_t oh = g.out_h();
+  const int64_t ow = g.out_w();
+  const int64_t cols = oh * ow;
+  int64_t row = 0;
+  for (int64_t c = 0; c < g.in_channels; ++c) {
+    const float* plane = image + c * g.in_h * g.in_w;
+    for (int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        float* out = col + row * cols;
+        for (int64_t y = 0; y < oh; ++y) {
+          const int64_t in_y = y * g.stride_h + kh - g.pad_h;
+          if (in_y < 0 || in_y >= g.in_h) {
+            std::memset(out + y * ow, 0, static_cast<size_t>(ow) * sizeof(float));
+            continue;
+          }
+          const float* src_row = plane + in_y * g.in_w;
+          float* dst_row = out + y * ow;
+          for (int64_t x = 0; x < ow; ++x) {
+            const int64_t in_x = x * g.stride_w + kw - g.pad_w;
+            dst_row[x] = (in_x >= 0 && in_x < g.in_w) ? src_row[in_x] : 0.0F;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* col, const ConvGeometry& g, float* image_grad) {
+  const int64_t oh = g.out_h();
+  const int64_t ow = g.out_w();
+  const int64_t cols = oh * ow;
+  int64_t row = 0;
+  for (int64_t c = 0; c < g.in_channels; ++c) {
+    float* plane = image_grad + c * g.in_h * g.in_w;
+    for (int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        const float* src = col + row * cols;
+        for (int64_t y = 0; y < oh; ++y) {
+          const int64_t in_y = y * g.stride_h + kh - g.pad_h;
+          if (in_y < 0 || in_y >= g.in_h) continue;
+          float* dst_row = plane + in_y * g.in_w;
+          const float* src_row = src + y * ow;
+          for (int64_t x = 0; x < ow; ++x) {
+            const int64_t in_x = x * g.stride_w + kw - g.pad_w;
+            if (in_x >= 0 && in_x < g.in_w) dst_row[in_x] += src_row[x];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace ttsnn

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file im2col.h
+/// Convolution lowering for NCHW tensors with asymmetric kernels — the TT
+/// sub-convolutions use (1,1), (kh,1), (1,kw) and (1,1) kernels, so kernel
+/// height/width, stride and padding are all independent parameters.
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace ttsnn {
+
+/// Static geometry of a 2-D convolution.
+struct ConvGeometry {
+  int64_t in_channels = 0;
+  int64_t in_h = 0;
+  int64_t in_w = 0;
+  int64_t kernel_h = 1;
+  int64_t kernel_w = 1;
+  int64_t stride_h = 1;
+  int64_t stride_w = 1;
+  int64_t pad_h = 0;
+  int64_t pad_w = 0;
+
+  int64_t out_h() const {
+    return (in_h + 2 * pad_h - kernel_h) / stride_h + 1;
+  }
+  int64_t out_w() const {
+    return (in_w + 2 * pad_w - kernel_w) / stride_w + 1;
+  }
+  /// Rows of the lowered column matrix: C * kh * kw.
+  int64_t col_rows() const { return in_channels * kernel_h * kernel_w; }
+  /// Columns of the lowered column matrix: out_h * out_w.
+  int64_t col_cols() const { return out_h() * out_w(); }
+};
+
+/// Lowers one CHW image (pointer to c*h*w floats) into the column matrix
+/// `col` of shape [col_rows, col_cols] (caller-allocated, overwritten).
+void im2col(const float* image, const ConvGeometry& g, float* col);
+
+/// Adjoint of im2col: accumulates the column matrix back into a CHW image
+/// gradient (caller-allocated; this function ADDS into it).
+void col2im(const float* col, const ConvGeometry& g, float* image_grad);
+
+}  // namespace ttsnn

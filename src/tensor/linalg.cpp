@@ -1,0 +1,203 @@
+#include "tensor/linalg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tensor/gemm.h"
+
+namespace ttsnn {
+
+namespace {
+
+constexpr int kMaxJacobiSweeps = 64;
+
+/// Off-diagonal Frobenius norm squared.
+double off_diag_norm2(const std::vector<double>& a, int64_t n) {
+  double s = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) s += 2.0 * a[i * n + j] * a[i * n + j];
+  }
+  return s;
+}
+
+}  // namespace
+
+SymEig sym_eig(const Tensor& a_in) {
+  TTSNN_CHECK(a_in.dim() == 2 && a_in.size(0) == a_in.size(1),
+              "sym_eig expects square matrix, got " << shape_str(a_in.shape()));
+  const int64_t n = a_in.size(0);
+
+  std::vector<double> a(static_cast<size_t>(n * n));
+  const float* src = a_in.data();
+  double scale = 0.0;
+  for (int64_t i = 0; i < n * n; ++i) {
+    a[static_cast<size_t>(i)] = src[i];
+    scale = std::max(scale, std::fabs(static_cast<double>(src[i])));
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      TTSNN_CHECK(std::fabs(a[i * n + j] - a[j * n + i]) <=
+                      1e-4 * std::max(1.0, scale),
+                  "sym_eig: matrix not symmetric at (" << i << ", " << j << ")");
+      // Symmetrize exactly so rotations stay consistent.
+      const double m = 0.5 * (a[i * n + j] + a[j * n + i]);
+      a[i * n + j] = a[j * n + i] = m;
+    }
+  }
+
+  std::vector<double> v(static_cast<size_t>(n * n), 0.0);
+  for (int64_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+  const double total2 = std::inner_product(a.begin(), a.end(), a.begin(), 0.0);
+  const double tol2 = std::max(total2, 1e-300) * 1e-24;
+
+  for (int sweep = 0; sweep < kMaxJacobiSweeps; ++sweep) {
+    if (off_diag_norm2(a, n) <= tol2) break;
+    for (int64_t p = 0; p < n - 1; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) {
+        const double apq = a[p * n + q];
+        if (apq == 0.0) continue;
+        const double app = a[p * n + p];
+        const double aqq = a[q * n + q];
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply the rotation J(p, q, theta) on both sides of A.
+        for (int64_t k = 0; k < n; ++k) {
+          const double akp = a[k * n + p];
+          const double akq = a[k * n + q];
+          a[k * n + p] = c * akp - s * akq;
+          a[k * n + q] = s * akp + c * akq;
+        }
+        for (int64_t k = 0; k < n; ++k) {
+          const double apk = a[p * n + k];
+          const double aqk = a[q * n + k];
+          a[p * n + k] = c * apk - s * aqk;
+          a[q * n + k] = s * apk + c * aqk;
+        }
+        // Accumulate eigenvectors (columns of V).
+        for (int64_t k = 0; k < n; ++k) {
+          const double vkp = v[k * n + p];
+          const double vkq = v[k * n + q];
+          v[k * n + p] = c * vkp - s * vkq;
+          v[k * n + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int64_t x, int64_t y) {
+    return a[x * n + x] > a[y * n + y];
+  });
+
+  SymEig out;
+  out.values.resize(static_cast<size_t>(n));
+  out.vectors = Tensor({n, n});
+  float* vec = out.vectors.data();
+  for (int64_t j = 0; j < n; ++j) {
+    const int64_t src_col = order[static_cast<size_t>(j)];
+    out.values[static_cast<size_t>(j)] = a[src_col * n + src_col];
+    for (int64_t i = 0; i < n; ++i) {
+      vec[i * n + j] = static_cast<float>(v[i * n + src_col]);
+    }
+  }
+  return out;
+}
+
+Svd svd(const Tensor& a) {
+  TTSNN_CHECK(a.dim() == 2, "svd expects 2-D tensor");
+  const int64_t m = a.size(0);
+  const int64_t n = a.size(1);
+  const int64_t r = std::min(m, n);
+  TTSNN_CHECK(r > 0, "svd of empty matrix");
+
+  const bool gram_left = m <= n;  // form the Gram matrix on the smaller side
+  const int64_t g = gram_left ? m : n;
+
+  // G = A A^T (left) or A^T A (right).
+  Tensor gram({g, g});
+  if (gram_left) {
+    gemm(false, true, m, m, n, 1.0F, a.data(), a.data(), 0.0F, gram.data());
+  } else {
+    gemm(true, false, n, n, m, 1.0F, a.data(), a.data(), 0.0F, gram.data());
+  }
+
+  SymEig eig = sym_eig(gram);
+
+  Svd out;
+  out.s = Tensor({r});
+  for (int64_t i = 0; i < r; ++i) {
+    out.s[i] = static_cast<float>(
+        std::sqrt(std::max(0.0, eig.values[static_cast<size_t>(i)])));
+  }
+
+  // Eigenvectors of the Gram side give one factor; the other follows by
+  // projection: if G = A A^T then u_i is an eigenvector and v_i = A^T u_i / s_i.
+  Tensor gram_vecs({g, r});
+  {
+    const float* src = eig.vectors.data();
+    float* dst = gram_vecs.data();
+    for (int64_t i = 0; i < g; ++i) {
+      for (int64_t j = 0; j < r; ++j) dst[i * r + j] = src[i * g + j];
+    }
+  }
+
+  // Compute the projected factor and normalize columns by singular values.
+  const float eps = 1e-12F;
+  if (gram_left) {
+    out.u = gram_vecs;  // [m, r]
+    // proj = A^T U: [n, r]
+    Tensor proj({n, r});
+    gemm(true, false, n, r, m, 1.0F, a.data(), gram_vecs.data(), 0.0F,
+         proj.data());
+    float* p = proj.data();
+    for (int64_t j = 0; j < r; ++j) {
+      const float s = out.s[j];
+      const float inv = s > eps ? 1.0F / s : 0.0F;
+      for (int64_t i = 0; i < n; ++i) p[i * r + j] *= inv;
+    }
+    out.v = proj;
+  } else {
+    out.v = gram_vecs;  // [n, r]
+    // proj = A V: [m, r]
+    Tensor proj({m, r});
+    gemm(false, false, m, r, n, 1.0F, a.data(), gram_vecs.data(), 0.0F,
+         proj.data());
+    float* p = proj.data();
+    for (int64_t j = 0; j < r; ++j) {
+      const float s = out.s[j];
+      const float inv = s > eps ? 1.0F / s : 0.0F;
+      for (int64_t i = 0; i < m; ++i) p[i * r + j] *= inv;
+    }
+    out.u = proj;
+  }
+  return out;
+}
+
+std::vector<double> singular_values(const Tensor& a) {
+  TTSNN_CHECK(a.dim() == 2, "singular_values expects 2-D tensor");
+  const int64_t m = a.size(0);
+  const int64_t n = a.size(1);
+  const bool gram_left = m <= n;
+  const int64_t g = gram_left ? m : n;
+  Tensor gram({g, g});
+  if (gram_left) {
+    gemm(false, true, m, m, n, 1.0F, a.data(), a.data(), 0.0F, gram.data());
+  } else {
+    gemm(true, false, n, n, m, 1.0F, a.data(), a.data(), 0.0F, gram.data());
+  }
+  SymEig eig = sym_eig(gram);
+  std::vector<double> s(eig.values.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    s[i] = std::sqrt(std::max(0.0, eig.values[i]));
+  }
+  return s;
+}
+
+}  // namespace ttsnn

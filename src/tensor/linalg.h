@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file linalg.h
+/// Dense linear algebra needed by the TT machinery: a cyclic Jacobi
+/// eigensolver for symmetric matrices and a Gram-matrix-based thin SVD.
+/// The SVD forms the Gram matrix on the smaller side, so an [m, n] unfolding
+/// with m << n costs O(m^2 n + m^3) — adequate for conv-weight unfoldings.
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ttsnn {
+
+/// Eigendecomposition of a symmetric matrix, eigenvalues descending.
+struct SymEig {
+  std::vector<double> values;  ///< descending eigenvalues
+  Tensor vectors;              ///< [n, n]; column j pairs with values[j]
+};
+
+/// Cyclic Jacobi eigensolver (double-precision internally).
+/// `a` must be square and symmetric; asymmetry beyond 1e-4 is rejected.
+SymEig sym_eig(const Tensor& a);
+
+/// Thin singular value decomposition A = U * diag(S) * V^T.
+struct Svd {
+  Tensor u;  ///< [m, r]
+  Tensor s;  ///< [r], descending, non-negative
+  Tensor v;  ///< [n, r]
+};
+
+/// Thin SVD of a 2-D tensor via the Gram matrix of the smaller side.
+Svd svd(const Tensor& a);
+
+/// Singular values only (descending) — what VBMF needs.
+std::vector<double> singular_values(const Tensor& a);
+
+}  // namespace ttsnn

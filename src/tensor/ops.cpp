@@ -1,0 +1,237 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/gemm.h"
+
+namespace ttsnn {
+
+namespace {
+
+Tensor binary_op(const Tensor& a, const Tensor& b, float sign) {
+  TTSNN_CHECK(a.same_shape(b), "elementwise shape mismatch "
+                                   << shape_str(a.shape()) << " vs "
+                                   << shape_str(b.shape()));
+  Tensor out = a.clone();
+  out.axpy_(sign, b);
+  return out;
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) { return binary_op(a, b, 1.0F); }
+
+Tensor sub(const Tensor& a, const Tensor& b) { return binary_op(a, b, -1.0F); }
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  Tensor out = a.clone();
+  out.mul_(b);
+  return out;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out = a.clone();
+  out.mul_scalar_(s);
+  return out;
+}
+
+Tensor relu(const Tensor& a) {
+  Tensor out = a.clone();
+  float* p = out.data();
+  const int64_t n = out.numel();
+  for (int64_t i = 0; i < n; ++i) p[i] = std::max(p[i], 0.0F);
+  return out;
+}
+
+Tensor relu_mask(const Tensor& a) {
+  Tensor out(a.shape());
+  const float* s = a.data();
+  float* p = out.data();
+  const int64_t n = out.numel();
+  for (int64_t i = 0; i < n; ++i) p[i] = s[i] > 0.0F ? 1.0F : 0.0F;
+  return out;
+}
+
+Tensor exp(const Tensor& a) {
+  Tensor out = a.clone();
+  float* p = out.data();
+  const int64_t n = out.numel();
+  for (int64_t i = 0; i < n; ++i) p[i] = std::exp(p[i]);
+  return out;
+}
+
+Tensor sqrt(const Tensor& a) {
+  Tensor out = a.clone();
+  float* p = out.data();
+  const int64_t n = out.numel();
+  for (int64_t i = 0; i < n; ++i) p[i] = std::sqrt(p[i]);
+  return out;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  TTSNN_CHECK(a.dim() == 2 && b.dim() == 2, "matmul expects 2-D operands");
+  const int64_t m = a.size(0), k = a.size(1), n = b.size(1);
+  TTSNN_CHECK(b.size(0) == k, "matmul inner dim mismatch "
+                                  << shape_str(a.shape()) << " x "
+                                  << shape_str(b.shape()));
+  Tensor out({m, n});
+  gemm(false, false, m, n, k, 1.0F, a.data(), b.data(), 0.0F, out.data());
+  return out;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  TTSNN_CHECK(a.dim() == 2 && b.dim() == 2, "matmul_tn expects 2-D operands");
+  const int64_t k = a.size(0), m = a.size(1), n = b.size(1);
+  TTSNN_CHECK(b.size(0) == k, "matmul_tn inner dim mismatch");
+  Tensor out({m, n});
+  gemm(true, false, m, n, k, 1.0F, a.data(), b.data(), 0.0F, out.data());
+  return out;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  TTSNN_CHECK(a.dim() == 2 && b.dim() == 2, "matmul_nt expects 2-D operands");
+  const int64_t m = a.size(0), k = a.size(1), n = b.size(0);
+  TTSNN_CHECK(b.size(1) == k, "matmul_nt inner dim mismatch");
+  Tensor out({m, n});
+  gemm(false, true, m, n, k, 1.0F, a.data(), b.data(), 0.0F, out.data());
+  return out;
+}
+
+Tensor log_softmax(const Tensor& logits) {
+  TTSNN_CHECK(logits.dim() == 2, "log_softmax expects [n, c]");
+  const int64_t n = logits.size(0), c = logits.size(1);
+  Tensor out(logits.shape());
+  const float* src = logits.data();
+  float* dst = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = src + i * c;
+    float* orow = dst + i * c;
+    const float mx = *std::max_element(row, row + c);
+    double z = 0.0;
+    for (int64_t j = 0; j < c; ++j) z += std::exp(static_cast<double>(row[j] - mx));
+    const float logz = static_cast<float>(std::log(z)) + mx;
+    for (int64_t j = 0; j < c; ++j) orow[j] = row[j] - logz;
+  }
+  return out;
+}
+
+Tensor softmax(const Tensor& logits) {
+  Tensor out = log_softmax(logits);
+  float* p = out.data();
+  const int64_t n = out.numel();
+  for (int64_t i = 0; i < n; ++i) p[i] = std::exp(p[i]);
+  return out;
+}
+
+std::vector<int64_t> argmax_rows(const Tensor& logits) {
+  TTSNN_CHECK(logits.dim() == 2, "argmax_rows expects [n, c]");
+  const int64_t n = logits.size(0), c = logits.size(1);
+  std::vector<int64_t> out(static_cast<size_t>(n));
+  const float* src = logits.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = src + i * c;
+    out[static_cast<size_t>(i)] = std::distance(row, std::max_element(row, row + c));
+  }
+  return out;
+}
+
+Tensor add_channel_bias(const Tensor& x, const Tensor& bias) {
+  TTSNN_CHECK(x.dim() == 4, "add_channel_bias expects NCHW");
+  const int64_t n = x.size(0), c = x.size(1), hw = x.size(2) * x.size(3);
+  TTSNN_CHECK(bias.numel() == c, "bias size mismatch");
+  Tensor out = x.clone();
+  float* p = out.data();
+  const float* b = bias.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < c; ++j) {
+      float* row = p + (i * c + j) * hw;
+      const float bj = b[j];
+      for (int64_t k = 0; k < hw; ++k) row[k] += bj;
+    }
+  }
+  return out;
+}
+
+Tensor sum_nhw(const Tensor& x) {
+  TTSNN_CHECK(x.dim() == 4, "sum_nhw expects NCHW");
+  const int64_t n = x.size(0), c = x.size(1), hw = x.size(2) * x.size(3);
+  Tensor out({c});
+  float* dst = out.data();
+  const float* src = x.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < c; ++j) {
+      const float* row = src + (i * c + j) * hw;
+      double s = 0.0;
+      for (int64_t k = 0; k < hw; ++k) s += row[k];
+      dst[j] += static_cast<float>(s);
+    }
+  }
+  return out;
+}
+
+Tensor global_avg_pool(const Tensor& x) {
+  TTSNN_CHECK(x.dim() == 4, "global_avg_pool expects NCHW");
+  const int64_t n = x.size(0), c = x.size(1), hw = x.size(2) * x.size(3);
+  TTSNN_CHECK(hw > 0, "empty spatial dims");
+  Tensor out({n, c});
+  const float* src = x.data();
+  float* dst = out.data();
+  for (int64_t i = 0; i < n * c; ++i) {
+    const float* row = src + i * hw;
+    double s = 0.0;
+    for (int64_t k = 0; k < hw; ++k) s += row[k];
+    dst[i] = static_cast<float>(s / static_cast<double>(hw));
+  }
+  return out;
+}
+
+Tensor global_avg_pool_backward(const Tensor& grad, int64_t h, int64_t w) {
+  TTSNN_CHECK(grad.dim() == 2, "gap backward expects [n, c]");
+  const int64_t n = grad.size(0), c = grad.size(1), hw = h * w;
+  Tensor out({n, c, h, w});
+  const float* src = grad.data();
+  float* dst = out.data();
+  const float inv = 1.0F / static_cast<float>(hw);
+  for (int64_t i = 0; i < n * c; ++i) {
+    const float g = src[i] * inv;
+    float* row = dst + i * hw;
+    for (int64_t k = 0; k < hw; ++k) row[k] = g;
+  }
+  return out;
+}
+
+Tensor cat0(const std::vector<Tensor>& parts) {
+  TTSNN_CHECK(!parts.empty(), "cat0 of nothing");
+  Shape out_shape = parts.front().shape();
+  int64_t rows = 0;
+  for (const Tensor& t : parts) {
+    TTSNN_CHECK(t.dim() == parts.front().dim(), "cat0 rank mismatch");
+    for (int64_t d = 1; d < t.dim(); ++d) {
+      TTSNN_CHECK(t.size(d) == parts.front().size(d), "cat0 trailing dim mismatch");
+    }
+    rows += t.size(0);
+  }
+  out_shape[0] = rows;
+  Tensor out(out_shape);
+  float* dst = out.data();
+  for (const Tensor& t : parts) {
+    std::copy(t.data(), t.data() + t.numel(), dst);
+    dst += t.numel();
+  }
+  return out;
+}
+
+double max_abs_diff(const Tensor& a, const Tensor& b) {
+  TTSNN_CHECK(a.same_shape(b), "max_abs_diff shape mismatch");
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const int64_t n = a.numel();
+  double m = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    m = std::max(m, static_cast<double>(std::fabs(pa[i] - pb[i])));
+  }
+  return m;
+}
+
+}  // namespace ttsnn

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file ops.h
+/// Free-function tensor operations: elementwise arithmetic, activations,
+/// matrix multiplication, softmax, and small utilities used across the
+/// library. All functions allocate and return fresh tensors unless the name
+/// ends in '_' (none here — in-place ops live on Tensor itself).
+
+#include "tensor/tensor.h"
+
+namespace ttsnn {
+
+// ---- elementwise -----------------------------------------------------------
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor scale(const Tensor& a, float s);
+Tensor relu(const Tensor& a);
+/// Derivative mask of relu evaluated at pre-activation a: 1 where a > 0.
+Tensor relu_mask(const Tensor& a);
+Tensor exp(const Tensor& a);
+Tensor sqrt(const Tensor& a);
+
+// ---- linear algebra --------------------------------------------------------
+/// Row-major matrix product of a [m, k] by b [k, n] -> [m, n].
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// a^T * b where a is [k, m], b is [k, n] -> [m, n].
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+/// a * b^T where a is [m, k], b is [n, k] -> [m, n].
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+// ---- softmax / classification ----------------------------------------------
+/// Row-wise log-softmax of logits [n, c].
+Tensor log_softmax(const Tensor& logits);
+/// Row-wise softmax of logits [n, c].
+Tensor softmax(const Tensor& logits);
+/// Per-row argmax of a [n, c] matrix -> length-n vector of class indices.
+std::vector<int64_t> argmax_rows(const Tensor& logits);
+
+// ---- NCHW helpers ----------------------------------------------------------
+/// Adds a per-channel bias [c] to an NCHW tensor.
+Tensor add_channel_bias(const Tensor& x, const Tensor& bias);
+/// Sums an NCHW tensor over (n, h, w) -> per-channel vector [c].
+Tensor sum_nhw(const Tensor& x);
+/// Global average pool: NCHW -> [n, c].
+Tensor global_avg_pool(const Tensor& x);
+/// Backward of global_avg_pool: grad [n, c] -> NCHW with h*w spread.
+Tensor global_avg_pool_backward(const Tensor& grad, int64_t h, int64_t w);
+
+/// Concatenate along dim 0 (all tensors must agree on trailing dims).
+Tensor cat0(const std::vector<Tensor>& parts);
+
+/// Max absolute elementwise difference — test helper.
+double max_abs_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace ttsnn

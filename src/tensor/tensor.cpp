@@ -1,0 +1,344 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+namespace ttsnn {
+
+int64_t shape_numel(const Shape& s) {
+  int64_t n = 1;
+  for (int64_t e : s) {
+    TTSNN_CHECK(e >= 0, "negative extent in shape " << shape_str(s));
+    n *= e;
+  }
+  return n;
+}
+
+std::string shape_str(const Shape& s) {
+  std::string out = "[";
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(s[i]);
+  }
+  return out + "]";
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      storage_(std::make_shared<std::vector<float>>(shape_numel(shape_), 0.0F)) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)),
+      storage_(std::make_shared<std::vector<float>>(std::move(data))) {
+  TTSNN_CHECK(static_cast<int64_t>(storage_->size()) == shape_numel(shape_),
+              "data size " << storage_->size() << " does not match shape "
+                           << shape_str(shape_));
+}
+
+Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::ones(Shape shape) { return full(std::move(shape), 1.0F); }
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill_(value);
+  return t;
+}
+
+Tensor Tensor::arange(int64_t n) {
+  Tensor t({n});
+  for (int64_t i = 0; i < n; ++i) t[i] = static_cast<float>(i);
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i) p[i] = rng.normal();
+  return t;
+}
+
+Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i) p[i] = rng.uniform(lo, hi);
+  return t;
+}
+
+Tensor Tensor::bernoulli(Shape shape, Rng& rng, float p) {
+  Tensor t(std::move(shape));
+  float* d = t.data();
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i) d[i] = rng.bernoulli(p) ? 1.0F : 0.0F;
+  return t;
+}
+
+int64_t Tensor::size(int64_t i) const {
+  const int64_t d = dim();
+  if (i < 0) i += d;
+  TTSNN_CHECK(i >= 0 && i < d, "dim index " << i << " out of range for "
+                                            << shape_str(shape_));
+  return shape_[static_cast<size_t>(i)];
+}
+
+void Tensor::check_defined() const {
+  TTSNN_CHECK(defined(), "operation on undefined tensor");
+}
+
+float* Tensor::data() {
+  check_defined();
+  return storage_->data();
+}
+
+const float* Tensor::data() const {
+  check_defined();
+  return storage_->data();
+}
+
+float& Tensor::operator[](int64_t flat_index) {
+  check_defined();
+  return (*storage_)[static_cast<size_t>(flat_index)];
+}
+
+float Tensor::operator[](int64_t flat_index) const {
+  check_defined();
+  return (*storage_)[static_cast<size_t>(flat_index)];
+}
+
+namespace {
+
+int64_t checked_flat_index(const Shape& shape, std::initializer_list<int64_t> idx) {
+  TTSNN_CHECK(idx.size() == shape.size(),
+              "at() arity " << idx.size() << " vs dim " << shape.size());
+  int64_t flat = 0;
+  size_t d = 0;
+  for (int64_t i : idx) {
+    TTSNN_CHECK(i >= 0 && i < shape[d],
+                "index " << i << " out of range for dim " << d << " of "
+                         << shape_str(shape));
+    flat = flat * shape[d] + i;
+    ++d;
+  }
+  return flat;
+}
+
+}  // namespace
+
+float& Tensor::at(std::initializer_list<int64_t> idx) {
+  check_defined();
+  return (*storage_)[static_cast<size_t>(checked_flat_index(shape_, idx))];
+}
+
+float Tensor::at(std::initializer_list<int64_t> idx) const {
+  check_defined();
+  return (*storage_)[static_cast<size_t>(checked_flat_index(shape_, idx))];
+}
+
+Tensor Tensor::clone() const {
+  if (!defined()) return {};
+  return Tensor(shape_, *storage_);
+}
+
+Tensor Tensor::reshape(Shape shape) const {
+  check_defined();
+  int64_t inferred = -1;
+  int64_t known = 1;
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (shape[i] == -1) {
+      TTSNN_CHECK(inferred < 0, "more than one -1 in reshape target");
+      inferred = static_cast<int64_t>(i);
+    } else {
+      known *= shape[i];
+    }
+  }
+  if (inferred >= 0) {
+    TTSNN_CHECK(known > 0 && numel() % known == 0,
+                "cannot infer reshape dim: numel " << numel() << " target "
+                                                   << shape_str(shape));
+    shape[static_cast<size_t>(inferred)] = numel() / known;
+  }
+  TTSNN_CHECK(shape_numel(shape) == numel(),
+              "reshape " << shape_str(shape_) << " -> " << shape_str(shape)
+                         << " changes numel");
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.storage_ = storage_;
+  return t;
+}
+
+Tensor Tensor::permute(const std::vector<int64_t>& axes) const {
+  check_defined();
+  const int64_t d = dim();
+  TTSNN_CHECK(static_cast<int64_t>(axes.size()) == d,
+              "permute arity " << axes.size() << " vs dim " << d);
+  std::vector<bool> seen(static_cast<size_t>(d), false);
+  Shape new_shape(static_cast<size_t>(d));
+  for (int64_t i = 0; i < d; ++i) {
+    const int64_t a = axes[static_cast<size_t>(i)];
+    TTSNN_CHECK(a >= 0 && a < d && !seen[static_cast<size_t>(a)],
+                "invalid permutation axis " << a);
+    seen[static_cast<size_t>(a)] = true;
+    new_shape[static_cast<size_t>(i)] = shape_[static_cast<size_t>(a)];
+  }
+  // Strides of the source tensor (row-major).
+  std::vector<int64_t> src_stride(static_cast<size_t>(d), 1);
+  for (int64_t i = d - 2; i >= 0; --i) {
+    src_stride[static_cast<size_t>(i)] =
+        src_stride[static_cast<size_t>(i + 1)] * shape_[static_cast<size_t>(i + 1)];
+  }
+  Tensor out(new_shape);
+  const float* src = data();
+  float* dst = out.data();
+  const int64_t n = numel();
+  std::vector<int64_t> idx(static_cast<size_t>(d), 0);
+  for (int64_t flat = 0; flat < n; ++flat) {
+    int64_t src_flat = 0;
+    for (int64_t i = 0; i < d; ++i) {
+      src_flat += idx[static_cast<size_t>(i)] *
+                  src_stride[static_cast<size_t>(axes[static_cast<size_t>(i)])];
+    }
+    dst[flat] = src[src_flat];
+    // Row-major increment of idx over new_shape.
+    for (int64_t i = d - 1; i >= 0; --i) {
+      if (++idx[static_cast<size_t>(i)] < new_shape[static_cast<size_t>(i)]) break;
+      idx[static_cast<size_t>(i)] = 0;
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::transpose2d() const {
+  TTSNN_CHECK(dim() == 2, "transpose2d on " << shape_str(shape_));
+  return permute({1, 0});
+}
+
+Tensor Tensor::slice0(int64_t begin, int64_t end) const {
+  check_defined();
+  TTSNN_CHECK(dim() >= 1, "slice0 on scalar tensor");
+  TTSNN_CHECK(begin >= 0 && begin <= end && end <= shape_[0],
+              "slice0 [" << begin << ", " << end << ") out of range for "
+                         << shape_str(shape_));
+  Shape out_shape = shape_;
+  out_shape[0] = end - begin;
+  const int64_t row = numel() / std::max<int64_t>(shape_[0], 1);
+  Tensor out(out_shape);
+  std::copy(data() + begin * row, data() + end * row, out.data());
+  return out;
+}
+
+Tensor& Tensor::fill_(float value) {
+  check_defined();
+  std::fill(storage_->begin(), storage_->end(), value);
+  return *this;
+}
+
+Tensor& Tensor::add_(const Tensor& other) { return axpy_(1.0F, other); }
+
+Tensor& Tensor::sub_(const Tensor& other) { return axpy_(-1.0F, other); }
+
+Tensor& Tensor::mul_(const Tensor& other) {
+  TTSNN_CHECK(same_shape(other), "mul_ shape mismatch " << shape_str(shape_)
+                                                        << " vs "
+                                                        << shape_str(other.shape_));
+  float* a = data();
+  const float* b = other.data();
+  const int64_t n = numel();
+  for (int64_t i = 0; i < n; ++i) a[i] *= b[i];
+  return *this;
+}
+
+Tensor& Tensor::add_scalar_(float value) {
+  float* a = data();
+  const int64_t n = numel();
+  for (int64_t i = 0; i < n; ++i) a[i] += value;
+  return *this;
+}
+
+Tensor& Tensor::mul_scalar_(float value) {
+  float* a = data();
+  const int64_t n = numel();
+  for (int64_t i = 0; i < n; ++i) a[i] *= value;
+  return *this;
+}
+
+Tensor& Tensor::axpy_(float alpha, const Tensor& other) {
+  TTSNN_CHECK(same_shape(other), "axpy_ shape mismatch " << shape_str(shape_)
+                                                         << " vs "
+                                                         << shape_str(other.shape_));
+  float* a = data();
+  const float* b = other.data();
+  const int64_t n = numel();
+  for (int64_t i = 0; i < n; ++i) a[i] += alpha * b[i];
+  return *this;
+}
+
+Tensor& Tensor::clamp_(float lo, float hi) {
+  float* a = data();
+  const int64_t n = numel();
+  for (int64_t i = 0; i < n; ++i) a[i] = std::clamp(a[i], lo, hi);
+  return *this;
+}
+
+double Tensor::sum() const {
+  const float* a = data();
+  const int64_t n = numel();
+  double s = 0.0;
+  for (int64_t i = 0; i < n; ++i) s += a[i];
+  return s;
+}
+
+double Tensor::mean() const {
+  TTSNN_CHECK(numel() > 0, "mean of empty tensor");
+  return sum() / static_cast<double>(numel());
+}
+
+float Tensor::max_value() const {
+  TTSNN_CHECK(numel() > 0, "max of empty tensor");
+  return *std::max_element(storage_->begin(), storage_->end());
+}
+
+float Tensor::min_value() const {
+  TTSNN_CHECK(numel() > 0, "min of empty tensor");
+  return *std::min_element(storage_->begin(), storage_->end());
+}
+
+int64_t Tensor::argmax() const {
+  TTSNN_CHECK(numel() > 0, "argmax of empty tensor");
+  return std::distance(storage_->begin(),
+                       std::max_element(storage_->begin(), storage_->end()));
+}
+
+double Tensor::density() const {
+  if (numel() == 0) return 0.0;
+  const float* a = data();
+  const int64_t n = numel();
+  int64_t nz = 0;
+  for (int64_t i = 0; i < n; ++i) nz += (a[i] != 0.0F);
+  return static_cast<double>(nz) / static_cast<double>(n);
+}
+
+double Tensor::norm() const {
+  const float* a = data();
+  const int64_t n = numel();
+  double s = 0.0;
+  for (int64_t i = 0; i < n; ++i) s += static_cast<double>(a[i]) * a[i];
+  return std::sqrt(s);
+}
+
+std::string Tensor::to_string(int64_t max_entries) const {
+  if (!defined()) return "Tensor(undefined)";
+  std::string out = "Tensor" + shape_str(shape_) + " {";
+  const int64_t n = std::min(numel(), max_entries);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string((*storage_)[static_cast<size_t>(i)]);
+  }
+  if (numel() > max_entries) out += ", ...";
+  return out + "}";
+}
+
+}  // namespace ttsnn

@@ -1,0 +1,96 @@
+#include "tt/tt_cores.h"
+
+#include "tensor/ops.h"
+
+namespace ttsnn {
+
+int64_t tt_num_params(int64_t in_c, int64_t out_c, int64_t kernel, int64_t rank) {
+  return rank * in_c + 2 * kernel * rank * rank + out_c * rank;
+}
+
+int64_t TTCores::num_params() const {
+  return tt_num_params(in_channels, out_channels, kernel, rank);
+}
+
+void TTCores::check() const {
+  TTSNN_CHECK(rank > 0 && kernel > 0 && kernel % 2 == 1,
+              "TTCores: rank must be positive and kernel odd");
+  TTSNN_CHECK(w1.shape() == (Shape{rank, in_channels, 1, 1}),
+              "TTCores w1 shape " << shape_str(w1.shape()));
+  TTSNN_CHECK(w2.shape() == (Shape{rank, rank, kernel, 1}),
+              "TTCores w2 shape " << shape_str(w2.shape()));
+  TTSNN_CHECK(w3.shape() == (Shape{rank, rank, 1, kernel}),
+              "TTCores w3 shape " << shape_str(w3.shape()));
+  TTSNN_CHECK(w4.shape() == (Shape{out_channels, rank, 1, 1}),
+              "TTCores w4 shape " << shape_str(w4.shape()));
+}
+
+namespace {
+
+/// Contracts a 3-core vertical path: out[o, y, i] = sum_{r1, r2}
+/// w4[o, r2] * strip[r2, r1, y] * w1[r1, i], with `strip` either w2 (indexed
+/// by dy) or w3 (indexed by dx). Returns [O, K, I].
+Tensor contract_strip_path(const TTCores& c, const Tensor& strip) {
+  const int64_t r = c.rank;
+  const int64_t k = c.kernel;
+  // strip is [r2, r1, K, 1] or [r2, r1, 1, K]; flatten to [r2, r1, K] and
+  // permute to [r2, K, r1] so a single GEMM against w1 [r1, I] applies.
+  Tensor s3 = strip.reshape({r, r, k});
+  Tensor s_perm = s3.permute({0, 2, 1}).reshape({r * k, r});  // [(r2, y), r1]
+  Tensor w1_mat = c.w1.reshape({r, c.in_channels});           // [r1, I]
+  Tensor t1 = matmul(s_perm, w1_mat);                         // [(r2, y), I]
+  // out[(o), (y, i)] = w4 [O, r2] x t1 viewed [r2, (y, I)]
+  Tensor w4_mat = c.w4.reshape({c.out_channels, r});
+  Tensor out = matmul(w4_mat, t1.reshape({r, k * c.in_channels}));
+  return out.reshape({c.out_channels, k, c.in_channels});
+}
+
+}  // namespace
+
+Tensor merge_stt(const TTCores& c) {
+  c.check();
+  const int64_t r = c.rank;
+  const int64_t k = c.kernel;
+  const int64_t in_c = c.in_channels;
+  const int64_t out_c = c.out_channels;
+
+  // t1[(r2, y), i] = sum_r1 w2[r2, r1, y] * w1[r1, i]
+  Tensor w2_perm = c.w2.reshape({r, r, k}).permute({0, 2, 1}).reshape({r * k, r});
+  Tensor t1 = matmul(w2_perm, c.w1.reshape({r, in_c}));  // [(r2, y), I]
+  // t2[(r3, x), (y, i)] = sum_r2 w3[r3, r2, x] * t1[r2, (y, i)]
+  Tensor w3_perm = c.w3.reshape({r, r, k}).permute({0, 2, 1}).reshape({r * k, r});
+  Tensor t2 = matmul(w3_perm, t1.reshape({r, k * in_c}));  // [(r3, x), (y, I)]
+  // dense[o, (x, y, i)] = sum_r3 w4[o, r3] * t2[r3, (x, y, i)]
+  Tensor t3 = matmul(c.w4.reshape({out_c, r}), t2.reshape({r, k * k * in_c}));
+  // [O, x, y, i] -> [O, i, y, x]
+  return t3.reshape({out_c, k, k, in_c}).permute({0, 3, 2, 1});
+}
+
+Tensor merge_ptt(const TTCores& c) {
+  c.check();
+  const int64_t k = c.kernel;
+  const int64_t center = k / 2;
+  Tensor vertical = contract_strip_path(c, c.w2);    // [O, dy, I]
+  Tensor horizontal = contract_strip_path(c, c.w3);  // [O, dx, I]
+
+  Tensor dense = Tensor::zeros({c.out_channels, c.in_channels, k, k});
+  for (int64_t o = 0; o < c.out_channels; ++o) {
+    for (int64_t i = 0; i < c.in_channels; ++i) {
+      for (int64_t d = 0; d < k; ++d) {
+        dense.at({o, i, d, center}) += vertical.at({o, d, i});
+        dense.at({o, i, center, d}) += horizontal.at({o, d, i});
+      }
+    }
+  }
+  return dense;
+}
+
+Tensor merge_half(const TTCores& c) {
+  c.check();
+  // half[o, i] = sum_r w4[o, r] * w1[r, i]
+  Tensor half = matmul(c.w4.reshape({c.out_channels, c.rank}),
+                       c.w1.reshape({c.rank, c.in_channels}));
+  return half.reshape({c.out_channels, c.in_channels, 1, 1});
+}
+
+}  // namespace ttsnn

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file tt_cores.h
+/// Tensor-train cores of a decomposed K x K convolution and the merge
+/// (reconstruction) contractions of Algorithm 1 / Eq. (6).
+///
+/// Following Gabor & Zdunek [22], the dense weight W in R^{O x I x K x K} is
+/// circular-permuted to R^{I x K x K x O} and decomposed into four TT-cores,
+/// materialized directly as the four sub-convolution weights of Fig. 1:
+///
+///   w1: [r, I, 1, 1]   pointwise, I -> r
+///   w2: [r, r, K, 1]   vertical strip, r -> r
+///   w3: [r, r, 1, K]   horizontal strip, r -> r
+///   w4: [O, r, 1, 1]   pointwise, r -> O
+///
+/// The paper uses a single TT-rank r per layer (r1 = r2 = r3 = r), which is
+/// what the published VBMF rank lists contain.
+
+#include "tensor/tensor.h"
+
+namespace ttsnn {
+
+struct TTCores {
+  int64_t in_channels = 0;
+  int64_t out_channels = 0;
+  int64_t kernel = 3;  ///< K (square dense kernel; odd)
+  int64_t rank = 0;    ///< uniform TT-rank r
+
+  Tensor w1;  ///< [r, I, 1, 1]
+  Tensor w2;  ///< [r, r, K, 1]
+  Tensor w3;  ///< [r, r, 1, K]
+  Tensor w4;  ///< [O, r, 1, 1]
+
+  /// Total trainable scalars: r*I + 2*K*r^2 + O*r.
+  int64_t num_params() const;
+
+  /// Validates shapes; throws on inconsistency.
+  void check() const;
+};
+
+/// Number of TT parameters for given layer dimensions without materializing.
+int64_t tt_num_params(int64_t in_c, int64_t out_c, int64_t kernel, int64_t rank);
+
+/// Merges the STT chain w1 -> w2 -> w3 -> w4 into a dense [O, I, K, K] kernel.
+/// The sequential composition spans the full K x K support.
+Tensor merge_stt(const TTCores& c);
+
+/// Merges the PTT computation (Eq. 6): (w1*w2 + w1*w3)*w4 -> dense kernel
+/// with cross-shaped support — "3x3 without the four corner values" (Fig. 1c).
+Tensor merge_ptt(const TTCores& c);
+
+/// Merges the half path w1 -> w4 used by HTT's half timesteps into a dense
+/// pointwise kernel [O, I, 1, 1].
+Tensor merge_half(const TTCores& c);
+
+}  // namespace ttsnn

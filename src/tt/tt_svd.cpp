@@ -1,0 +1,90 @@
+#include "tt/tt_svd.h"
+
+#include <algorithm>
+
+#include "tensor/linalg.h"
+#include "tensor/ops.h"
+
+namespace ttsnn {
+
+namespace {
+
+/// Truncated SVD split: A [m, n] ~= U_r * R where U_r is [m, r] with
+/// orthonormal columns and R = diag(S_r) V_r^T is [r, n].
+struct SvdSplit {
+  Tensor left;   ///< [m, r]
+  Tensor right;  ///< [r, n]
+};
+
+SvdSplit truncated_split(const Tensor& a, int64_t r) {
+  Svd f = svd(a);
+  const int64_t full = f.s.numel();
+  TTSNN_CHECK(r <= full, "truncated_split: rank " << r << " exceeds " << full);
+  const int64_t m = a.size(0);
+  const int64_t n = a.size(1);
+  SvdSplit out;
+  out.left = Tensor({m, r});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < r; ++j) out.left.at({i, j}) = f.u.at({i, j});
+  }
+  out.right = Tensor({r, n});
+  for (int64_t j = 0; j < r; ++j) {
+    const float s = f.s[j];
+    for (int64_t i = 0; i < n; ++i) out.right.at({j, i}) = s * f.v.at({i, j});
+  }
+  return out;
+}
+
+}  // namespace
+
+TTCores tt_svd(const Tensor& dense, int64_t rank) {
+  TTSNN_CHECK(dense.dim() == 4, "tt_svd expects [O, I, K, K]");
+  const int64_t out_c = dense.size(0);
+  const int64_t in_c = dense.size(1);
+  const int64_t k = dense.size(2);
+  TTSNN_CHECK(dense.size(3) == k && k % 2 == 1,
+              "tt_svd expects a square odd kernel, got " << shape_str(dense.shape()));
+  const int64_t r = std::min({rank, in_c, out_c});
+  TTSNN_CHECK(r >= 1, "tt_svd rank must be >= 1");
+
+  // Circular permute: W [O, I, K, K] -> A [I, K1, K2, O]  (Eq. 3).
+  Tensor a = dense.permute({1, 2, 3, 0});
+
+  // Stage 1: unfold [I, K*K*O]; G1 = left factor -> w1.
+  SvdSplit s1 = truncated_split(a.reshape({in_c, k * k * out_c}), r);
+  // w1[r1, i] = U1[i, r1].
+  Tensor w1 = s1.left.transpose2d().reshape({r, in_c, 1, 1});
+
+  // Stage 2: remainder viewed [(r1, K1), K2*O].
+  SvdSplit s2 = truncated_split(s1.right.reshape({r * k, k * out_c}), r);
+  // U2 rows are (r1, k1), columns r2 -> w2[r2, r1, k1, 0].
+  Tensor w2 = s2.left.reshape({r, k, r}).permute({2, 0, 1}).reshape({r, r, k, 1});
+
+  // Stage 3: remainder viewed [(r2, K2), O].
+  SvdSplit s3 = truncated_split(s2.right.reshape({r * k, out_c}), r);
+  Tensor w3 = s3.left.reshape({r, k, r}).permute({2, 0, 1}).reshape({r, r, 1, k});
+
+  // Final core: R3 [r3, O] -> w4[o, r3].
+  Tensor w4 = s3.right.transpose2d().reshape({out_c, r, 1, 1});
+
+  TTCores cores{.in_channels = in_c,
+                .out_channels = out_c,
+                .kernel = k,
+                .rank = r,
+                .w1 = std::move(w1),
+                .w2 = std::move(w2),
+                .w3 = std::move(w3),
+                .w4 = std::move(w4)};
+  cores.check();
+  return cores;
+}
+
+double tt_reconstruction_error(const Tensor& dense, const TTCores& cores) {
+  Tensor recon = merge_stt(cores);
+  TTSNN_CHECK(recon.same_shape(dense), "reconstruction shape mismatch");
+  Tensor diff = sub(recon, dense);
+  const double denom = dense.norm();
+  return denom > 0.0 ? diff.norm() / denom : diff.norm();
+}
+
+}  // namespace ttsnn

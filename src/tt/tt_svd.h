@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file tt_svd.h
+/// TT-SVD factorization of a dense convolution weight into TTCores
+/// (initialization step of Algorithm 1, lines 3-5) following the
+/// circular-permute scheme of Gabor & Zdunek [22].
+
+#include "tt/tt_cores.h"
+
+namespace ttsnn {
+
+/// Decomposes dense [O, I, K, K] into TTCores with uniform rank
+/// min(rank, I, O) via successive truncated SVDs of the permuted tensor
+/// [I, K, K, O]. K must be odd.
+TTCores tt_svd(const Tensor& dense, int64_t rank);
+
+/// ||merge_stt(cores) - dense||_F / ||dense||_F.
+double tt_reconstruction_error(const Tensor& dense, const TTCores& cores);
+
+}  // namespace ttsnn

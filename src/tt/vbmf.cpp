@@ -1,0 +1,142 @@
+#include "tt/vbmf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tensor/linalg.h"
+
+namespace ttsnn {
+
+namespace {
+
+/// tau(x, alpha) = 0.5 * (x - (1 + alpha) + sqrt((x - (1 + alpha))^2 - 4 alpha));
+/// defined for x >= (1 + sqrt(alpha))^2.
+double tau(double x, double alpha) {
+  const double d = x - (1.0 + alpha);
+  return 0.5 * (d + std::sqrt(std::max(0.0, d * d - 4.0 * alpha)));
+}
+
+/// EVB free energy as a function of the noise variance (Nakajima et al.,
+/// JMLR 2013, Corollary 8; matches the reference pyVBMF implementation).
+double evb_objective(double sigma2, int64_t l, int64_t m,
+                     const std::vector<double>& s, double residual,
+                     double xubar) {
+  const double alpha = static_cast<double>(l) / static_cast<double>(m);
+  double obj = residual / (static_cast<double>(m) * sigma2);
+  for (double sv : s) {
+    const double x = sv * sv / (static_cast<double>(m) * sigma2);
+    if (x > xubar) {
+      const double tz = tau(x, alpha);
+      obj += x - tz;                         // term2
+      obj += std::log((tz + 1.0) / x);       // term3
+      obj += alpha * std::log(tz / alpha + 1.0);  // term4
+    } else {
+      obj += x - std::log(x);                // term1
+    }
+  }
+  return obj;
+}
+
+}  // namespace
+
+VbmfResult evbmf(const Tensor& y, double sigma2) {
+  TTSNN_CHECK(y.dim() == 2, "evbmf expects a matrix");
+  // Orient so L <= M.
+  const bool transposed = y.size(0) > y.size(1);
+  const int64_t l = transposed ? y.size(1) : y.size(0);
+  const int64_t m = transposed ? y.size(0) : y.size(1);
+  TTSNN_CHECK(l >= 1, "evbmf: empty matrix");
+
+  const double alpha = static_cast<double>(l) / static_cast<double>(m);
+  const double tauubar = 2.5129 * std::sqrt(alpha);
+  const double xubar = (1.0 + tauubar) * (1.0 + alpha / tauubar);
+
+  std::vector<double> s = singular_values(y);  // length l, descending
+  // Guard against numerically-zero singular values in the objective.
+  const double s_floor = std::max(s.front(), 1.0) * 1e-12;
+  for (double& v : s) v = std::max(v, s_floor);
+
+  if (sigma2 <= 0.0) {
+    // Bounded search interval from the reference implementation (H = L, so
+    // the SVD residual term is zero).
+    double sum_s2 = 0.0;
+    for (double v : s) sum_s2 += v * v;
+    const double upper = sum_s2 / static_cast<double>(l * m);
+    const int64_t eh_ub = std::min<int64_t>(
+        static_cast<int64_t>(std::ceil(static_cast<double>(l) / (1.0 + alpha))) - 1,
+        l - 1);
+    double tail_mean = 0.0;
+    for (int64_t i = eh_ub; i < l; ++i) tail_mean += s[static_cast<size_t>(i)] *
+                                                     s[static_cast<size_t>(i)];
+    tail_mean /= static_cast<double>(l - eh_ub);
+    const double lower =
+        std::max(s[static_cast<size_t>(eh_ub)] * s[static_cast<size_t>(eh_ub)] /
+                     (static_cast<double>(m) * xubar),
+                 tail_mean / static_cast<double>(m));
+
+    // Dense log-grid scan followed by golden-section refinement.
+    const double lo = std::max(lower, 1e-30);
+    const double hi = std::max(upper, lo * (1.0 + 1e-9));
+    const int grid = 256;
+    double best = lo, best_obj = std::numeric_limits<double>::infinity();
+    for (int i = 0; i <= grid; ++i) {
+      const double x =
+          lo * std::pow(hi / lo, static_cast<double>(i) / grid);
+      const double obj = evb_objective(x, l, m, s, 0.0, xubar);
+      if (obj < best_obj) {
+        best_obj = obj;
+        best = x;
+      }
+    }
+    // Golden-section around the best grid cell.
+    double a = best / std::pow(hi / lo, 1.0 / grid);
+    double b = best * std::pow(hi / lo, 1.0 / grid);
+    a = std::max(a, lo);
+    b = std::min(b, hi);
+    const double gr = 0.5 * (std::sqrt(5.0) - 1.0);
+    for (int it = 0; it < 60 && (b - a) > 1e-14 * b; ++it) {
+      const double x1 = b - gr * (b - a);
+      const double x2 = a + gr * (b - a);
+      if (evb_objective(x1, l, m, s, 0.0, xubar) <
+          evb_objective(x2, l, m, s, 0.0, xubar)) {
+        b = x2;
+      } else {
+        a = x1;
+      }
+    }
+    sigma2 = 0.5 * (a + b);
+  }
+
+  // Rank = singular values above the EVB threshold.
+  const double threshold =
+      std::sqrt(static_cast<double>(m) * sigma2 * (1.0 + tauubar) *
+                (1.0 + alpha / tauubar));
+  VbmfResult out;
+  out.sigma2 = sigma2;
+  for (double sv : s) {
+    if (sv <= threshold) break;
+    // EVB shrinkage estimator for the retained components.
+    const double s2 = sv * sv;
+    const double t = 1.0 - static_cast<double>(l + m) * sigma2 / s2;
+    const double disc =
+        t * t - 4.0 * static_cast<double>(l) * m * sigma2 * sigma2 / (s2 * s2);
+    out.shrunk.push_back(0.5 * sv * (t + std::sqrt(std::max(0.0, disc))));
+    ++out.rank;
+  }
+  return out;
+}
+
+int64_t estimate_tt_rank(const Tensor& conv_weight) {
+  TTSNN_CHECK(conv_weight.dim() == 4, "estimate_tt_rank expects [O, I, K, K]");
+  const int64_t out_c = conv_weight.size(0);
+  const int64_t in_c = conv_weight.size(1);
+  const int64_t k = conv_weight.size(2);
+  Tensor a = conv_weight.permute({1, 2, 3, 0});  // [I, K, K, O]
+  const VbmfResult first = evbmf(a.reshape({in_c, k * k * out_c}));
+  const VbmfResult last = evbmf(a.reshape({in_c * k * k, out_c}));
+  const int64_t est = std::min(first.rank, last.rank);
+  return std::clamp<int64_t>(est, 1, std::min(in_c, out_c));
+}
+
+}  // namespace ttsnn

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file vbmf.h
+/// Empirical Variational Bayesian Matrix Factorization — the global analytic
+/// solution of Nakajima et al. [24] — used by Algorithm 1 (line 2) to select
+/// near-optimal TT-ranks without cross-validation.
+///
+/// Given an observed matrix Y = (low-rank signal) + noise, EVBMF analytically
+/// estimates the noise variance and returns the number of singular values
+/// whose magnitude is explained by signal rather than noise.
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ttsnn {
+
+struct VbmfResult {
+  int64_t rank = 0;       ///< estimated signal rank
+  double sigma2 = 0.0;    ///< estimated (or supplied) noise variance
+  std::vector<double> shrunk;  ///< EVB-shrunk singular values (size == rank)
+};
+
+/// Analytic EVBMF on matrix y. If sigma2 <= 0, the noise variance is
+/// estimated by minimizing the EVB free energy over a bounded interval.
+VbmfResult evbmf(const Tensor& y, double sigma2 = -1.0);
+
+/// TT-rank estimate for a dense conv weight [O, I, K, K]: EVBMF is applied to
+/// the first and last unfoldings of the circular-permuted tensor (the two
+/// unfoldings whose ranks bound the uniform TT-rank), and the smaller
+/// estimate is returned, clamped to [1, min(I, O)].
+int64_t estimate_tt_rank(const Tensor& conv_weight);
+
+}  // namespace ttsnn

@@ -1,0 +1,11 @@
+#include "util/common.h"
+
+namespace ttsnn {
+
+void fail(const std::string& file, int line, const std::string& msg) {
+  std::ostringstream oss;
+  oss << file << ":" << line << ": " << msg;
+  throw Error(oss.str());
+}
+
+}  // namespace ttsnn

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file common.h
+/// Shared utilities: error checking, deterministic RNG, and wall-clock timing.
+
+#include <chrono>
+#include <cstdint>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ttsnn {
+
+/// Thrown by TTSNN_CHECK failures and by invalid API usage throughout the
+/// library. Derives from std::runtime_error so callers can catch either.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] void fail(const std::string& file, int line, const std::string& msg);
+
+/// Precondition / invariant check. Always active (not compiled out): this
+/// library favors loud failure over silent numeric corruption.
+#define TTSNN_CHECK(cond, msg)                                 \
+  do {                                                         \
+    if (!(cond)) {                                             \
+      std::ostringstream oss_;                                 \
+      oss_ << "check failed: " #cond " — " << msg;             \
+      ::ttsnn::fail(__FILE__, __LINE__, oss_.str());           \
+    }                                                          \
+  } while (0)
+
+/// Deterministic pseudo-random generator. Every stochastic component in the
+/// library takes an Rng& so experiments are reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed) : engine_(seed) {}
+
+  /// Standard normal sample.
+  float normal() { return normal_(engine_); }
+  /// Uniform sample in [lo, hi).
+  float uniform(float lo = 0.0F, float hi = 1.0F) {
+    return lo + (hi - lo) * unit_(engine_);
+  }
+  /// Uniform integer in [0, n).
+  int64_t index(int64_t n) {
+    std::uniform_int_distribution<int64_t> d(0, n - 1);
+    return d(engine_);
+  }
+  /// Bernoulli draw with probability p of true.
+  bool bernoulli(float p) { return unit_(engine_) < p; }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::normal_distribution<float> normal_{0.0F, 1.0F};
+  std::uniform_real_distribution<float> unit_{0.0F, 1.0F};
+};
+
+/// Monotonic wall-clock stopwatch used for training-time measurements.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace ttsnn

@@ -1,0 +1,169 @@
+// Synthetic dataset tests: determinism, label structure, static-vs-temporal
+// frame behaviour (the property the HTT analysis depends on), and class
+// separability sanity (nearest-centroid accuracy above chance).
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic_event.h"
+#include "data/synthetic_gesture.h"
+#include "data/synthetic_image.h"
+#include "tensor/ops.h"
+
+namespace ttsnn {
+namespace {
+
+TEST(SyntheticImageTest, SizesAndLabels) {
+  SyntheticImageDataset ds({.num_classes = 5, .samples_per_class = 4,
+                            .channels = 3, .size = 12});
+  EXPECT_EQ(ds.size(), 20);
+  EXPECT_EQ(ds.num_classes(), 5);
+  EXPECT_FALSE(ds.is_temporal());
+  std::map<int64_t, int64_t> counts;
+  for (int64_t i = 0; i < ds.size(); ++i) ++counts[ds.label(i)];
+  for (int64_t k = 0; k < 5; ++k) EXPECT_EQ(counts[k], 4);
+}
+
+TEST(SyntheticImageTest, DeterministicAcrossInstances) {
+  SyntheticImageDataset a({.num_classes = 3, .samples_per_class = 2, .seed = 42});
+  SyntheticImageDataset b({.num_classes = 3, .samples_per_class = 2, .seed = 42});
+  EXPECT_LT(max_abs_diff(a.image(3), b.image(3)), 1e-7);
+}
+
+TEST(SyntheticImageTest, SeedChangesData) {
+  SyntheticImageDataset a({.num_classes = 3, .samples_per_class = 2, .seed = 1});
+  SyntheticImageDataset b({.num_classes = 3, .samples_per_class = 2, .seed = 2});
+  EXPECT_GT(max_abs_diff(a.image(0), b.image(0)), 1e-3);
+}
+
+TEST(SyntheticImageTest, PixelsInUnitRange) {
+  SyntheticImageDataset ds({.num_classes = 4, .samples_per_class = 4});
+  for (int64_t i = 0; i < ds.size(); i += 3) {
+    Tensor img = ds.image(i);
+    EXPECT_GE(img.min_value(), 0.0F);
+    EXPECT_LE(img.max_value(), 1.0F);
+  }
+}
+
+TEST(SyntheticImageTest, BatchReplicatesFramesAcrossTime) {
+  SyntheticImageDataset ds({.num_classes = 3, .samples_per_class = 3});
+  Batch batch = ds.get_batch({0, 4}, 4);
+  EXPECT_EQ(batch.input.shape(), (Shape{4, 2, 3, 16, 16}));
+  EXPECT_EQ(batch.labels.size(), 2u);
+  // Static dataset: identical frames at every timestep.
+  for (int64_t t = 1; t < 4; ++t) {
+    EXPECT_LT(max_abs_diff(batch.input.slice0(t, t + 1),
+                           batch.input.slice0(0, 1)),
+              1e-7);
+  }
+}
+
+TEST(SyntheticImageTest, ClassesAreSeparable) {
+  // Nearest-centroid in pixel space must beat chance by a wide margin —
+  // otherwise no network could learn the task.
+  SyntheticImageDataset ds({.num_classes = 4, .samples_per_class = 16,
+                            .size = 12, .seed = 5});
+  const int64_t dim = 3 * 12 * 12;
+  std::vector<Tensor> centroids;
+  for (int64_t k = 0; k < 4; ++k) {
+    Tensor c = Tensor::zeros({dim});
+    for (int64_t i = 0; i < 8; ++i) {  // first half as "train"
+      c.add_(ds.image(k * 16 + i).reshape({dim}));
+    }
+    c.mul_scalar_(1.0F / 8.0F);
+    centroids.push_back(c);
+  }
+  int64_t correct = 0, total = 0;
+  for (int64_t k = 0; k < 4; ++k) {
+    for (int64_t i = 8; i < 16; ++i) {  // second half as "test"
+      Tensor x = ds.image(k * 16 + i).reshape({dim});
+      double best = 1e30;
+      int64_t arg = -1;
+      for (int64_t c = 0; c < 4; ++c) {
+        Tensor d = sub(x, centroids[static_cast<size_t>(c)]);
+        const double dist = d.norm();
+        if (dist < best) {
+          best = dist;
+          arg = c;
+        }
+      }
+      correct += arg == k ? 1 : 0;
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / total, 0.6);  // chance = 0.25
+}
+
+TEST(SyntheticEventTest, FramesDistinctPerTimestep) {
+  SyntheticEventDataset ds({.num_classes = 4, .samples_per_class = 2});
+  Batch batch = ds.get_batch({0, 5}, 6);
+  EXPECT_EQ(batch.input.shape(), (Shape{6, 2, 2, 16, 16}));
+  EXPECT_TRUE(ds.is_temporal());
+  // Dynamic dataset: consecutive frames differ (the paper's HTT argument).
+  double total_diff = 0.0;
+  for (int64_t t = 1; t < 6; ++t) {
+    total_diff += max_abs_diff(batch.input.slice0(t, t + 1),
+                               batch.input.slice0(t - 1, t));
+  }
+  EXPECT_GT(total_diff, 1.0);
+}
+
+TEST(SyntheticEventTest, EventsAreBinaryTwoPolarity) {
+  SyntheticEventDataset ds({.num_classes = 3, .samples_per_class = 2});
+  Batch batch = ds.get_batch({1}, 4);
+  for (int64_t i = 0; i < batch.input.numel(); ++i) {
+    EXPECT_TRUE(batch.input[i] == 0.0F || batch.input[i] == 1.0F);
+  }
+  // Both polarities fire somewhere.
+  double on = 0.0, off = 0.0;
+  for (int64_t t = 0; t < 4; ++t) {
+    for (int64_t p = 0; p < 16 * 16; ++p) {
+      on += batch.input.at({t, 0, 0, p / 16, p % 16});
+      off += batch.input.at({t, 0, 1, p / 16, p % 16});
+    }
+  }
+  EXPECT_GT(on, 0.0);
+  EXPECT_GT(off, 0.0);
+}
+
+TEST(SyntheticEventTest, DeterministicPerSample) {
+  SyntheticEventDataset ds({.num_classes = 3, .samples_per_class = 2, .seed = 11});
+  Batch a = ds.get_batch({2}, 5);
+  Batch b = ds.get_batch({2}, 5);
+  EXPECT_LT(max_abs_diff(a.input, b.input), 1e-7);
+}
+
+TEST(SyntheticGestureTest, MotionClassesNeedTime) {
+  // Translation classes share the same blob shape: the time-summed frame of
+  // clips from different direction classes overlaps heavily, while the
+  // per-step event locations trace different trajectories.
+  SyntheticGestureDataset ds({.num_classes = 4, .samples_per_class = 2,
+                              .speed = 2.0});
+  Batch batch = ds.get_batch({0, 2}, 6);  // two different classes
+  EXPECT_EQ(batch.input.shape(), (Shape{6, 2, 2, 16, 16}));
+  EXPECT_NE(batch.labels[0], batch.labels[1]);
+  // Frames move: consecutive steps differ for every sample.
+  for (int64_t t = 1; t < 6; ++t) {
+    EXPECT_GT(max_abs_diff(batch.input.slice0(t, t + 1),
+                           batch.input.slice0(t - 1, t)),
+              0.0);
+  }
+}
+
+TEST(SyntheticGestureTest, LabelsPartitionSamples) {
+  SyntheticGestureDataset ds({.num_classes = 6, .samples_per_class = 3});
+  EXPECT_EQ(ds.size(), 18);
+  EXPECT_EQ(ds.label(0), 0);
+  EXPECT_EQ(ds.label(17), 5);
+}
+
+TEST(DatasetTest, OutOfRangeIndexThrows) {
+  SyntheticImageDataset img({.num_classes = 2, .samples_per_class = 2});
+  EXPECT_THROW(img.get_batch({99}, 2), Error);
+  SyntheticEventDataset ev({.num_classes = 2, .samples_per_class = 2});
+  EXPECT_THROW(ev.get_batch({-1}, 2), Error);
+}
+
+}  // namespace
+}  // namespace ttsnn

@@ -1,0 +1,186 @@
+// Tests for the Algorithm-1 network rewrite passes: factorize (dense conv ->
+// TTConv2d with VBMF or explicit ranks, TT-SVD init) and merge (TTConv2d ->
+// dense conv for spike-driven inference).
+
+#include <gtest/gtest.h>
+
+#include "core/factorize.h"
+#include "core/flops.h"
+#include "core/models.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "tensor/ops.h"
+
+namespace ttsnn {
+namespace {
+
+ModelConfig tiny_config() {
+  ModelConfig cfg;
+  cfg.base_width = 8;
+  cfg.num_classes = 4;
+  cfg.timesteps = 2;
+  return cfg;
+}
+
+int64_t count_type(Module& root, const char* which) {
+  int64_t n = 0;
+  visit_module_slots(root, [&](ModulePtr& slot) {
+    if (std::string(which) == "ttconv" && dynamic_cast<TTConv2d*>(slot.get())) {
+      ++n;
+    }
+    if (std::string(which) == "conv" && dynamic_cast<Conv2d*>(slot.get())) ++n;
+  });
+  return n;
+}
+
+TEST(FactorizeTest, ReplacesBlockConvsOnly) {
+  Rng rng(1);
+  ModulePtr net = make_ms_resnet18(tiny_config(), rng);
+  // ResNet18: 16 block 3x3 convs decomposed; stem + 3 shortcut 1x1 kept.
+  FactorizeOptions opts;
+  opts.use_vbmf = false;
+  opts.rank_fraction = 0.5;
+  FactorizeReport report = factorize_network(*net, opts, rng);
+  EXPECT_EQ(report.replaced(), 16);
+  EXPECT_EQ(count_type(*net, "ttconv"), 16);
+  EXPECT_EQ(count_type(*net, "conv"), 4);  // stem + 3 projection shortcuts
+}
+
+TEST(FactorizeTest, ExplicitRankListConsumedInOrder) {
+  Rng rng(2);
+  ModulePtr net = make_ms_resnet18(tiny_config(), rng);
+  FactorizeOptions opts;
+  opts.explicit_ranks = {1, 2, 3, 4, 1, 2, 3, 4, 1, 2, 3, 4, 1, 2, 3, 4};
+  FactorizeReport report = factorize_network(*net, opts, rng);
+  ASSERT_EQ(report.replaced(), 16);
+  for (int64_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(report.layers[static_cast<size_t>(i)].rank,
+              opts.explicit_ranks[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(FactorizeTest, ExplicitRankLengthMismatchThrows) {
+  Rng rng(3);
+  ModulePtr net = make_ms_resnet18(tiny_config(), rng);
+  FactorizeOptions opts;
+  opts.explicit_ranks = {4, 4};  // too short
+  EXPECT_THROW(factorize_network(*net, opts, rng), Error);
+}
+
+TEST(FactorizeTest, HttRequiresSchedule) {
+  Rng rng(4);
+  ModulePtr net = make_ms_resnet18(tiny_config(), rng);
+  FactorizeOptions opts;
+  opts.mode = TTMode::kHTT;
+  EXPECT_THROW(factorize_network(*net, opts, rng), Error);
+}
+
+TEST(FactorizeTest, ReducesParameterCount) {
+  Rng rng(5);
+  ModelConfig cfg = tiny_config();
+  cfg.base_width = 16;
+  ModulePtr net = make_ms_resnet18(cfg, rng);
+  const int64_t dense_params = net->num_params();
+  FactorizeOptions opts;
+  opts.use_vbmf = false;
+  opts.rank_fraction = 0.25;
+  FactorizeReport report = factorize_network(*net, opts, rng);
+  const int64_t tt_params = net->num_params();
+  EXPECT_LT(tt_params, dense_params);
+  EXPECT_EQ(dense_params - tt_params,
+            report.dense_params() - report.tt_params());
+}
+
+TEST(FactorizeTest, TtSvdInitIsExactForLowTtRankWeights) {
+  // Algorithm 1 line 4: the factorized model is initialized from the dense
+  // weights by TT-SVD. When the dense weights genuinely have low TT-rank,
+  // initialization must be lossless and the factorized network must compute
+  // the same function as the dense one.
+  Rng rng(6);
+  ModelConfig cfg = tiny_config();
+  ModulePtr net = make_ms_resnet18(cfg, rng);
+
+  // Overwrite every eligible conv weight with a rank-2 TT tensor.
+  visit_module_slots(*net, [&](ModulePtr& slot) {
+    auto* conv = dynamic_cast<Conv2d*>(slot.get());
+    if (conv == nullptr) return;
+    const auto& o = conv->options();
+    if (o.kernel_h != 3 || o.in_channels < 8) return;
+    TTCores gen{.in_channels = o.in_channels, .out_channels = o.out_channels,
+                .kernel = 3, .rank = 2};
+    gen.w1 = Tensor::randn({2, o.in_channels, 1, 1}, rng);
+    gen.w2 = Tensor::randn({2, 2, 3, 1}, rng);
+    gen.w3 = Tensor::randn({2, 2, 1, 3}, rng);
+    gen.w4 = Tensor::randn({o.out_channels, 2, 1, 1}, rng);
+    gen.w1.mul_scalar_(0.4F);
+    gen.w2.mul_scalar_(0.4F);
+    gen.w3.mul_scalar_(0.4F);
+    gen.w4.mul_scalar_(0.4F);
+    conv->weight().value = merge_stt(gen);
+  });
+
+  Tensor x = Tensor::uniform({2, 2, 3, 8, 8}, rng);
+  net->set_training(false);
+  Tensor y_dense = net->forward(x);
+
+  FactorizeOptions opts;
+  opts.mode = TTMode::kSTT;  // STT reconstructs the full kernel support
+  opts.explicit_ranks = std::vector<int64_t>(16, 2);
+  FactorizeReport report = factorize_network(*net, opts, rng);
+  for (const FactorizedLayer& l : report.layers) {
+    EXPECT_LT(l.init_error, 1e-2) << "layer " << l.index;
+  }
+  net->set_training(false);
+  Tensor y_tt = net->forward(x);
+  const double scale = std::max(1.0, static_cast<double>(y_dense.max_value()));
+  EXPECT_LT(max_abs_diff(y_dense, y_tt) / scale, 5e-2);
+}
+
+TEST(MergePassTest, MergeRestoresDenseNetwork) {
+  Rng rng(7);
+  ModelConfig cfg = tiny_config();
+  ModulePtr net = make_ms_resnet18(cfg, rng);
+  FactorizeOptions opts;
+  opts.mode = TTMode::kPTT;
+  opts.use_vbmf = false;
+  opts.rank_fraction = 0.5;
+  factorize_network(*net, opts, rng);
+
+  Tensor x = Tensor::uniform({2, 2, 3, 8, 8}, rng);
+  net->set_training(false);
+  Tensor y_tt = net->forward(x);
+
+  MergeReport merged = merge_network(*net);
+  EXPECT_EQ(merged.merged, 16);
+  EXPECT_EQ(count_type(*net, "ttconv"), 0);
+  net->set_training(false);
+  Tensor y_merged = net->forward(x);
+  // Eq. (6): the merged dense network computes the identical function.
+  EXPECT_LT(max_abs_diff(y_tt, y_merged), 1e-3);
+}
+
+TEST(MergePassTest, MergedNetworkTrainsNoTtLayers) {
+  Rng rng(8);
+  ModulePtr net = make_ms_resnet18(tiny_config(), rng);
+  FactorizeOptions opts;
+  opts.use_vbmf = false;
+  factorize_network(*net, opts, rng);
+  merge_network(*net);
+  ModelStats stats = analyze_model(*net, 3, 8, 8);
+  for (const LayerDesc& d : stats.layers) {
+    EXPECT_NE(d.kind, "ttconv");
+  }
+}
+
+TEST(FactorizeTest, VggFactorizesAllButStem) {
+  Rng rng(9);
+  ModelConfig cfg = tiny_config();
+  ModulePtr net = make_vgg9(cfg, rng);
+  FactorizeOptions opts;
+  opts.use_vbmf = false;
+  FactorizeReport report = factorize_network(*net, opts, rng);
+  EXPECT_EQ(report.replaced(), 6);  // 7 convs, stem excluded
+}
+
+}  // namespace
+}  // namespace ttsnn

@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file gradcheck.h
+/// Finite-difference gradient checking for Module implementations.
+///
+/// Protocol: with a fixed random cotangent w, define the scalar loss
+/// L(x) = <w, module(x)>. The analytic input gradient is module.backward(w);
+/// parameter gradients accumulate into Parameter::grad. Both are compared
+/// against central differences of L.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace ttsnn {
+
+inline double dot(const Tensor& a, const Tensor& b) {
+  EXPECT_TRUE(a.same_shape(b));
+  double s = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    s += static_cast<double>(a[i]) * b[i];
+  }
+  return s;
+}
+
+struct GradCheckOptions {
+  float eps = 1e-2F;
+  double rel_tol = 3e-2;
+  double abs_tol = 2e-3;
+  /// Check at most this many coordinates per tensor (stride-sampled).
+  int64_t max_coords = 64;
+};
+
+/// Checks d<w, f(x)>/dx against backward(w). The module must be freshly
+/// constructed (no stale caches); it is re-run for every probe.
+inline void check_input_grad(Module& m, const Tensor& x, const Tensor& w,
+                             const GradCheckOptions& o = {}) {
+  Tensor x0 = x.clone();
+  m.forward(x0);
+  Tensor gx = m.backward(w);
+  ASSERT_TRUE(gx.same_shape(x0));
+
+  const int64_t n = x0.numel();
+  const int64_t stride = std::max<int64_t>(1, n / o.max_coords);
+  for (int64_t i = 0; i < n; i += stride) {
+    Tensor xp = x.clone();
+    xp[i] += o.eps;
+    const double lp = dot(w, m.forward(xp));
+    Tensor xm = x.clone();
+    xm[i] -= o.eps;
+    const double lm = dot(w, m.forward(xm));
+    const double fd = (lp - lm) / (2.0 * o.eps);
+    const double an = gx[i];
+    const double tol = o.abs_tol + o.rel_tol * std::max(std::fabs(fd), std::fabs(an));
+    EXPECT_NEAR(an, fd, tol) << "input coordinate " << i;
+  }
+}
+
+/// Checks parameter gradients of <w, f(x)> for every parameter of m.
+inline void check_param_grads(Module& m, const Tensor& x, const Tensor& w,
+                              const GradCheckOptions& o = {}) {
+  for (Parameter* p : m.parameters()) p->grad.zero_();
+  m.forward(x);
+  m.backward(w);
+
+  for (Parameter* p : m.parameters()) {
+    const int64_t n = p->value.numel();
+    const int64_t stride = std::max<int64_t>(1, n / o.max_coords);
+    for (int64_t i = 0; i < n; i += stride) {
+      const float saved = p->value[i];
+      p->value[i] = saved + o.eps;
+      const double lp = dot(w, m.forward(x));
+      p->value[i] = saved - o.eps;
+      const double lm = dot(w, m.forward(x));
+      p->value[i] = saved;
+      const double fd = (lp - lm) / (2.0 * o.eps);
+      const double an = p->grad[i];
+      const double tol =
+          o.abs_tol + o.rel_tol * std::max(std::fabs(fd), std::fabs(an));
+      EXPECT_NEAR(an, fd, tol) << p->name << " coordinate " << i;
+    }
+  }
+}
+
+}  // namespace ttsnn

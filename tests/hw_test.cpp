@@ -1,0 +1,202 @@
+// Accelerator simulator tests: workload extraction structure, energy
+// accounting invariants, and the Fig. 4 mechanism signs — PTT pays a DRAM
+// round-trip penalty on the layer-sequential baseline but wins on the
+// proposed multi-cluster design; HTT always wins on the multi-cluster.
+
+#include <gtest/gtest.h>
+
+#include "core/factorize.h"
+#include "core/models.h"
+#include "hw/multi_cluster.h"
+#include "hw/sata_baseline.h"
+#include "hw/workload.h"
+
+namespace ttsnn {
+namespace {
+
+HwWorkload make_workload(TTMode mode, bool factorized, bool parallel,
+                         int64_t width = 16,
+                         std::vector<bool> schedule = {true, true, false,
+                                                       false}) {
+  Rng rng(1);
+  ModelConfig cfg;
+  cfg.base_width = width;
+  cfg.num_classes = 10;
+  cfg.timesteps = 4;
+  ModulePtr net = make_ms_resnet18(cfg, rng);
+  if (factorized) {
+    FactorizeOptions f;
+    f.mode = mode;
+    f.use_vbmf = false;
+    f.rank_fraction = 0.3;
+    f.init_from_dense = false;
+    if (mode == TTMode::kHTT) f.htt_schedule = std::move(schedule);
+    factorize_network(*net, f, rng);
+  }
+  ModelStats stats = analyze_model(*net, 3, 16, 16);
+  WorkloadOptions w;
+  w.timesteps = 4;
+  w.parallel_strips = parallel;
+  return build_workload("test", stats, w);
+}
+
+TEST(WorkloadTest, DenseModelStructure) {
+  HwWorkload wl = make_workload(TTMode::kSTT, false, false);
+  // ResNet18: 20 convs + 1 linear = 21 blocks, all dense.
+  EXPECT_EQ(wl.blocks.size(), 21u);
+  for (const HwBlock& b : wl.blocks) {
+    EXPECT_EQ(b.kind, HwBlock::Kind::kDense);
+    EXPECT_EQ(b.parts.size(), 1u);
+  }
+  // Classifier produces analog logits, no LIF.
+  EXPECT_FALSE(wl.blocks.back().followed_by_lif);
+  EXPECT_TRUE(wl.blocks.front().followed_by_lif);
+}
+
+TEST(WorkloadTest, TtBlocksHaveFourParts) {
+  HwWorkload wl = make_workload(TTMode::kPTT, true, true);
+  int64_t tt_blocks = 0;
+  for (const HwBlock& b : wl.blocks) {
+    if (b.kind != HwBlock::Kind::kTT) continue;
+    ++tt_blocks;
+    ASSERT_EQ(b.parts.size(), 4u);
+    // Only the block boundary crosses the chip.
+    EXPECT_TRUE(b.parts[0].boundary_input);
+    EXPECT_FALSE(b.parts[0].boundary_output);
+    EXPECT_FALSE(b.parts[1].boundary_input);
+    EXPECT_TRUE(b.parts[3].boundary_output);
+    // w1 consumes spikes; strips and w4 consume analog intermediates.
+    EXPECT_TRUE(b.parts[0].spike_input);
+    EXPECT_FALSE(b.parts[1].spike_input);
+    EXPECT_FALSE(b.parts[3].spike_input);
+  }
+  EXPECT_EQ(tt_blocks, 16);
+}
+
+TEST(WorkloadTest, SpikeStreamsArePacked) {
+  HwWorkload wl = make_workload(TTMode::kSTT, false, false);
+  // A block conv consumes 1-bit spikes and emits 1-bit spikes (post LIF).
+  const HwBlock& block = wl.blocks[1];
+  EXPECT_DOUBLE_EQ(block.parts[0].in_bits, 1.0);
+  EXPECT_DOUBLE_EQ(block.parts[0].out_bits, 1.0);
+  // The stem consumes 8-bit analog pixels.
+  EXPECT_DOUBLE_EQ(wl.blocks[0].parts[0].in_bits, 8.0);
+}
+
+TEST(WorkloadTest, HttUtilizationPropagates) {
+  HwWorkload wl = make_workload(TTMode::kHTT, true, true);
+  for (const HwBlock& b : wl.blocks) {
+    if (b.kind == HwBlock::Kind::kTT) {
+      EXPECT_DOUBLE_EQ(b.strip_utilization, 0.5);
+      EXPECT_DOUBLE_EQ(b.parts[1].utilization, 0.5);
+      EXPECT_DOUBLE_EQ(b.parts[0].utilization, 1.0);
+    }
+  }
+}
+
+TEST(EnergyReportTest, TotalIsSumOfComponents) {
+  HwWorkload wl = make_workload(TTMode::kPTT, true, true);
+  EnergyReport r = simulate_sata(wl);
+  EXPECT_NEAR(r.total_pj(),
+              r.compute_pj + r.lif_pj + r.sram_pj + r.dram_pj + r.leakage_pj,
+              1e-6 * r.total_pj());
+  EXPECT_GT(r.cycles, 0);
+}
+
+TEST(SataTest, DeterministicAcrossRuns) {
+  HwWorkload wl = make_workload(TTMode::kSTT, true, false);
+  EnergyReport a = simulate_sata(wl);
+  EnergyReport b = simulate_sata(wl);
+  EXPECT_DOUBLE_EQ(a.total_pj(), b.total_pj());
+  EXPECT_EQ(a.cycles, b.cycles);
+}
+
+TEST(SataTest, EnergyMonotonicInModelWidth) {
+  EnergyReport small = simulate_sata(make_workload(TTMode::kSTT, false, false, 8));
+  EnergyReport big = simulate_sata(make_workload(TTMode::kSTT, false, false, 24));
+  EXPECT_GT(big.total_pj(), small.total_pj());
+  EXPECT_GT(big.cycles, small.cycles);
+}
+
+TEST(SataTest, DecompositionCutsTrainingEnergy) {
+  // Fig. 4(a): STT substantially below the dense baseline.
+  EnergyReport base = simulate_sata(make_workload(TTMode::kSTT, false, false));
+  EnergyReport stt = simulate_sata(make_workload(TTMode::kSTT, true, false));
+  EXPECT_LT(stt.total_pj(), 0.7 * base.total_pj());
+}
+
+TEST(SataTest, PttRoundTripPenalty) {
+  // Fig. 4(a): on the layer-sequential baseline PTT costs MORE than STT
+  // because one strip's output bounces through DRAM before the merge.
+  EnergyReport stt = simulate_sata(make_workload(TTMode::kSTT, true, false));
+  EnergyReport ptt = simulate_sata(make_workload(TTMode::kPTT, true, true));
+  EXPECT_GT(ptt.total_pj(), stt.total_pj());
+  EXPECT_GT(ptt.dram_pj, stt.dram_pj);
+}
+
+TEST(SataTest, SparsityReducesEnergy) {
+  Rng rng(1);
+  ModelConfig cfg;
+  cfg.base_width = 16;
+  cfg.timesteps = 4;
+  ModulePtr net = make_ms_resnet18(cfg, rng);
+  ModelStats stats = analyze_model(*net, 3, 16, 16);
+  WorkloadOptions dense_opts;
+  dense_opts.spike_density = 0.5;
+  WorkloadOptions sparse_opts;
+  sparse_opts.spike_density = 0.1;
+  EnergyReport d = simulate_sata(build_workload("d", stats, dense_opts));
+  EnergyReport s = simulate_sata(build_workload("s", stats, sparse_opts));
+  EXPECT_LT(s.compute_pj, d.compute_pj);
+  EXPECT_LT(s.total_pj(), d.total_pj());
+}
+
+TEST(MultiClusterTest, PttBeatsSttOnProposedDesign) {
+  // Fig. 4(b): the 4-cluster pipelined mapping makes PTT cheaper than STT.
+  EnergyReport stt =
+      simulate_multi_cluster(make_workload(TTMode::kSTT, true, false));
+  EnergyReport ptt =
+      simulate_multi_cluster(make_workload(TTMode::kPTT, true, true));
+  EXPECT_LT(ptt.total_pj(), stt.total_pj());
+  // The win comes from parallel-cluster latency (leakage) + fewer buffer hops.
+  EXPECT_LT(ptt.leakage_pj, stt.leakage_pj);
+  EXPECT_LT(ptt.cycles, stt.cycles);
+}
+
+TEST(MultiClusterTest, HttBeatsPttOnProposedDesign) {
+  EnergyReport ptt =
+      simulate_multi_cluster(make_workload(TTMode::kPTT, true, true));
+  EnergyReport htt =
+      simulate_multi_cluster(make_workload(TTMode::kHTT, true, true));
+  EXPECT_LT(htt.total_pj(), ptt.total_pj());
+}
+
+TEST(MultiClusterTest, ProposedBeatsBaselineForPtt) {
+  HwWorkload wl = make_workload(TTMode::kPTT, true, true);
+  EnergyReport old_hw = simulate_sata(wl);
+  EnergyReport new_hw = simulate_multi_cluster(wl);
+  EXPECT_LT(new_hw.total_pj(), old_hw.total_pj());
+  // Specifically the round-trip DRAM traffic disappears.
+  EXPECT_LT(new_hw.dram_pj, old_hw.dram_pj);
+}
+
+TEST(MultiClusterTest, AllHalfScheduleCheaperThanAllFull) {
+  EnergyReport all_full = simulate_multi_cluster(make_workload(
+      TTMode::kHTT, true, true, 16, {true, true, true, true}));
+  EnergyReport all_half = simulate_multi_cluster(make_workload(
+      TTMode::kHTT, true, true, 16, {false, false, false, false}));
+  EXPECT_LT(all_half.total_pj(), all_full.total_pj());
+}
+
+TEST(MultiClusterTest, ReportTimingConsistent) {
+  HwWorkload wl = make_workload(TTMode::kPTT, true, true);
+  MultiClusterConfig cfg;
+  EnergyReport r = simulate_multi_cluster(wl, cfg);
+  EXPECT_GT(r.milliseconds(cfg.energy.clock_ghz), 0.0);
+  EXPECT_NEAR(r.leakage_pj,
+              static_cast<double>(r.cycles) * cfg.energy.leakage_per_cycle,
+              1e-6 * r.leakage_pj);
+}
+
+}  // namespace
+}  // namespace ttsnn

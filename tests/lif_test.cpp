@@ -1,0 +1,265 @@
+// LIF neuron tests: forward dynamics against hand-computed traces, BPTT
+// backward against an independent reference implementation, and surrogate
+// gradient functions.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/lif.h"
+#include "tensor/ops.h"
+
+namespace ttsnn {
+namespace {
+
+TEST(SurrogateTest, RectangleWindow) {
+  // alpha=1, vth=0.5: gradient 1 inside |u-0.5|<0.5, else 0.
+  EXPECT_FLOAT_EQ(surrogate_grad(Surrogate::kRectangle, 1.0F, 0.5F, 0.5F), 1.0F);
+  EXPECT_FLOAT_EQ(surrogate_grad(Surrogate::kRectangle, 1.0F, 0.5F, 0.9F), 1.0F);
+  EXPECT_FLOAT_EQ(surrogate_grad(Surrogate::kRectangle, 1.0F, 0.5F, 1.1F), 0.0F);
+  EXPECT_FLOAT_EQ(surrogate_grad(Surrogate::kRectangle, 1.0F, 0.5F, -0.1F), 0.0F);
+}
+
+TEST(SurrogateTest, TrianglePeaksAtThreshold) {
+  const float at_th = surrogate_grad(Surrogate::kTriangle, 1.0F, 0.5F, 0.5F);
+  const float off = surrogate_grad(Surrogate::kTriangle, 1.0F, 0.5F, 0.9F);
+  EXPECT_FLOAT_EQ(at_th, 1.0F);
+  EXPECT_GT(at_th, off);
+  EXPECT_FLOAT_EQ(surrogate_grad(Surrogate::kTriangle, 1.0F, 0.5F, 2.0F), 0.0F);
+}
+
+TEST(SurrogateTest, AtanSymmetricAroundThreshold) {
+  const float lo = surrogate_grad(Surrogate::kAtan, 2.0F, 0.5F, 0.3F);
+  const float hi = surrogate_grad(Surrogate::kAtan, 2.0F, 0.5F, 0.7F);
+  EXPECT_NEAR(lo, hi, 1e-6);
+  EXPECT_GT(surrogate_grad(Surrogate::kAtan, 2.0F, 0.5F, 0.5F), lo);
+}
+
+TEST(SurrogateTest, SigmoidMatchesAnalyticDerivative) {
+  // FD check of sigmoid((u - vth)/alpha) wrt u.
+  const float alpha = 0.5F, vth = 0.5F, u = 0.62F, h = 1e-3F;
+  auto sig = [&](float x) { return 1.0F / (1.0F + std::exp(-(x - vth) / alpha)); };
+  const float fd = (sig(u + h) - sig(u - h)) / (2 * h);
+  EXPECT_NEAR(surrogate_grad(Surrogate::kSigmoid, alpha, vth, u), fd, 1e-4);
+}
+
+TEST(LifTest, IntegratesAndFires) {
+  // tau=0.25, vth=0.5. Inputs of 0.3 each step:
+  // t0: u=0.3 (no spike), t1: u=0.25*0.3+0.3=0.375 (no), t2: u=0.39375 (no)...
+  // never reaches 0.5. With input 0.6: fires every step and resets.
+  LIFNeuron lif;
+  Tensor weak = Tensor::full({4, 1, 1}, 0.3F);
+  Tensor s1 = lif.forward(weak);
+  EXPECT_DOUBLE_EQ(s1.sum(), 0.0);
+
+  LIFNeuron lif2;
+  Tensor strong = Tensor::full({4, 1, 1}, 0.6F);
+  Tensor s2 = lif2.forward(strong);
+  EXPECT_DOUBLE_EQ(s2.sum(), 4.0);
+}
+
+TEST(LifTest, HandComputedMembraneTrace) {
+  // tau=0.5, vth=1.0; inputs [0.6, 0.6, 0.6]:
+  // t0: u=0.6, s=0, u_post=0.6
+  // t1: u=0.5*0.6+0.6=0.9, s=0, u_post=0.9
+  // t2: u=0.5*0.9+0.6=1.05, s=1, u_post=0
+  LIFNeuron lif({.tau = 0.5F, .v_th = 1.0F});
+  Tensor x = Tensor::full({3, 1, 1}, 0.6F);
+  Tensor s = lif.forward(x);
+  EXPECT_FLOAT_EQ(s[0], 0.0F);
+  EXPECT_FLOAT_EQ(s[1], 0.0F);
+  EXPECT_FLOAT_EQ(s[2], 1.0F);
+}
+
+TEST(LifTest, ResetClearsPotential) {
+  // After a spike the membrane restarts from 0: identical input sequences
+  // separated by a spike produce identical spike timing.
+  LIFNeuron lif({.tau = 0.5F, .v_th = 1.0F});
+  // 1.2 fires immediately; then weak inputs accumulate from zero.
+  Tensor x({4, 1, 1}, {1.2F, 0.7F, 0.7F, 0.7F});
+  Tensor s = lif.forward(x);
+  EXPECT_FLOAT_EQ(s[0], 1.0F);
+  EXPECT_FLOAT_EQ(s[1], 0.0F);  // u = 0*0.5 + 0.7 = 0.7 < 1
+  EXPECT_FLOAT_EQ(s[2], 1.0F);  // u = 0.35 + 0.7 = 1.05 >= 1
+  EXPECT_FLOAT_EQ(s[3], 0.0F);
+}
+
+TEST(LifTest, OutputsAreBinary) {
+  Rng rng(3);
+  LIFNeuron lif;
+  Tensor x = Tensor::randn({5, 2, 3, 4, 4}, rng);
+  Tensor s = lif.forward(x);
+  for (int64_t i = 0; i < s.numel(); ++i) {
+    EXPECT_TRUE(s[i] == 0.0F || s[i] == 1.0F);
+  }
+  EXPECT_EQ(lif.last_spike_density(), s.density());
+}
+
+/// Independent reference implementation of LIF BPTT, written as explicit
+/// per-element recursion (no vectorization), used to validate the production
+/// backward pass.
+struct LifReference {
+  float tau, vth, alpha;
+  bool detach_reset;
+  Surrogate kind;
+
+  // forward over T scalar inputs; returns spikes and caches u.
+  std::vector<float> u, s;
+  void forward(const std::vector<float>& in) {
+    u.assign(in.size(), 0.0F);
+    s.assign(in.size(), 0.0F);
+    float u_post = 0.0F;
+    for (size_t t = 0; t < in.size(); ++t) {
+      u[t] = tau * u_post + in[t];
+      s[t] = u[t] >= vth ? 1.0F : 0.0F;
+      u_post = u[t] * (1.0F - s[t]);
+    }
+  }
+  // backward given dL/ds per step.
+  std::vector<float> backward(const std::vector<float>& gs) const {
+    std::vector<float> gi(gs.size(), 0.0F);
+    float gu_post = 0.0F;
+    for (int t = static_cast<int>(gs.size()) - 1; t >= 0; --t) {
+      const float surr = surrogate_grad(kind, alpha, vth, u[static_cast<size_t>(t)]);
+      float gu = gs[static_cast<size_t>(t)] * surr +
+                 gu_post * (1.0F - s[static_cast<size_t>(t)]);
+      if (!detach_reset) gu -= gu_post * u[static_cast<size_t>(t)] * surr;
+      gi[static_cast<size_t>(t)] = gu;
+      gu_post = tau * gu;
+    }
+    return gi;
+  }
+};
+
+class LifBackwardTest
+    : public ::testing::TestWithParam<std::tuple<Surrogate, bool>> {};
+
+TEST_P(LifBackwardTest, MatchesReferenceImplementation) {
+  auto [kind, detach] = GetParam();
+  const int64_t T = 6, M = 40;
+  Rng rng(42);
+  LIFNeuron lif({.tau = 0.25F, .v_th = 0.5F, .surrogate = kind,
+                 .surrogate_alpha = 1.0F, .detach_reset = detach});
+  Tensor x = Tensor::uniform({T, M}, rng, -0.2F, 1.0F);
+  Tensor g = Tensor::randn({T, M}, rng);
+  lif.forward(x);
+  Tensor gi = lif.backward(g);
+
+  for (int64_t i = 0; i < M; ++i) {
+    LifReference ref{.tau = 0.25F, .vth = 0.5F, .alpha = 1.0F,
+                     .detach_reset = detach, .kind = kind};
+    std::vector<float> in(T), gs(T);
+    for (int64_t t = 0; t < T; ++t) {
+      in[static_cast<size_t>(t)] = x.at({t, i});
+      gs[static_cast<size_t>(t)] = g.at({t, i});
+    }
+    ref.forward(in);
+    auto gref = ref.backward(gs);
+    for (int64_t t = 0; t < T; ++t) {
+      EXPECT_NEAR(gi.at({t, i}), gref[static_cast<size_t>(t)], 1e-5)
+          << "element " << i << " step " << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, LifBackwardTest,
+    ::testing::Combine(::testing::Values(Surrogate::kRectangle,
+                                         Surrogate::kTriangle, Surrogate::kAtan,
+                                         Surrogate::kSigmoid),
+                       ::testing::Bool()));
+
+TEST(LifTest, TemporalCreditAssignment) {
+  // Gradient at step t must flow back to inputs at steps < t when no spike
+  // interrupts the membrane chain (leak factor tau per step).
+  LIFNeuron lif({.tau = 0.5F, .v_th = 10.0F, .surrogate = Surrogate::kSigmoid,
+                 .surrogate_alpha = 4.0F});
+  Tensor x = Tensor::full({3, 1, 1}, 0.1F);  // never spikes
+  lif.forward(x);
+  Tensor g = Tensor::zeros({3, 1, 1});
+  g[2] = 1.0F;  // loss only at the last step
+  Tensor gi = lif.backward(g);
+  // gi[t] = surr'(u2) * tau^(2-t); ratios must equal tau.
+  EXPECT_GT(gi[2], 0.0F);
+  EXPECT_NEAR(gi[1] / gi[2], 0.5F, 1e-5);
+  EXPECT_NEAR(gi[0] / gi[1], 0.5F, 1e-5);
+}
+
+TEST(LifTest, SoftResetSubtractsThreshold) {
+  // tau=1 (no leak), vth=1. Input 1.5 at t0: spikes, u_post = 0.5.
+  // t1 input 0.6: u = 1.1 -> spikes again (hard reset would not: u = 0.6).
+  LIFNeuron soft({.tau = 1.0F, .v_th = 1.0F, .reset = ResetMode::kSubtract});
+  Tensor x({2, 1, 1}, {1.5F, 0.6F});
+  Tensor s = soft.forward(x);
+  EXPECT_FLOAT_EQ(s[0], 1.0F);
+  EXPECT_FLOAT_EQ(s[1], 1.0F);
+
+  LIFNeuron hard({.tau = 1.0F, .v_th = 1.0F, .reset = ResetMode::kZero});
+  Tensor s2 = hard.forward(x);
+  EXPECT_FLOAT_EQ(s2[0], 1.0F);
+  EXPECT_FLOAT_EQ(s2[1], 0.0F);
+}
+
+TEST(LifTest, SoftResetPreservesResidualCharge) {
+  // Soft reset keeps (u - vth) so neurons with strong drive fire at a rate
+  // proportional to the input; hard reset discards the overshoot.
+  LIFNeuron soft({.tau = 1.0F, .v_th = 1.0F, .reset = ResetMode::kSubtract});
+  LIFNeuron hard({.tau = 1.0F, .v_th = 1.0F, .reset = ResetMode::kZero});
+  Tensor x = Tensor::full({8, 1, 1}, 0.75F);
+  const double soft_rate = soft.forward(x).sum() / 8.0;
+  const double hard_rate = hard.forward(x).sum() / 8.0;
+  EXPECT_NEAR(soft_rate, 0.75, 0.15);  // rate coding: ~input/vth
+  EXPECT_LT(hard_rate, soft_rate);
+}
+
+class LifSoftResetBackwardTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(LifSoftResetBackwardTest, MatchesReferenceImplementation) {
+  const bool detach = GetParam();
+  const int64_t T = 5, M = 30;
+  Rng rng(77);
+  LIFNeuron lif({.tau = 0.5F, .v_th = 0.6F, .surrogate = Surrogate::kTriangle,
+                 .surrogate_alpha = 1.0F, .detach_reset = detach,
+                 .reset = ResetMode::kSubtract});
+  Tensor x = Tensor::uniform({T, M}, rng, -0.2F, 1.2F);
+  Tensor g = Tensor::randn({T, M}, rng);
+  lif.forward(x);
+  Tensor gi = lif.backward(g);
+
+  // Reference: per-element soft-reset BPTT recursion.
+  for (int64_t i = 0; i < M; ++i) {
+    std::vector<float> u(T), s(T);
+    float u_post = 0.0F;
+    for (int64_t t = 0; t < T; ++t) {
+      u[static_cast<size_t>(t)] = 0.5F * u_post + x.at({t, i});
+      s[static_cast<size_t>(t)] = u[static_cast<size_t>(t)] >= 0.6F ? 1.0F : 0.0F;
+      u_post = u[static_cast<size_t>(t)] - 0.6F * s[static_cast<size_t>(t)];
+    }
+    float gu_post = 0.0F;
+    for (int64_t t = T - 1; t >= 0; --t) {
+      const float surr = surrogate_grad(Surrogate::kTriangle, 1.0F, 0.6F,
+                                        u[static_cast<size_t>(t)]);
+      float gu = g.at({t, i}) * surr + gu_post;
+      if (!detach) gu -= gu_post * 0.6F * surr;
+      EXPECT_NEAR(gi.at({t, i}), gu, 1e-5) << "elem " << i << " t " << t;
+      gu_post = 0.5F * gu;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DetachVariants, LifSoftResetBackwardTest,
+                         ::testing::Bool());
+
+TEST(LifTest, RejectsBadOptions) {
+  EXPECT_THROW(LIFNeuron({.tau = 0.0F}), Error);
+  EXPECT_THROW(LIFNeuron({.tau = 1.5F}), Error);
+  EXPECT_THROW(LIFNeuron({.surrogate_alpha = 0.0F}), Error);
+}
+
+TEST(LifTest, BackwardBeforeForwardThrows) {
+  LIFNeuron lif;
+  EXPECT_THROW(lif.backward(Tensor::zeros({1, 1})), Error);
+}
+
+}  // namespace
+}  // namespace ttsnn

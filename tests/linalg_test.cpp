@@ -1,0 +1,154 @@
+// Tests for the Jacobi eigensolver and Gram-based SVD that underpin TT-SVD
+// and VBMF rank estimation.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/linalg.h"
+#include "tensor/ops.h"
+
+namespace ttsnn {
+namespace {
+
+TEST(SymEigTest, DiagonalMatrixEigenvalues) {
+  Tensor a({3, 3}, {3, 0, 0, 0, 1, 0, 0, 0, 2});
+  SymEig e = sym_eig(a);
+  EXPECT_NEAR(e.values[0], 3.0, 1e-6);
+  EXPECT_NEAR(e.values[1], 2.0, 1e-6);
+  EXPECT_NEAR(e.values[2], 1.0, 1e-6);
+}
+
+TEST(SymEigTest, KnownTwoByTwo) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  Tensor a({2, 2}, {2, 1, 1, 2});
+  SymEig e = sym_eig(a);
+  EXPECT_NEAR(e.values[0], 3.0, 1e-6);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-6);
+  // Eigenvector for 3 is (1, 1)/sqrt(2) up to sign.
+  const float v0 = e.vectors.at({0, 0});
+  const float v1 = e.vectors.at({1, 0});
+  EXPECT_NEAR(std::fabs(v0), std::sqrt(0.5), 1e-5);
+  EXPECT_NEAR(v0, v1, 1e-5);
+}
+
+TEST(SymEigTest, ReconstructsMatrix) {
+  Rng rng(4);
+  Tensor b = Tensor::randn({6, 6}, rng);
+  Tensor a = matmul_tn(b, b);  // symmetric PSD
+  SymEig e = sym_eig(a);
+  // A == V diag(lambda) V^T
+  Tensor lam({6, 6});
+  for (int64_t i = 0; i < 6; ++i) {
+    lam.at({i, i}) = static_cast<float>(e.values[static_cast<size_t>(i)]);
+  }
+  Tensor recon = matmul(matmul(e.vectors, lam), e.vectors.transpose2d());
+  EXPECT_LT(max_abs_diff(a, recon), 1e-3);
+}
+
+TEST(SymEigTest, EigenvectorsOrthonormal) {
+  Rng rng(8);
+  Tensor b = Tensor::randn({8, 8}, rng);
+  Tensor a = matmul_tn(b, b);
+  SymEig e = sym_eig(a);
+  Tensor vtv = matmul_tn(e.vectors, e.vectors);
+  for (int64_t i = 0; i < 8; ++i) {
+    for (int64_t j = 0; j < 8; ++j) {
+      EXPECT_NEAR(vtv.at({i, j}), i == j ? 1.0F : 0.0F, 1e-4);
+    }
+  }
+}
+
+TEST(SymEigTest, RejectsAsymmetric) {
+  Tensor a({2, 2}, {1, 5, -5, 1});
+  EXPECT_THROW(sym_eig(a), Error);
+}
+
+TEST(SymEigTest, RejectsNonSquare) {
+  EXPECT_THROW(sym_eig(Tensor::zeros({2, 3})), Error);
+}
+
+class SvdShapeTest : public ::testing::TestWithParam<std::pair<int64_t, int64_t>> {};
+
+TEST_P(SvdShapeTest, ReconstructsInput) {
+  auto [m, n] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 100 + n));
+  Tensor a = Tensor::randn({m, n}, rng);
+  Svd f = svd(a);
+  const int64_t r = std::min(m, n);
+  EXPECT_EQ(f.u.shape(), (Shape{m, r}));
+  EXPECT_EQ(f.s.shape(), (Shape{r}));
+  EXPECT_EQ(f.v.shape(), (Shape{n, r}));
+  // Reconstruct U S V^T.
+  Tensor us = f.u.clone();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < r; ++j) us.at({i, j}) *= f.s[j];
+  }
+  Tensor recon = matmul_nt(us, f.v);
+  EXPECT_LT(max_abs_diff(a, recon), 1e-3) << "m=" << m << " n=" << n;
+  // Singular values descending and non-negative.
+  for (int64_t i = 0; i + 1 < r; ++i) {
+    EXPECT_GE(f.s[i] + 1e-6F, f.s[i + 1]);
+  }
+  EXPECT_GE(f.s[r - 1], -1e-6F);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SvdShapeTest,
+                         ::testing::Values(std::pair<int64_t, int64_t>{4, 4},
+                                           std::pair<int64_t, int64_t>{3, 9},
+                                           std::pair<int64_t, int64_t>{9, 3},
+                                           std::pair<int64_t, int64_t>{16, 5},
+                                           std::pair<int64_t, int64_t>{5, 16},
+                                           std::pair<int64_t, int64_t>{1, 7},
+                                           std::pair<int64_t, int64_t>{32, 48}));
+
+TEST(SvdTest, ExactLowRankMatrixRecovered) {
+  // Rank-2 matrix: singular values beyond index 1 must be ~0.
+  Rng rng(17);
+  Tensor u = Tensor::randn({10, 2}, rng);
+  Tensor v = Tensor::randn({2, 12}, rng);
+  Tensor a = matmul(u, v);
+  Svd f = svd(a);
+  EXPECT_GT(f.s[0], 0.1F);
+  EXPECT_GT(f.s[1], 0.01F);
+  for (int64_t i = 2; i < f.s.numel(); ++i) EXPECT_NEAR(f.s[i], 0.0F, 1e-2F);
+}
+
+TEST(SvdTest, SingularValuesMatchFullSvd) {
+  Rng rng(23);
+  Tensor a = Tensor::randn({7, 11}, rng);
+  Svd f = svd(a);
+  auto s = singular_values(a);
+  ASSERT_EQ(static_cast<int64_t>(s.size()), f.s.numel());
+  for (size_t i = 0; i < s.size(); ++i) {
+    EXPECT_NEAR(s[i], f.s[static_cast<int64_t>(i)], 1e-3);
+  }
+}
+
+TEST(SvdTest, OrthonormalFactors) {
+  Rng rng(29);
+  Tensor a = Tensor::randn({6, 14}, rng);
+  Svd f = svd(a);
+  Tensor utu = matmul_tn(f.u, f.u);
+  Tensor vtv = matmul_tn(f.v, f.v);
+  for (int64_t i = 0; i < 6; ++i) {
+    for (int64_t j = 0; j < 6; ++j) {
+      EXPECT_NEAR(utu.at({i, j}), i == j ? 1.0F : 0.0F, 1e-3);
+      EXPECT_NEAR(vtv.at({i, j}), i == j ? 1.0F : 0.0F, 1e-3);
+    }
+  }
+}
+
+TEST(SvdTest, FrobeniusNormPreserved) {
+  Rng rng(31);
+  Tensor a = Tensor::randn({9, 5}, rng);
+  Svd f = svd(a);
+  double s2 = 0.0;
+  for (int64_t i = 0; i < f.s.numel(); ++i) {
+    s2 += static_cast<double>(f.s[i]) * f.s[i];
+  }
+  EXPECT_NEAR(std::sqrt(s2), a.norm(), 1e-3);
+}
+
+}  // namespace
+}  // namespace ttsnn

@@ -1,0 +1,195 @@
+// Model zoo and analyzer tests: output shapes, parameter counts at paper
+// scale (Table II static columns), and FLOPs accounting.
+
+#include <gtest/gtest.h>
+
+#include "core/factorize.h"
+#include "core/flops.h"
+#include "core/models.h"
+#include "core/paper_config.h"
+
+namespace ttsnn {
+namespace {
+
+TEST(ModelsTest, MsResNet18ForwardShape) {
+  Rng rng(1);
+  ModelConfig cfg{.in_channels = 3, .num_classes = 10, .base_width = 8,
+                  .timesteps = 2};
+  ModulePtr net = make_ms_resnet18(cfg, rng);
+  Tensor x = Tensor::uniform({2, 3, 3, 16, 16}, rng);
+  Tensor y = net->forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 3, 10}));
+}
+
+TEST(ModelsTest, MsResNet34Depth) {
+  Rng rng(2);
+  ModelConfig cfg{.in_channels = 2, .num_classes = 5, .base_width = 8,
+                  .timesteps = 2};
+  ModulePtr net = make_ms_resnet34(cfg, rng);
+  ModelStats stats = analyze_model(*net, 2, 16, 16);
+  // 1 stem + 32 block convs + 3 shortcuts = 36 convs.
+  int64_t convs = 0;
+  for (const auto& d : stats.layers) convs += d.kind == "conv" ? 1 : 0;
+  EXPECT_EQ(convs, 36);
+}
+
+TEST(ModelsTest, ResNet20UsesTdBn) {
+  Rng rng(3);
+  ModelConfig cfg{.num_classes = 4, .base_width = 8, .timesteps = 2};
+  cfg.lif.v_th = 0.5F;
+  ModulePtr net = make_resnet20(cfg, rng);
+  Tensor x = Tensor::uniform({2, 2, 3, 16, 16}, rng);
+  Tensor y = net->forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 2, 4}));
+}
+
+TEST(ModelsTest, VggForwardShapes) {
+  Rng rng(4);
+  ModelConfig cfg{.in_channels = 2, .num_classes = 6, .base_width = 16,
+                  .timesteps = 3};
+  ModulePtr v9 = make_vgg9(cfg, rng);
+  ModulePtr v11 = make_vgg11(cfg, rng);
+  Tensor x = Tensor::uniform({3, 2, 2, 16, 16}, rng);
+  EXPECT_EQ(v9->forward(x).shape(), (Shape{3, 2, 6}));
+  EXPECT_EQ(v11->forward(x).shape(), (Shape{3, 2, 6}));
+}
+
+TEST(ModelsTest, BackwardRunsThroughResNet) {
+  Rng rng(5);
+  ModelConfig cfg{.num_classes = 4, .base_width = 8, .timesteps = 2};
+  // Zero-init residual gammas deliberately block the body gradient on the
+  // first step; disable it here — this test checks gradient plumbing.
+  cfg.zero_init_residual = false;
+  ModulePtr net = make_ms_resnet18(cfg, rng);
+  Tensor x = Tensor::uniform({2, 2, 3, 8, 8}, rng);
+  Tensor y = net->forward(x);
+  Tensor g = Tensor::randn(y.shape(), rng);
+  Tensor gx = net->backward(g);
+  EXPECT_EQ(gx.shape(), x.shape());
+  // Every parameter receives some gradient signal.
+  int64_t touched = 0;
+  for (Parameter* p : net->parameters()) {
+    touched += p->grad.norm() > 0.0 ? 1 : 0;
+  }
+  EXPECT_GT(touched, static_cast<int64_t>(net->parameters().size() * 3 / 4));
+}
+
+// ---- Paper-scale static analysis (Table II params/FLOPs columns) -----------
+
+TEST(PaperConfigTest, ResNet18BaselineMatchesTable2) {
+  PaperModel m = paper_resnet18_cifar(10);
+  PaperCounts counts = paper_baseline_counts(m);
+  // Table II: 11.20 M params, 2.221 G FLOPs (T = 4).
+  EXPECT_NEAR(counts.params_m, 11.20, 0.15);
+  EXPECT_NEAR(counts.flops_g, 2.221, 0.03);
+}
+
+TEST(PaperConfigTest, ResNet18TtMatchesTable2) {
+  PaperModel m = paper_resnet18_cifar(10);
+  PaperCounts tt = paper_tt_counts(m, paper_ranks_resnet18(), TTMode::kPTT);
+  // Table II: 1.83 M params (6.13x), 0.372 G FLOPs (5.97x). The params
+  // tolerance is wide: the published rank list does not correspond exactly
+  // to the tabulated run (the paper's CIFAR100 row reports FEWER TT params
+  // than CIFAR10 for the same backbone, so ranks varied per run); with the
+  // published ranks the formula r(I+O)+6r^2 gives 1.66 M (6.74x).
+  EXPECT_NEAR(tt.params_m, 1.83, 0.25);
+  EXPECT_NEAR(tt.flops_g, 0.372, 0.05);
+  PaperCounts base = paper_baseline_counts(m);
+  EXPECT_NEAR(base.params_m / tt.params_m, 6.13, 0.9);
+  EXPECT_NEAR(base.flops_g / tt.flops_g, 5.97, 0.6);
+}
+
+TEST(PaperConfigTest, ResNet18HttFlopsMatchTable2) {
+  PaperModel m = paper_resnet18_cifar(10);
+  // CIFAR10 HTT: strips run on 2 of 4 timesteps.
+  PaperCounts htt = paper_tt_counts(m, paper_ranks_resnet18(), TTMode::kHTT, 0.5);
+  // Table II: 0.282 G FLOPs (7.88x).
+  EXPECT_NEAR(htt.flops_g, 0.282, 0.05);
+}
+
+TEST(PaperConfigTest, ResNet34NCaltechMatchesTable2) {
+  PaperModel m = paper_resnet34_ncaltech();
+  PaperCounts base = paper_baseline_counts(m);
+  // Table II: 21.31 M params, 15.65 G FLOPs (T = 6).
+  EXPECT_NEAR(base.params_m, 21.31, 0.25);
+  EXPECT_NEAR(base.flops_g, 15.65, 0.6);
+
+  PaperCounts tt = paper_tt_counts(m, paper_ranks_resnet34(), TTMode::kPTT);
+  // Table II: 2.67 M (7.98x), 1.69 G (9.25x).
+  EXPECT_NEAR(tt.params_m, 2.67, 0.2);
+  EXPECT_NEAR(tt.flops_g, 1.69, 0.2);
+
+  // HTT: strips on 4 of 6 timesteps -> 1.46 G (10.75x).
+  PaperCounts htt =
+      paper_tt_counts(m, paper_ranks_resnet34(), TTMode::kHTT, 4.0 / 6.0);
+  EXPECT_NEAR(htt.flops_g, 1.46, 0.2);
+}
+
+TEST(PaperConfigTest, RankListLengthsMatchDecomposedConvs) {
+  PaperModel r18 = paper_resnet18_cifar(10);
+  int64_t decomposed = 0;
+  for (const auto& c : r18.convs) decomposed += c.decomposed ? 1 : 0;
+  EXPECT_EQ(decomposed, static_cast<int64_t>(paper_ranks_resnet18().size()));
+
+  PaperModel r34 = paper_resnet34_ncaltech();
+  decomposed = 0;
+  for (const auto& c : r34.convs) decomposed += c.decomposed ? 1 : 0;
+  EXPECT_EQ(decomposed, static_cast<int64_t>(paper_ranks_resnet34().size()));
+}
+
+TEST(PaperConfigTest, SttAndPttFlopsNearlyEqual) {
+  // The paper reports the same FLOPs for STT and PTT (they differ only on
+  // strided layers, where STT's first strip keeps full width).
+  PaperModel m = paper_resnet18_cifar(10);
+  PaperCounts stt = paper_tt_counts(m, paper_ranks_resnet18(), TTMode::kSTT);
+  PaperCounts ptt = paper_tt_counts(m, paper_ranks_resnet18(), TTMode::kPTT);
+  EXPECT_NEAR(stt.flops_g, ptt.flops_g, 0.1 * ptt.flops_g);
+  EXPECT_GE(stt.flops_g, ptt.flops_g);  // STT never cheaper
+}
+
+TEST(AnalyzeModelTest, MatchesDirectParamCount) {
+  Rng rng(6);
+  ModelConfig cfg{.num_classes = 7, .base_width = 8, .timesteps = 2};
+  ModulePtr net = make_ms_resnet18(cfg, rng);
+  ModelStats stats = analyze_model(*net, 3, 16, 16);
+  EXPECT_EQ(stats.total_params, net->num_params());
+  EXPECT_GT(stats.macs_per_step, 0.0);
+}
+
+TEST(AnalyzeModelTest, FactorizationReducesAnalyzedFlops) {
+  Rng rng(7);
+  ModelConfig cfg{.num_classes = 4, .base_width = 16, .timesteps = 2};
+  ModulePtr net = make_ms_resnet18(cfg, rng);
+  ModelStats dense = analyze_model(*net, 3, 16, 16);
+  FactorizeOptions opts;
+  opts.use_vbmf = false;
+  opts.rank_fraction = 0.25;
+  factorize_network(*net, opts, rng);
+  ModelStats tt = analyze_model(*net, 3, 16, 16);
+  EXPECT_LT(tt.total_params, dense.total_params);
+  EXPECT_LT(tt.macs_per_step, dense.macs_per_step);
+}
+
+TEST(AnalyzeModelTest, SpikeInputFlagsFollowLif) {
+  Rng rng(8);
+  ModelConfig cfg{.num_classes = 4, .base_width = 8, .timesteps = 2};
+  ModulePtr net = make_ms_resnet18(cfg, rng);
+  ModelStats stats = analyze_model(*net, 3, 16, 16);
+  // Stem conv consumes the analog input.
+  ASSERT_FALSE(stats.layers.empty());
+  EXPECT_EQ(stats.layers[0].kind, "conv");
+  EXPECT_FALSE(stats.layers[0].spike_input);
+  // Block convs follow an LIF: spike input.
+  bool found_block_conv = false;
+  for (size_t i = 1; i < stats.layers.size(); ++i) {
+    if (stats.layers[i].kind == "conv" && stats.layers[i].kernel_h == 3) {
+      EXPECT_TRUE(stats.layers[i].spike_input) << "layer " << i;
+      found_block_conv = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found_block_conv);
+}
+
+}  // namespace
+}  // namespace ttsnn

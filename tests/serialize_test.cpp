@@ -1,0 +1,119 @@
+// Checkpointing tests: save/load round-trips for dense and factorized
+// models, and rejection of mismatched architectures and corrupt files.
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/factorize.h"
+#include "core/models.h"
+#include "snn/serialize.h"
+#include "tensor/ops.h"
+
+namespace ttsnn {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/ttsnn_ckpt.bin";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(SerializeTest, DenseRoundTripPreservesOutputs) {
+  Rng rng(1);
+  ModelConfig cfg{.num_classes = 4, .base_width = 8, .timesteps = 2};
+  ModulePtr a = make_ms_resnet18(cfg, rng);
+  Tensor x = Tensor::uniform({2, 2, 3, 8, 8}, rng);
+  a->set_training(false);
+  Tensor ya = a->forward(x);
+
+  save_parameters(*a, path_);
+
+  Rng rng2(99);  // different init; load must overwrite everything
+  ModulePtr b = make_ms_resnet18(cfg, rng2);
+  load_parameters(*b, path_);
+  b->set_training(false);
+  Tensor yb = b->forward(x);
+  EXPECT_LT(max_abs_diff(ya, yb), 1e-7);
+}
+
+TEST_F(SerializeTest, FactorizedRoundTrip) {
+  Rng rng(2);
+  ModelConfig cfg{.num_classes = 4, .base_width = 8, .timesteps = 2};
+  FactorizeOptions fopts;
+  fopts.use_vbmf = false;
+  fopts.rank_fraction = 0.5;
+
+  ModulePtr a = make_ms_resnet18(cfg, rng);
+  factorize_network(*a, fopts, rng);
+  save_parameters(*a, path_);
+
+  Rng rng2(3);
+  ModulePtr b = make_ms_resnet18(cfg, rng2);
+  factorize_network(*b, fopts, rng2);
+  load_parameters(*b, path_);
+
+  Tensor x = Tensor::uniform({2, 1, 3, 8, 8}, rng);
+  a->set_training(false);
+  b->set_training(false);
+  EXPECT_LT(max_abs_diff(a->forward(x), b->forward(x)), 1e-7);
+}
+
+TEST_F(SerializeTest, ArchitectureMismatchThrows) {
+  Rng rng(4);
+  ModelConfig cfg{.num_classes = 4, .base_width = 8, .timesteps = 2};
+  ModulePtr dense = make_ms_resnet18(cfg, rng);
+  save_parameters(*dense, path_);
+
+  // A factorized model has different parameters: loading must fail loudly.
+  ModulePtr tt = make_ms_resnet18(cfg, rng);
+  FactorizeOptions fopts;
+  fopts.use_vbmf = false;
+  factorize_network(*tt, fopts, rng);
+  EXPECT_THROW(load_parameters(*tt, path_), Error);
+
+  // Same family, different width: shape mismatch.
+  ModelConfig wide = cfg;
+  wide.base_width = 16;
+  ModulePtr big = make_ms_resnet18(wide, rng);
+  EXPECT_THROW(load_parameters(*big, path_), Error);
+}
+
+TEST_F(SerializeTest, CorruptFileThrows) {
+  std::ofstream out(path_, std::ios::binary);
+  out << "not a checkpoint";
+  out.close();
+  Rng rng(5);
+  ModelConfig cfg{.num_classes = 4, .base_width = 8, .timesteps = 2};
+  ModulePtr net = make_ms_resnet18(cfg, rng);
+  EXPECT_THROW(load_parameters(*net, path_), Error);
+}
+
+TEST_F(SerializeTest, TruncatedFileThrows) {
+  Rng rng(6);
+  ModelConfig cfg{.num_classes = 4, .base_width = 8, .timesteps = 2};
+  ModulePtr net = make_ms_resnet18(cfg, rng);
+  save_parameters(*net, path_);
+  // Truncate to half.
+  std::ifstream in(path_, std::ios::binary | std::ios::ate);
+  const auto size = in.tellg();
+  in.seekg(0);
+  std::string half(static_cast<size_t>(size) / 2, '\0');
+  in.read(half.data(), static_cast<std::streamsize>(half.size()));
+  in.close();
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out << half;
+  out.close();
+  EXPECT_THROW(load_parameters(*net, path_), Error);
+}
+
+TEST_F(SerializeTest, MissingFileThrows) {
+  Rng rng(7);
+  ModelConfig cfg{.num_classes = 4, .base_width = 8, .timesteps = 2};
+  ModulePtr net = make_ms_resnet18(cfg, rng);
+  EXPECT_THROW(load_parameters(*net, "/nonexistent/path.bin"), Error);
+}
+
+}  // namespace
+}  // namespace ttsnn

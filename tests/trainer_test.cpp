@@ -1,0 +1,221 @@
+// End-to-end training tests: the integration layer of the reproduction.
+// A scaled MS-ResNet must actually learn the synthetic datasets, in dense
+// form AND after TT factorization in each mode; training time must order as
+// the paper reports (baseline slowest, HTT fastest).
+
+#include <gtest/gtest.h>
+
+#include "core/factorize.h"
+#include "core/models.h"
+#include "data/synthetic_event.h"
+#include "data/synthetic_image.h"
+#include "snn/trainer.h"
+
+namespace ttsnn {
+namespace {
+
+SyntheticImageDataset small_images(uint64_t seed, int64_t per_class = 12) {
+  return SyntheticImageDataset({.num_classes = 4,
+                                .samples_per_class = per_class,
+                                .channels = 3,
+                                .size = 12,
+                                .seed = seed});
+}
+
+ModelConfig small_model_config() {
+  ModelConfig cfg;
+  cfg.in_channels = 3;
+  cfg.num_classes = 4;
+  cfg.base_width = 8;
+  cfg.timesteps = 2;
+  return cfg;
+}
+
+TEST(TrainerTest, LossDecreasesOnImages) {
+  Rng rng(1);
+  ModelConfig cfg = small_model_config();
+  ModulePtr net = make_ms_resnet18(cfg, rng);
+  SyntheticImageDataset train = small_images(100);
+  SyntheticImageDataset test = small_images(200, 4);
+  Trainer trainer(*net, train, test,
+                  {.epochs = 4, .batch_size = 16, .timesteps = 2, .lr = 0.05F,
+                   .seed = 3});
+  EpochStats first = trainer.run_epoch(0);
+  EpochStats last;
+  for (int64_t e = 1; e < 4; ++e) last = trainer.run_epoch(e);
+  EXPECT_LT(last.loss, first.loss);
+}
+
+TEST(TrainerTest, LearnsAboveChanceDense) {
+  Rng rng(2);
+  ModelConfig cfg = small_model_config();
+  ModulePtr net = make_ms_resnet18(cfg, rng);
+  SyntheticImageDataset train = small_images(100);
+  SyntheticImageDataset test = small_images(200, 6);
+  Trainer trainer(*net, train, test,
+                  {.epochs = 6, .batch_size = 16, .timesteps = 2, .lr = 0.05F,
+                   .seed = 4});
+  FitResult result = trainer.fit();
+  EXPECT_GT(result.test_accuracy, 0.4);  // chance = 0.25
+  EXPECT_GT(result.batch_time_s, 0.0);
+}
+
+class TrainerModeTest : public ::testing::TestWithParam<TTMode> {};
+
+TEST_P(TrainerModeTest, LearnsAboveChanceFactorized) {
+  Rng rng(3);
+  ModelConfig cfg = small_model_config();
+  ModulePtr net = make_ms_resnet18(cfg, rng);
+  FactorizeOptions fopts;
+  fopts.mode = GetParam();
+  fopts.use_vbmf = false;
+  fopts.rank_fraction = 0.5;
+  // HTT uses the paper's schedule: full sub-convolutions in the early half
+  // of the timesteps, half sub-convolutions in the late half (Sec. V-A).
+  const bool htt = fopts.mode == TTMode::kHTT;
+  const int64_t timesteps = htt ? 4 : 2;
+  if (htt) fopts.htt_schedule = {true, true, false, false};
+  factorize_network(*net, fopts, rng);
+
+  SyntheticImageDataset train = small_images(100);
+  SyntheticImageDataset test = small_images(200, 6);
+  // HTT does less work per step and needs a hotter LR at this tiny scale;
+  // the deterministic seed keeps the outcome stable.
+  Trainer trainer(*net, train, test,
+                  {.epochs = 6, .batch_size = 16, .timesteps = timesteps,
+                   .lr = htt ? 0.1F : 0.05F, .seed = 5});
+  FitResult result = trainer.fit();
+  EXPECT_GT(result.test_accuracy, 0.4) << tt_mode_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, TrainerModeTest,
+                         ::testing::Values(TTMode::kSTT, TTMode::kPTT,
+                                           TTMode::kHTT));
+
+TEST(TrainerTest, MergedModelKeepsAccuracy) {
+  // Train factorized (PTT), merge (Algorithm 1 lines 20-22), and verify the
+  // merged dense model scores identically on the test set.
+  Rng rng(4);
+  ModelConfig cfg = small_model_config();
+  ModulePtr net = make_ms_resnet18(cfg, rng);
+  FactorizeOptions fopts;
+  fopts.use_vbmf = false;
+  fopts.rank_fraction = 0.5;
+  factorize_network(*net, fopts, rng);
+
+  SyntheticImageDataset train = small_images(100, 8);
+  SyntheticImageDataset test = small_images(200, 6);
+  Trainer trainer(*net, train, test,
+                  {.epochs = 3, .batch_size = 16, .timesteps = 2, .lr = 0.05F,
+                   .seed = 6});
+  for (int64_t e = 0; e < 3; ++e) trainer.run_epoch(e);
+  const double acc_tt = trainer.evaluate();
+
+  merge_network(*net);
+  Trainer merged_eval(*net, train, test,
+                      {.epochs = 1, .batch_size = 16, .timesteps = 2,
+                       .seed = 6});
+  const double acc_merged = merged_eval.evaluate();
+  EXPECT_NEAR(acc_tt, acc_merged, 1e-9);
+}
+
+TEST(TrainerTest, BatchTimeOrderingMatchesPaper) {
+  // Table II trend: baseline slower than STT; HTT fastest of the TT modes.
+  Rng rng(5);
+  ModelConfig cfg = small_model_config();
+  cfg.base_width = 16;
+
+  auto time_mode = [&](const char* which) {
+    ModulePtr net = make_ms_resnet18(cfg, rng);
+    if (std::string(which) != "dense") {
+      FactorizeOptions fopts;
+      fopts.use_vbmf = false;
+      fopts.rank_fraction = 0.25;
+      fopts.mode = std::string(which) == "stt" ? TTMode::kSTT
+                   : std::string(which) == "ptt" ? TTMode::kPTT
+                                                 : TTMode::kHTT;
+      if (fopts.mode == TTMode::kHTT) fopts.htt_schedule = {true, false};
+      factorize_network(*net, fopts, rng);
+    }
+    SyntheticImageDataset train = small_images(100, 8);
+    Trainer trainer(*net, train, train,
+                    {.epochs = 1, .batch_size = 8, .timesteps = 2, .seed = 7});
+    return trainer.time_batch(3);
+  };
+
+  const double t_dense = time_mode("dense");
+  const double t_stt = time_mode("stt");
+  const double t_htt = time_mode("htt");
+  EXPECT_LT(t_stt, t_dense);
+  EXPECT_LT(t_htt, t_stt * 1.15);  // HTT does strictly less work than STT
+}
+
+TEST(TrainerTest, LearnsEventDataset) {
+  Rng rng(6);
+  ModelConfig cfg = small_model_config();
+  cfg.in_channels = 2;
+  ModulePtr net = make_ms_resnet18(cfg, rng);
+  SyntheticEventDataset train({.num_classes = 4, .samples_per_class = 12,
+                               .size = 12, .seed = 100});
+  SyntheticEventDataset test({.num_classes = 4, .samples_per_class = 6,
+                              .size = 12, .seed = 200});
+  Trainer trainer(*net, train, test,
+                  {.epochs = 8, .batch_size = 16, .timesteps = 4, .lr = 0.05F,
+                   .seed = 9});
+  FitResult result = trainer.fit();
+  EXPECT_GT(result.test_accuracy, 0.4);
+}
+
+TEST(TrainerTest, EvaluateHandlesRemainderBatch) {
+  // Test set size not divisible by batch size: every sample still counted.
+  Rng rng(11);
+  ModelConfig cfg = small_model_config();
+  ModulePtr net = make_ms_resnet18(cfg, rng);
+  SyntheticImageDataset train = small_images(100, 4);
+  SyntheticImageDataset test = small_images(200, 3);  // 12 samples, batch 16
+  Trainer trainer(*net, train, test,
+                  {.epochs = 1, .batch_size = 16, .timesteps = 2, .seed = 12});
+  const double acc = trainer.evaluate();
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+TEST(TrainerTest, DatasetSmallerThanBatchThrows) {
+  Rng rng(12);
+  ModelConfig cfg = small_model_config();
+  ModulePtr net = make_ms_resnet18(cfg, rng);
+  SyntheticImageDataset tiny = small_images(100, 2);  // 8 samples
+  Trainer trainer(*net, tiny, tiny,
+                  {.epochs = 1, .batch_size = 64, .timesteps = 2, .seed = 13});
+  EXPECT_THROW(trainer.run_epoch(0), Error);
+}
+
+TEST(TrainerTest, ClearCacheReleasesActivations) {
+  Rng rng(13);
+  ModelConfig cfg = small_model_config();
+  ModulePtr net = make_ms_resnet18(cfg, rng);
+  SyntheticImageDataset data = small_images(100, 4);
+  Batch batch = data.get_batch({0, 1}, 2);
+  net->forward(batch.input);
+  net->clear_cache();
+  // Backward after clear_cache must fail loudly, not read stale tensors.
+  Tensor g = Tensor::zeros({2, 2, 4});
+  EXPECT_THROW(net->backward(g), Error);
+}
+
+TEST(TrainerTest, TetLossTrains) {
+  Rng rng(7);
+  ModelConfig cfg = small_model_config();
+  ModulePtr net = make_ms_resnet18(cfg, rng);
+  SyntheticImageDataset train = small_images(100, 8);
+  Trainer trainer(*net, train, train,
+                  {.epochs = 3, .batch_size = 16, .timesteps = 2, .lr = 0.05F,
+                   .loss = LossKind::kTet, .tet_lambda = 0.05F, .seed = 9});
+  EpochStats first = trainer.run_epoch(0);
+  EpochStats last = trainer.run_epoch(1);
+  last = trainer.run_epoch(2);
+  EXPECT_LT(last.loss, first.loss);
+}
+
+}  // namespace
+}  // namespace ttsnn

@@ -1,0 +1,275 @@
+// TT machinery tests: TT-SVD reconstruction, merge contractions (STT full
+// kernel, PTT cross kernel, half pointwise kernel), and VBMF rank recovery.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/linalg.h"
+#include "tensor/ops.h"
+#include "tt/tt_cores.h"
+#include "tt/tt_svd.h"
+#include "tt/vbmf.h"
+
+namespace ttsnn {
+namespace {
+
+TTCores random_cores(int64_t in_c, int64_t out_c, int64_t k, int64_t r, Rng& rng) {
+  TTCores c{.in_channels = in_c, .out_channels = out_c, .kernel = k, .rank = r};
+  c.w1 = Tensor::randn({r, in_c, 1, 1}, rng);
+  c.w2 = Tensor::randn({r, r, k, 1}, rng);
+  c.w3 = Tensor::randn({r, r, 1, k}, rng);
+  c.w4 = Tensor::randn({out_c, r, 1, 1}, rng);
+  return c;
+}
+
+TEST(TTCoresTest, ParamCountFormula) {
+  EXPECT_EQ(tt_num_params(64, 128, 3, 16), 16 * 64 + 2 * 3 * 16 * 16 + 128 * 16);
+  Rng rng(1);
+  TTCores c = random_cores(8, 12, 3, 4, rng);
+  EXPECT_EQ(c.num_params(),
+            c.w1.numel() + c.w2.numel() + c.w3.numel() + c.w4.numel());
+}
+
+TEST(TTCoresTest, CheckRejectsBadShapes) {
+  Rng rng(2);
+  TTCores c = random_cores(8, 12, 3, 4, rng);
+  EXPECT_NO_THROW(c.check());
+  c.w2 = Tensor::zeros({4, 4, 1, 3});  // swapped strip orientation
+  EXPECT_THROW(c.check(), Error);
+}
+
+TEST(MergeTest, SttMergeMatchesExplicitContraction) {
+  Rng rng(3);
+  TTCores c = random_cores(3, 4, 3, 2, rng);
+  Tensor dense = merge_stt(c);
+  EXPECT_EQ(dense.shape(), (Shape{4, 3, 3, 3}));
+  // Explicit 7-loop contraction.
+  for (int64_t o = 0; o < 4; ++o) {
+    for (int64_t i = 0; i < 3; ++i) {
+      for (int64_t y = 0; y < 3; ++y) {
+        for (int64_t x = 0; x < 3; ++x) {
+          double v = 0.0;
+          for (int64_t r1 = 0; r1 < 2; ++r1) {
+            for (int64_t r2 = 0; r2 < 2; ++r2) {
+              for (int64_t r3 = 0; r3 < 2; ++r3) {
+                v += c.w1.at({r1, i, 0, 0}) * c.w2.at({r2, r1, y, 0}) *
+                     c.w3.at({r3, r2, 0, x}) * c.w4.at({o, r3, 0, 0});
+              }
+            }
+          }
+          EXPECT_NEAR(dense.at({o, i, y, x}), v, 1e-4)
+              << "o=" << o << " i=" << i << " y=" << y << " x=" << x;
+        }
+      }
+    }
+  }
+}
+
+TEST(MergeTest, PttMergeHasCrossSupport) {
+  // "3x3 without the four corner values" (Fig. 1c).
+  Rng rng(4);
+  TTCores c = random_cores(5, 6, 3, 3, rng);
+  Tensor dense = merge_ptt(c);
+  for (int64_t o = 0; o < 6; ++o) {
+    for (int64_t i = 0; i < 5; ++i) {
+      EXPECT_FLOAT_EQ(dense.at({o, i, 0, 0}), 0.0F);
+      EXPECT_FLOAT_EQ(dense.at({o, i, 0, 2}), 0.0F);
+      EXPECT_FLOAT_EQ(dense.at({o, i, 2, 0}), 0.0F);
+      EXPECT_FLOAT_EQ(dense.at({o, i, 2, 2}), 0.0F);
+    }
+  }
+  // Center receives both paths; off-center arms only one.
+  double norm_arms = 0.0;
+  for (int64_t o = 0; o < 6; ++o) {
+    for (int64_t i = 0; i < 5; ++i) {
+      norm_arms += std::fabs(dense.at({o, i, 0, 1})) +
+                   std::fabs(dense.at({o, i, 1, 0}));
+    }
+  }
+  EXPECT_GT(norm_arms, 0.0);
+}
+
+TEST(MergeTest, PttMergeMatchesExplicitContraction) {
+  Rng rng(5);
+  TTCores c = random_cores(3, 3, 3, 2, rng);
+  Tensor dense = merge_ptt(c);
+  const int64_t center = 1;
+  for (int64_t o = 0; o < 3; ++o) {
+    for (int64_t i = 0; i < 3; ++i) {
+      for (int64_t y = 0; y < 3; ++y) {
+        for (int64_t x = 0; x < 3; ++x) {
+          double v = 0.0;
+          if (x == center) {  // vertical path w1 * w2 * w4
+            for (int64_t r1 = 0; r1 < 2; ++r1) {
+              for (int64_t r2 = 0; r2 < 2; ++r2) {
+                v += c.w1.at({r1, i, 0, 0}) * c.w2.at({r2, r1, y, 0}) *
+                     c.w4.at({o, r2, 0, 0});
+              }
+            }
+          }
+          if (y == center) {  // horizontal path w1 * w3 * w4
+            for (int64_t r1 = 0; r1 < 2; ++r1) {
+              for (int64_t r3 = 0; r3 < 2; ++r3) {
+                v += c.w1.at({r1, i, 0, 0}) * c.w3.at({r3, r1, 0, x}) *
+                     c.w4.at({o, r3, 0, 0});
+              }
+            }
+          }
+          EXPECT_NEAR(dense.at({o, i, y, x}), v, 1e-4);
+        }
+      }
+    }
+  }
+}
+
+TEST(MergeTest, HalfMergeIsPointwiseProduct) {
+  Rng rng(6);
+  TTCores c = random_cores(4, 5, 3, 3, rng);
+  Tensor half = merge_half(c);
+  EXPECT_EQ(half.shape(), (Shape{5, 4, 1, 1}));
+  for (int64_t o = 0; o < 5; ++o) {
+    for (int64_t i = 0; i < 4; ++i) {
+      double v = 0.0;
+      for (int64_t r = 0; r < 3; ++r) {
+        v += c.w4.at({o, r, 0, 0}) * c.w1.at({r, i, 0, 0});
+      }
+      EXPECT_NEAR(half.at({o, i, 0, 0}), v, 1e-5);
+    }
+  }
+}
+
+TEST(TtSvdTest, ExactRecoveryOfLowTtRankTensor) {
+  // A tensor synthesized from rank-r cores must be reconstructed exactly by
+  // tt_svd at the same rank.
+  Rng rng(7);
+  for (int64_t r : {1, 2, 4}) {
+    TTCores gen = random_cores(8, 10, 3, r, rng);
+    Tensor dense = merge_stt(gen);
+    TTCores rec = tt_svd(dense, r);
+    EXPECT_EQ(rec.rank, r);
+    EXPECT_LT(tt_reconstruction_error(dense, rec), 1e-3) << "rank " << r;
+  }
+}
+
+TEST(TtSvdTest, ErrorDecreasesWithRank) {
+  Rng rng(8);
+  Tensor dense = Tensor::randn({12, 12, 3, 3}, rng);
+  double prev = 1e9;
+  for (int64_t r : {1, 2, 4, 8, 12}) {
+    TTCores c = tt_svd(dense, r);
+    const double err = tt_reconstruction_error(dense, c);
+    EXPECT_LE(err, prev + 1e-6) << "rank " << r;
+    prev = err;
+  }
+}
+
+TEST(TtSvdTest, RankClampedToChannels) {
+  Rng rng(9);
+  Tensor dense = Tensor::randn({4, 6, 3, 3}, rng);
+  TTCores c = tt_svd(dense, 100);
+  EXPECT_EQ(c.rank, 4);  // min(I=6, O=4)
+}
+
+TEST(TtSvdTest, RejectsEvenKernel) {
+  Rng rng(10);
+  Tensor dense = Tensor::randn({4, 4, 2, 2}, rng);
+  EXPECT_THROW(tt_svd(dense, 2), Error);
+}
+
+TEST(TtSvdTest, CoreShapesMatchFig1) {
+  Rng rng(11);
+  Tensor dense = Tensor::randn({16, 8, 3, 3}, rng);
+  TTCores c = tt_svd(dense, 5);
+  EXPECT_EQ(c.w1.shape(), (Shape{5, 8, 1, 1}));
+  EXPECT_EQ(c.w2.shape(), (Shape{5, 5, 3, 1}));
+  EXPECT_EQ(c.w3.shape(), (Shape{5, 5, 1, 3}));
+  EXPECT_EQ(c.w4.shape(), (Shape{16, 5, 1, 1}));
+}
+
+// ---- VBMF -------------------------------------------------------------------
+
+Tensor planted_low_rank(int64_t l, int64_t m, int64_t rank, float signal,
+                        float noise, Rng& rng) {
+  Tensor u = Tensor::randn({l, rank}, rng);
+  Tensor v = Tensor::randn({rank, m}, rng);
+  Tensor y = matmul(u, v);
+  y.mul_scalar_(signal / std::sqrt(static_cast<float>(rank)));
+  Tensor n = Tensor::randn({l, m}, rng);
+  n.mul_scalar_(noise);
+  y.add_(n);
+  return y;
+}
+
+class VbmfRankTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(VbmfRankTest, RecoversPlantedRank) {
+  const int64_t rank = GetParam();
+  Rng rng(static_cast<uint64_t>(100 + rank));
+  Tensor y = planted_low_rank(40, 60, rank, 4.0F, 0.1F, rng);
+  VbmfResult r = evbmf(y);
+  EXPECT_EQ(r.rank, rank);
+  EXPECT_EQ(static_cast<int64_t>(r.shrunk.size()), r.rank);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, VbmfRankTest, ::testing::Values(1, 2, 5, 10));
+
+TEST(VbmfTest, PureNoiseGivesZeroOrTinyRank) {
+  Rng rng(13);
+  Tensor y = Tensor::randn({50, 80}, rng);
+  VbmfResult r = evbmf(y);
+  EXPECT_LE(r.rank, 2);
+}
+
+TEST(VbmfTest, KnownSigmaThresholding) {
+  Rng rng(14);
+  Tensor y = planted_low_rank(30, 50, 3, 5.0F, 0.1F, rng);
+  VbmfResult r = evbmf(y, 0.01);  // sigma^2 = noise^2
+  EXPECT_EQ(r.rank, 3);
+}
+
+TEST(VbmfTest, TransposedInputGivesSameRank) {
+  Rng rng(15);
+  Tensor y = planted_low_rank(20, 45, 4, 4.0F, 0.15F, rng);
+  VbmfResult a = evbmf(y);
+  VbmfResult b = evbmf(y.transpose2d());
+  EXPECT_EQ(a.rank, b.rank);
+}
+
+TEST(VbmfTest, ShrunkValuesBelowRawSingulars) {
+  Rng rng(16);
+  Tensor y = planted_low_rank(30, 40, 3, 4.0F, 0.2F, rng);
+  auto s = singular_values(y);
+  VbmfResult r = evbmf(y);
+  ASSERT_GE(r.rank, 1);
+  for (int64_t i = 0; i < r.rank; ++i) {
+    EXPECT_LT(r.shrunk[static_cast<size_t>(i)], s[static_cast<size_t>(i)]);
+    EXPECT_GT(r.shrunk[static_cast<size_t>(i)], 0.0);
+  }
+}
+
+TEST(VbmfTest, EstimateTtRankWithinBounds) {
+  Rng rng(17);
+  // A conv weight synthesized from rank-3 cores plus observation noise
+  // (trained weights are low-rank structure + noise): the estimate should be
+  // close to the planted rank and never exceed min(I, O).
+  TTCores gen = random_cores(16, 24, 3, 3, rng);
+  Tensor dense = merge_stt(gen);
+  dense.mul_scalar_(1.0F / static_cast<float>(dense.norm()));
+  Tensor noise = Tensor::randn(dense.shape(), rng);
+  dense.axpy_(0.001F, noise);
+  const int64_t r = estimate_tt_rank(dense);
+  EXPECT_GE(r, 1);
+  EXPECT_LE(r, 6);
+}
+
+TEST(VbmfTest, EstimateTtRankFullRandomIsModerate) {
+  Rng rng(18);
+  Tensor dense = Tensor::randn({32, 32, 3, 3}, rng);
+  const int64_t r = estimate_tt_rank(dense);
+  EXPECT_GE(r, 1);
+  EXPECT_LE(r, 32);
+}
+
+}  // namespace
+}  // namespace ttsnn

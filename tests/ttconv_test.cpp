@@ -1,0 +1,245 @@
+// Tests for TTConv2d, the paper's core contribution: shape behaviour across
+// STT/PTT/HTT, end-to-end gradient checks in every mode, thread-parallel
+// branch determinism, and the merge equivalences of Eq. (6) — factorized
+// training output must match the merged dense kernel EXACTLY (the property
+// that lets TT-SNN fall back to spike-driven inference after training).
+
+#include <gtest/gtest.h>
+
+#include "core/ttconv.h"
+#include "gradcheck.h"
+#include "nn/conv2d.h"
+#include "tensor/ops.h"
+
+namespace ttsnn {
+namespace {
+
+TEST(TTConvTest, OutputShapesAllModes) {
+  Rng rng(1);
+  for (TTMode mode : {TTMode::kSTT, TTMode::kPTT, TTMode::kHTT}) {
+    TTConv2d::Options o{.in_channels = 4, .out_channels = 6, .kernel = 3,
+                        .stride = 1, .rank = 3, .mode = mode,
+                        .full_step = std::vector<bool>{true, false}};
+    TTConv2d conv(o, rng);
+    Tensor x = Tensor::randn({2, 2, 4, 6, 6}, rng);
+    Tensor y = conv.forward(x);
+    EXPECT_EQ(y.shape(), (Shape{2, 2, 6, 6, 6})) << tt_mode_name(mode);
+  }
+}
+
+TEST(TTConvTest, StridedOutputShapesAllModes) {
+  Rng rng(2);
+  for (TTMode mode : {TTMode::kSTT, TTMode::kPTT, TTMode::kHTT}) {
+    TTConv2d::Options o{.in_channels = 4, .out_channels = 8, .kernel = 3,
+                        .stride = 2, .rank = 3, .mode = mode,
+                        .full_step = std::vector<bool>{true, false}};
+    TTConv2d conv(o, rng);
+    Tensor x = Tensor::randn({2, 1, 4, 8, 8}, rng);
+    Tensor y = conv.forward(x);
+    EXPECT_EQ(y.shape(), (Shape{2, 1, 8, 4, 4})) << tt_mode_name(mode);
+  }
+}
+
+class TTConvGradTest
+    : public ::testing::TestWithParam<std::tuple<TTMode, int64_t>> {};
+
+TEST_P(TTConvGradTest, GradCheckInputAndCores) {
+  auto [mode, stride] = GetParam();
+  Rng rng(3);
+  TTConv2d::Options o{.in_channels = 3, .out_channels = 4, .kernel = 3,
+                      .stride = stride, .rank = 2, .mode = mode,
+                      .full_step = std::vector<bool>{true, false, false},
+                      .parallel_branches = false};
+  TTConv2d conv(o, rng);
+  Tensor x = Tensor::randn({3, 1, 3, 6, 6}, rng);
+  const int64_t oh = stride == 1 ? 6 : 3;
+  Tensor w = Tensor::randn({3, 1, 4, oh, oh}, rng);
+  check_input_grad(conv, x, w);
+  check_param_grads(conv, x, w);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndStrides, TTConvGradTest,
+    ::testing::Combine(::testing::Values(TTMode::kSTT, TTMode::kPTT,
+                                         TTMode::kHTT),
+                       ::testing::Values<int64_t>(1, 2)));
+
+TEST(TTConvTest, ParallelBranchesMatchSerial) {
+  Rng rng(4);
+  TTConv2d::Options base{.in_channels = 6, .out_channels = 6, .kernel = 3,
+                         .stride = 1, .rank = 4, .mode = TTMode::kPTT};
+  TTConv2d::Options par = base;
+  par.parallel_branches = true;
+  base.parallel_branches = false;
+
+  TTConv2d serial(base, rng);
+  TTConv2d parallel(par, serial.cores());
+  Tensor x = Tensor::randn({2, 2, 6, 8, 8}, rng);
+  Tensor ys = serial.forward(x);
+  Tensor yp = parallel.forward(x);
+  EXPECT_LT(max_abs_diff(ys, yp), 1e-6);
+
+  Tensor g = Tensor::randn(ys.shape(), rng);
+  Tensor gs = serial.backward(g);
+  Tensor gp = parallel.backward(g);
+  EXPECT_LT(max_abs_diff(gs, gp), 1e-5);
+  EXPECT_LT(max_abs_diff(serial.w2().grad, parallel.w2().grad), 1e-4);
+  EXPECT_LT(max_abs_diff(serial.w3().grad, parallel.w3().grad), 1e-4);
+}
+
+TEST(TTConvTest, HttHalfStepsSkipStrips) {
+  // With an all-half schedule the strips must not contribute: zeroing w2/w3
+  // must not change the output.
+  Rng rng(5);
+  TTConv2d::Options o{.in_channels = 4, .out_channels = 4, .kernel = 3,
+                      .stride = 1, .rank = 3, .mode = TTMode::kHTT,
+                      .full_step = std::vector<bool>{false, false}};
+  TTConv2d conv(o, rng);
+  Tensor x = Tensor::randn({2, 1, 4, 5, 5}, rng);
+  Tensor y1 = conv.forward(x);
+  conv.w2().value.zero_();
+  conv.w3().value.zero_();
+  Tensor y2 = conv.forward(x);
+  EXPECT_LT(max_abs_diff(y1, y2), 1e-7);
+}
+
+TEST(TTConvTest, HttFullStepsMatchPtt) {
+  // With an all-full schedule HTT must equal PTT exactly.
+  Rng rng(6);
+  TTConv2d::Options po{.in_channels = 4, .out_channels = 5, .kernel = 3,
+                       .stride = 1, .rank = 3, .mode = TTMode::kPTT};
+  TTConv2d ptt(po, rng);
+  TTConv2d::Options ho = po;
+  ho.mode = TTMode::kHTT;
+  ho.full_step = {true, true, true};
+  TTConv2d htt(ho, ptt.cores());
+  Tensor x = Tensor::randn({3, 2, 4, 5, 5}, rng);
+  EXPECT_LT(max_abs_diff(ptt.forward(x), htt.forward(x)), 1e-6);
+}
+
+TEST(TTConvTest, HttScheduleMixesPaths) {
+  // Step 0 full, step 1 half: step 0 output must match PTT, step 1 must
+  // match the pointwise half path.
+  Rng rng(7);
+  TTConv2d::Options o{.in_channels = 3, .out_channels = 3, .kernel = 3,
+                      .stride = 1, .rank = 2, .mode = TTMode::kHTT,
+                      .full_step = std::vector<bool>{true, false}};
+  TTConv2d htt(o, rng);
+  Tensor x = Tensor::randn({2, 1, 3, 4, 4}, rng);
+  Tensor y = htt.forward(x);
+
+  TTConv2d::Options po = o;
+  po.mode = TTMode::kPTT;
+  po.full_step.clear();
+  TTConv2d ptt(po, htt.cores());
+  Tensor y_ptt = ptt.forward(x);
+  EXPECT_LT(max_abs_diff(y.slice0(0, 1), y_ptt.slice0(0, 1)), 1e-6);
+
+  // Half path: dense 1x1 conv with the merged half kernel.
+  Conv2d half({.in_channels = 3, .out_channels = 3, .kernel_h = 1, .kernel_w = 1},
+              htt.merged_half_kernel());
+  Tensor y_half = half.forward(x.slice0(1, 2));
+  EXPECT_LT(max_abs_diff(y.slice0(1, 2), y_half), 1e-5);
+}
+
+// ---- Merge equivalence (Algorithm 1 lines 20-22) ----------------------------
+
+class MergeEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<TTMode, int64_t>> {};
+
+TEST_P(MergeEquivalenceTest, FactorizedOutputEqualsMergedDenseConv) {
+  auto [mode, stride] = GetParam();
+  Rng rng(8);
+  TTConv2d::Options o{.in_channels = 5, .out_channels = 7, .kernel = 3,
+                      .stride = stride, .rank = 3, .mode = mode};
+  TTConv2d tt(o, rng);
+  Tensor x = Tensor::randn({2, 2, 5, 8, 8}, rng);
+  Tensor y_tt = tt.forward(x);
+
+  Conv2d dense({.in_channels = 5, .out_channels = 7, .kernel_h = 3,
+                .kernel_w = 3, .stride = stride},
+               tt.merged_kernel());
+  Tensor y_dense = dense.forward(x);
+  // Exact equivalence including borders: the sub-convolutions mix rows and
+  // columns in separate stages, so zero padding composes losslessly.
+  EXPECT_LT(max_abs_diff(y_tt, y_dense), 1e-4)
+      << tt_mode_name(mode) << " stride " << stride;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndStrides, MergeEquivalenceTest,
+    ::testing::Combine(::testing::Values(TTMode::kSTT, TTMode::kPTT),
+                       ::testing::Values<int64_t>(1, 2)));
+
+TEST(TTConvTest, DescribeEmitsFourSubConvs) {
+  Rng rng(9);
+  TTConv2d::Options o{.in_channels = 8, .out_channels = 16, .kernel = 3,
+                      .stride = 2, .rank = 4, .mode = TTMode::kPTT};
+  TTConv2d conv(o, rng);
+  ShapeState s{.c = 8, .h = 8, .w = 8};
+  std::vector<LayerDesc> descs;
+  conv.describe(s, descs);
+  ASSERT_EQ(descs.size(), 4u);
+  EXPECT_EQ(descs[0].detail, "PTT.w1");
+  EXPECT_EQ(descs[3].detail, "PTT.w4");
+  // w1 at full resolution, w4 at strided resolution.
+  EXPECT_EQ(descs[0].out_h, 8);
+  EXPECT_EQ(descs[3].out_h, 4);
+  // Total params match the TT formula.
+  int64_t params = 0;
+  for (const auto& d : descs) params += d.params;
+  EXPECT_EQ(params, tt_num_params(8, 16, 3, 4));
+  EXPECT_EQ(s.c, 16);
+  EXPECT_EQ(s.h, 4);
+}
+
+TEST(TTConvTest, HttDescribeReportsUtilization) {
+  Rng rng(10);
+  TTConv2d::Options o{.in_channels = 4, .out_channels = 4, .kernel = 3,
+                      .stride = 1, .rank = 2, .mode = TTMode::kHTT,
+                      .full_step = std::vector<bool>{true, true, false, false}};
+  TTConv2d conv(o, rng);
+  ShapeState s{.c = 4, .h = 4, .w = 4};
+  std::vector<LayerDesc> descs;
+  conv.describe(s, descs);
+  ASSERT_EQ(descs.size(), 4u);
+  EXPECT_DOUBLE_EQ(descs[0].utilization, 1.0);  // w1 always runs
+  EXPECT_DOUBLE_EQ(descs[1].utilization, 0.5);  // strips run on half the steps
+  EXPECT_DOUBLE_EQ(descs[2].utilization, 0.5);
+  EXPECT_DOUBLE_EQ(descs[3].utilization, 1.0);  // w4 always runs
+}
+
+TEST(TTConvTest, InitFromCoresPreservesWeights) {
+  Rng rng(11);
+  TTConv2d::Options o{.in_channels = 4, .out_channels = 4, .kernel = 3,
+                      .stride = 1, .rank = 2, .mode = TTMode::kSTT};
+  TTConv2d a(o, rng);
+  TTConv2d b(o, a.cores());
+  Tensor x = Tensor::randn({1, 1, 4, 5, 5}, rng);
+  EXPECT_LT(max_abs_diff(a.forward(x), b.forward(x)), 1e-7);
+}
+
+TEST(TTConvTest, RejectsBadOptions) {
+  Rng rng(12);
+  EXPECT_THROW(TTConv2d({.in_channels = 4, .out_channels = 4, .kernel = 2,
+                         .rank = 2},
+                        rng),
+               Error);
+  EXPECT_THROW(TTConv2d({.in_channels = 4, .out_channels = 4, .kernel = 3,
+                         .rank = 0},
+                        rng),
+               Error);
+}
+
+TEST(TTConvTest, HttScheduleTooShortThrows) {
+  Rng rng(13);
+  TTConv2d::Options o{.in_channels = 3, .out_channels = 3, .kernel = 3,
+                      .stride = 1, .rank = 2, .mode = TTMode::kHTT,
+                      .full_step = std::vector<bool>{true, false}};
+  TTConv2d conv(o, rng);
+  Tensor x = Tensor::randn({4, 1, 3, 4, 4}, rng);  // T=4 > schedule size 2
+  EXPECT_THROW(conv.forward(x), Error);
+}
+
+}  // namespace
+}  // namespace ttsnn
