@@ -7,12 +7,60 @@
 
 #include "core/ttconv.h"
 #include "nn/conv2d.h"
+#include "tensor/gemm.h"
 #include "tensor/linalg.h"
 #include "tt/tt_svd.h"
 #include "tt/vbmf.h"
 
 namespace ttsnn {
 namespace {
+
+// --- GEMM kernels: naive (seed) vs cache-blocked, reported in GFLOP/s ------
+//
+// Run e.g.:  ./bench_micro_ops --benchmark_filter=Gemm
+// The kernel/0 rows are the pre-PR naive loops, kernel/1 the blocked ones;
+// the GFLOPS counter makes the old-vs-new comparison direct.
+
+void bench_gemm(benchmark::State& state, bool trans_a, float density) {
+  const auto kernel = state.range(0) == 0 ? GemmKernel::kNaive
+                                          : GemmKernel::kBlocked;
+  const int64_t m = state.range(1);
+  const int64_t n = state.range(2);
+  const int64_t k = state.range(3);
+  Rng rng(8);
+  Tensor a = trans_a ? Tensor::bernoulli({k, m}, rng, density)
+                     : Tensor::bernoulli({m, k}, rng, density);
+  Tensor b = Tensor::randn({k, n}, rng);
+  Tensor c = Tensor::zeros({m, n});
+  GemmKernelGuard guard(kernel);
+  GemmThreadsGuard threads(1);  // isolate the kernel, not the fan-out
+  for (auto _ : state) {
+    gemm(trans_a, false, m, n, k, 1.0F, a.data(), b.data(), 0.0F, c.data());
+    benchmark::DoNotOptimize(c.data());
+    benchmark::ClobberMemory();
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * static_cast<double>(m * n * k) *
+          static_cast<double>(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_GemmNN(benchmark::State& state) { bench_gemm(state, false, 1.0F); }
+void BM_GemmTN(benchmark::State& state) { bench_gemm(state, true, 1.0F); }
+void BM_GemmNNSpikes(benchmark::State& state) {
+  bench_gemm(state, false, 0.2F);  // spike-sparse A: zero-row skip active
+}
+
+BENCHMARK(BM_GemmNN)
+    ->ArgsProduct({{0, 1}, {256}, {256}, {256}})
+    ->ArgsProduct({{0, 1}, {128}, {512}, {1024}})
+    ->ArgNames({"kernel", "m", "n", "k"});
+BENCHMARK(BM_GemmTN)
+    ->ArgsProduct({{0, 1}, {256}, {256}, {256}})
+    ->ArgNames({"kernel", "m", "n", "k"});
+BENCHMARK(BM_GemmNNSpikes)
+    ->ArgsProduct({{0, 1}, {256}, {256}, {256}})
+    ->ArgNames({"kernel", "m", "n", "k"});
 
 constexpr int64_t kC = 32;
 constexpr int64_t kHW = 16;

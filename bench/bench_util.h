@@ -87,12 +87,14 @@ inline BenchRun run_mode(BenchMode mode, const BenchSetup& setup,
   }
 
   // See the file comment: full-device GEMMs for serial modes, branch threads
-  // for the parallel modes.
-  set_gemm_threads(branch_parallel ? 1 : 2);
-
-  Trainer trainer(*net, train, test, setup.train);
-  FitResult fit = trainer.fit();
-  set_gemm_threads(1);
+  // for the parallel modes. The guard restores whatever setting the caller
+  // had, so one bench cannot leak its thread count into the next.
+  FitResult fit;
+  {
+    GemmThreadsGuard gemm_guard(branch_parallel ? 1 : 2);
+    Trainer trainer(*net, train, test, setup.train);
+    fit = trainer.fit();
+  }
 
   ModelStats stats = analyze_model(*net, setup.model.in_channels,
                                    setup.input_size, setup.input_size);

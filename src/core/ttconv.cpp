@@ -1,9 +1,8 @@
 #include "core/ttconv.h"
 
-#include <future>
-
 #include "tensor/ops.h"
 #include "tensor/random.h"
+#include "util/thread_pool.h"
 
 namespace ttsnn {
 
@@ -172,14 +171,11 @@ const Tensor& TTConv2d::cached_path_input() const {
 }
 
 Tensor TTConv2d::forward_ptt_path(const Tensor& x) {
-  // Both strips consume the same input; run them on two threads (Eq. 5).
+  // Both strips consume the same input; run them as two pool tasks (Eq. 5).
   Tensor a, b;
   if (opts_.parallel_branches) {
-    auto fut = std::async(std::launch::async, [&] {
-      return conv2d_forward(x, w2_.value, opt_w2(true));
-    });
-    b = conv2d_forward(x, w3_.value, opt_w3(true));
-    a = fut.get();
+    parallel_invoke([&] { a = conv2d_forward(x, w2_.value, opt_w2(true)); },
+                    [&] { b = conv2d_forward(x, w3_.value, opt_w3(true)); });
   } else {
     a = conv2d_forward(x, w2_.value, opt_w2(true));
     b = conv2d_forward(x, w3_.value, opt_w3(true));
@@ -194,11 +190,9 @@ Tensor TTConv2d::backward_ptt_path(const Tensor& grad) {
   const Tensor& x = cached_path_input();
   Tensor ga, gb;
   if (opts_.parallel_branches) {
-    auto fut = std::async(std::launch::async, [&] {
-      return conv2d_backward(x, w2_.value, opt_w2(true), g_sum, w2_.grad);
-    });
-    gb = conv2d_backward(x, w3_.value, opt_w3(true), g_sum, w3_.grad);
-    ga = fut.get();
+    parallel_invoke(
+        [&] { ga = conv2d_backward(x, w2_.value, opt_w2(true), g_sum, w2_.grad); },
+        [&] { gb = conv2d_backward(x, w3_.value, opt_w3(true), g_sum, w3_.grad); });
   } else {
     ga = conv2d_backward(x, w2_.value, opt_w2(true), g_sum, w2_.grad);
     gb = conv2d_backward(x, w3_.value, opt_w3(true), g_sum, w3_.grad);

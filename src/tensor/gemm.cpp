@@ -2,16 +2,66 @@
 
 #include <algorithm>
 #include <atomic>
-#include <future>
-#include <vector>
 
 #include "util/common.h"
+#include "util/thread_pool.h"
 
 namespace ttsnn {
 
 namespace {
 
 std::atomic<int> g_gemm_threads{1};
+std::atomic<GemmKernel> g_gemm_kernel{GemmKernel::kAuto};
+
+/// The blocked NN/TN kernels tile over n only: a k x NC column panel of B is
+/// held L2-resident and reused by every row of the strip, with NC chosen so
+/// the panel fits kPanelBytes. The k loop stays whole and ascending inside
+/// each panel, so every C element accumulates its contributions in exactly
+/// the same order as the naive kernels — results stay bit-identical.
+constexpr int64_t kPanelBytes = 512 << 10;
+
+/// Panel width (in floats) for a given inner dimension k, clamped so tiny
+/// panels don't degenerate the inner loop.
+int64_t panel_width(int64_t k) {
+  const int64_t nc = kPanelBytes / (k * static_cast<int64_t>(sizeof(float)));
+  return std::max<int64_t>(64, nc & ~int64_t{15});
+}
+
+/// The blocked kernels only pay off once B no longer fits in cache; below
+/// this size the naive loops win on overhead.
+constexpr int64_t kBlockedThreshold = 1 << 17;
+
+/// Fraction of zeros in a strided sample of A. The blocked kernel's 4-row
+/// grouping dilutes the zero-row skip (it can only skip when all four rows
+/// are zero at once), so for spike-sparse A the naive kernel wins; an O(1)
+/// sample decides which regime we are in for O(m*n*k) work.
+bool sample_is_sparse(const float* a, int64_t len) {
+  constexpr int64_t kSamples = 1024;
+  // Odd stride: a power-of-two stride over a power-of-two row length would
+  // sample the same few columns of every row, misreading structured matrices.
+  const int64_t stride = std::max<int64_t>(1, len / kSamples) | 1;
+  int64_t seen = 0, zeros = 0;
+  for (int64_t i = 0; i < len; i += stride, ++seen) {
+    if (a[i] == 0.0F) ++zeros;
+  }
+  return zeros * 4 > seen;  // > 25% zeros: skip-friendly
+}
+
+bool use_blocked(int64_t m, int64_t n, int64_t k, const float* a) {
+  switch (g_gemm_kernel.load()) {
+    case GemmKernel::kNaive:
+      return false;
+    case GemmKernel::kBlocked:
+      return true;
+    case GemmKernel::kAuto:
+      break;
+  }
+  // Register/cache blocking pays off for dense A once the problem is big
+  // enough; sparse spike matrices stay on the naive kernel for its per-row
+  // zero skip.
+  return m * n * k >= kBlockedThreshold && m >= 8 &&
+         !sample_is_sparse(a, m * k);
+}
 
 /// Computes rows [m0, m1) of C for the non-transposed case A[m,k] * B[k,n].
 /// Inner loops are ordered i-k-j so the B row is streamed contiguously.
@@ -25,6 +75,71 @@ void gemm_nn_rows(int64_t m0, int64_t m1, int64_t n, int64_t k, float alpha,
       if (av == 0.0F) continue;  // spike matrices are sparse; skip zero rows
       const float* brow = b + p * n;
       for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// Four C rows updated from one streamed B row. The all-zero early-out and
+/// the per-row fallback reproduce the naive kernel's skip semantics exactly
+/// (a skipped row's C element is never touched, so no 0 * inf or -0.0 + 0.0
+/// artifacts can differ from the naive result).
+void update4(float av0, float av1, float av2, float av3, const float* brow,
+             int64_t j0, int64_t j1, float* cr0, float* cr1, float* cr2,
+             float* cr3) {
+  const bool z0 = av0 == 0.0F, z1 = av1 == 0.0F, z2 = av2 == 0.0F,
+             z3 = av3 == 0.0F;
+  if (z0 && z1 && z2 && z3) return;
+  if (!z0 && !z1 && !z2 && !z3) {
+    for (int64_t j = j0; j < j1; ++j) {
+      const float bv = brow[j];
+      cr0[j] += av0 * bv;
+      cr1[j] += av1 * bv;
+      cr2[j] += av2 * bv;
+      cr3[j] += av3 * bv;
+    }
+    return;
+  }
+  if (!z0) for (int64_t j = j0; j < j1; ++j) cr0[j] += av0 * brow[j];
+  if (!z1) for (int64_t j = j0; j < j1; ++j) cr1[j] += av1 * brow[j];
+  if (!z2) for (int64_t j = j0; j < j1; ++j) cr2[j] += av2 * brow[j];
+  if (!z3) for (int64_t j = j0; j < j1; ++j) cr3[j] += av3 * brow[j];
+}
+
+/// Blocked variant of gemm_nn_rows: tiles over n so the active k x NC panel
+/// of B stays cache-resident across the strip, and register-blocks four rows
+/// of C so every streamed B element feeds four FMAs instead of one. Each C
+/// element still accumulates its k contributions in ascending order, so the
+/// result is bit-identical to the naive kernel.
+void gemm_nn_rows_blocked(int64_t m0, int64_t m1, int64_t n, int64_t k,
+                          float alpha, const float* a, const float* b,
+                          float* c) {
+  const int64_t nc = panel_width(k);
+  for (int64_t j0 = 0; j0 < n; j0 += nc) {
+    const int64_t j1 = std::min(n, j0 + nc);
+    int64_t i = m0;
+    for (; i + 4 <= m1; i += 4) {
+      const float* ar0 = a + i * k;
+      const float* ar1 = ar0 + k;
+      const float* ar2 = ar1 + k;
+      const float* ar3 = ar2 + k;
+      float* cr0 = c + i * n;
+      float* cr1 = cr0 + n;
+      float* cr2 = cr1 + n;
+      float* cr3 = cr2 + n;
+      for (int64_t p = 0; p < k; ++p) {
+        update4(alpha * ar0[p], alpha * ar1[p], alpha * ar2[p],
+                alpha * ar3[p], b + p * n, j0, j1, cr0, cr1, cr2, cr3);
+      }
+    }
+    for (; i < m1; ++i) {  // remainder rows, scalar
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = alpha * arow[p];
+        if (av == 0.0F) continue;  // spike sparsity: skip zero rows of B
+        const float* brow = b + p * n;
+        for (int64_t j = j0; j < j1; ++j) crow[j] += av * brow[j];
+      }
     }
   }
 }
@@ -59,6 +174,41 @@ void gemm_tn_rows(int64_t m0, int64_t m1, int64_t n, int64_t k, int64_t lda,
   }
 }
 
+/// Blocked variant of gemm_tn_rows: tiles over n so the active m x NC block
+/// of C stays cache-resident across the whole k sweep (the naive TN loop
+/// re-streams all of C on every k step), and register-blocks four C rows per
+/// streamed B row like the NN kernel. The p loop stays ascending within a
+/// panel, so the result is bit-identical to the naive kernel.
+void gemm_tn_rows_blocked(int64_t m0, int64_t m1, int64_t n, int64_t k,
+                          int64_t lda, float alpha, const float* a,
+                          const float* b, float* c) {
+  const int64_t nc = panel_width(k);
+  for (int64_t j0 = 0; j0 < n; j0 += nc) {
+    const int64_t j1 = std::min(n, j0 + nc);
+    int64_t i = m0;
+    for (; i + 4 <= m1; i += 4) {
+      float* cr0 = c + i * n;
+      float* cr1 = cr0 + n;
+      float* cr2 = cr1 + n;
+      float* cr3 = cr2 + n;
+      for (int64_t p = 0; p < k; ++p) {
+        const float* arow = a + p * lda + i;
+        update4(alpha * arow[0], alpha * arow[1], alpha * arow[2],
+                alpha * arow[3], b + p * n, j0, j1, cr0, cr1, cr2, cr3);
+      }
+    }
+    for (; i < m1; ++i) {  // remainder rows, scalar
+      float* crow = c + i * n;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = alpha * a[p * lda + i];
+        if (av == 0.0F) continue;
+        const float* brow = b + p * n;
+        for (int64_t j = j0; j < j1; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
 void scale_c(float beta, int64_t mn, float* c) {
   if (beta == 1.0F) return;
   if (beta == 0.0F) {
@@ -77,41 +227,63 @@ void set_gemm_threads(int threads) {
 
 int gemm_threads() { return g_gemm_threads.load(); }
 
+GemmThreadsGuard::GemmThreadsGuard(int threads) : prev_(gemm_threads()) {
+  set_gemm_threads(threads);
+}
+
+GemmThreadsGuard::~GemmThreadsGuard() { set_gemm_threads(prev_); }
+
+void set_gemm_kernel(GemmKernel kernel) { g_gemm_kernel.store(kernel); }
+
+GemmKernel gemm_kernel() { return g_gemm_kernel.load(); }
+
+GemmKernelGuard::GemmKernelGuard(GemmKernel kernel) : prev_(gemm_kernel()) {
+  set_gemm_kernel(kernel);
+}
+
+GemmKernelGuard::~GemmKernelGuard() { set_gemm_kernel(prev_); }
+
 void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
           float alpha, const float* a, const float* b, float beta, float* c) {
   TTSNN_CHECK(m >= 0 && n >= 0 && k >= 0, "negative gemm dims");
+  TTSNN_CHECK(c != nullptr || m * n == 0, "gemm: null C with m*n > 0");
+  TTSNN_CHECK((a != nullptr && b != nullptr) ||
+                  m * n * k == 0 || alpha == 0.0F,
+              "gemm: null A/B with a non-empty product");
   scale_c(beta, m * n, c);
   if (m == 0 || n == 0 || k == 0 || alpha == 0.0F) return;
 
   // A^T with B^T is not needed anywhere in the library.
   TTSNN_CHECK(!(trans_a && trans_b), "gemm: TT case unsupported");
 
-  const int threads = g_gemm_threads.load();
-  const bool parallel = threads > 1 && m >= 2 * threads && m * n * k > (1 << 16);
-
+  // NT has no blocked kernel, so skip the selection (and its A sample) there.
+  const bool blocked = !trans_b && use_blocked(m, n, k, a);
   auto run_rows = [&](int64_t m0, int64_t m1) {
     if (trans_a) {
-      gemm_tn_rows(m0, m1, n, k, m, alpha, a, b, c);
+      if (blocked) {
+        gemm_tn_rows_blocked(m0, m1, n, k, m, alpha, a, b, c);
+      } else {
+        gemm_tn_rows(m0, m1, n, k, m, alpha, a, b, c);
+      }
     } else if (trans_b) {
       gemm_nt_rows(m0, m1, n, k, alpha, a, b, c);
+    } else if (blocked) {
+      gemm_nn_rows_blocked(m0, m1, n, k, alpha, a, b, c);
     } else {
       gemm_nn_rows(m0, m1, n, k, alpha, a, b, c);
     }
   };
 
+  const int threads = g_gemm_threads.load();
+  const bool parallel = threads > 1 && m >= 2 * threads && m * n * k > (1 << 16);
   if (!parallel) {
     run_rows(0, m);
     return;
   }
-  std::vector<std::future<void>> futures;
+  // Row strips on the shared pool; chunk size caps the fan-out at `threads`
+  // concurrent strips, preserving the pre-pool oversubscription budget.
   const int64_t chunk = (m + threads - 1) / threads;
-  for (int t = 0; t < threads; ++t) {
-    const int64_t m0 = t * chunk;
-    const int64_t m1 = std::min<int64_t>(m, m0 + chunk);
-    if (m0 >= m1) break;
-    futures.push_back(std::async(std::launch::async, run_rows, m0, m1));
-  }
-  for (auto& f : futures) f.get();
+  parallel_for(m, run_rows, chunk);
 }
 
 }  // namespace ttsnn

@@ -5,9 +5,12 @@
 /// C = alpha * op(A) * op(B) + beta * C, with op controlled by trans flags.
 /// Matrices are densely packed: op(A) is [m, k], op(B) is [k, n], C is [m, n].
 ///
-/// Work is split across a small thread pool when the problem is large enough;
-/// the PTT branch parallelism (DESIGN.md §4) uses threads one level up, so
-/// GEMM keeps its own parallelism conservative to avoid oversubscription.
+/// Large problems are row-partitioned across the shared ThreadPool; the PTT
+/// branch parallelism (DESIGN.md §4) uses the same pool one level up, so GEMM
+/// keeps its own fan-out conservative to avoid oversubscription. The NN and
+/// TN paths additionally switch to a cache-blocked inner kernel above a size
+/// threshold. Both kernels accumulate each C element in ascending-k order, so
+/// results are bit-identical across kernels and thread counts.
 
 #include <cstdint>
 
@@ -16,9 +19,43 @@ namespace ttsnn {
 void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
           float alpha, const float* a, const float* b, float beta, float* c);
 
-/// Number of worker threads GEMM may use (defaults to 1; the training loop
-/// raises it for the dense baseline where no branch parallelism exists).
+/// Number of row partitions GEMM may fan out across the shared pool
+/// (defaults to 1; the training loop raises it for the dense baseline where
+/// no branch parallelism exists).
 void set_gemm_threads(int threads);
 int gemm_threads();
+
+/// Restores the previous gemm thread count on scope exit, so a benchmark or
+/// test that raises it cannot leak the setting into later code.
+class GemmThreadsGuard {
+ public:
+  explicit GemmThreadsGuard(int threads);
+  ~GemmThreadsGuard();
+  GemmThreadsGuard(const GemmThreadsGuard&) = delete;
+  GemmThreadsGuard& operator=(const GemmThreadsGuard&) = delete;
+
+ private:
+  int prev_;
+};
+
+/// Inner-kernel selection for the NN/TN paths. kAuto picks kBlocked above a
+/// size threshold; the explicit values exist for benchmarking the two kernels
+/// against each other and for pinning one in tests.
+enum class GemmKernel { kAuto, kNaive, kBlocked };
+
+void set_gemm_kernel(GemmKernel kernel);
+GemmKernel gemm_kernel();
+
+/// Same RAII idea as GemmThreadsGuard, for the kernel override.
+class GemmKernelGuard {
+ public:
+  explicit GemmKernelGuard(GemmKernel kernel);
+  ~GemmKernelGuard();
+  GemmKernelGuard(const GemmKernelGuard&) = delete;
+  GemmKernelGuard& operator=(const GemmKernelGuard&) = delete;
+
+ private:
+  GemmKernel prev_;
+};
 
 }  // namespace ttsnn

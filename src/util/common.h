@@ -44,8 +44,10 @@ class Rng {
   float uniform(float lo = 0.0F, float hi = 1.0F) {
     return lo + (hi - lo) * unit_(engine_);
   }
-  /// Uniform integer in [0, n).
+  /// Uniform integer in [0, n). Requires n > 0: uniform_int_distribution
+  /// with an empty range is undefined behavior, not an error.
   int64_t index(int64_t n) {
+    TTSNN_CHECK(n > 0, "Rng::index needs a positive range, got " << n);
     std::uniform_int_distribution<int64_t> d(0, n - 1);
     return d(engine_);
   }

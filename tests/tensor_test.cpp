@@ -11,6 +11,7 @@
 #include "tensor/ops.h"
 #include "tensor/random.h"
 #include "tensor/tensor.h"
+#include "util/common.h"
 
 namespace ttsnn {
 namespace {
@@ -220,12 +221,63 @@ TEST(OpsTest, GemmParallelMatchesSerial) {
   Rng rng(11);
   Tensor a = Tensor::randn({64, 48}, rng);
   Tensor b = Tensor::randn({48, 40}, rng);
-  set_gemm_threads(1);
-  Tensor serial = matmul(a, b);
-  set_gemm_threads(2);
-  Tensor parallel = matmul(a, b);
-  set_gemm_threads(1);
+  Tensor serial;
+  {
+    GemmThreadsGuard guard(1);
+    serial = matmul(a, b);
+  }
+  Tensor parallel;
+  {
+    GemmThreadsGuard guard(2);
+    parallel = matmul(a, b);
+  }
+  EXPECT_EQ(gemm_threads(), 1);  // guards restored the default
   EXPECT_LT(max_abs_diff(serial, parallel), 1e-5);
+}
+
+TEST(OpsTest, GemmThreadsGuardRestoresOnException) {
+  const int before = gemm_threads();
+  try {
+    GemmThreadsGuard guard(4);
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(gemm_threads(), before);
+}
+
+TEST(OpsTest, GemmNullOutputFailsLoudly) {
+  Tensor a = Tensor::ones({2, 3});
+  Tensor b = Tensor::ones({3, 2});
+  EXPECT_THROW(
+      gemm(false, false, 2, 2, 3, 1.0F, a.data(), b.data(), 0.0F, nullptr),
+      Error);
+}
+
+TEST(OpsTest, GemmNullInputsFailLoudly) {
+  Tensor b = Tensor::ones({3, 2});
+  Tensor c = Tensor::zeros({2, 2});
+  EXPECT_THROW(
+      gemm(false, false, 2, 2, 3, 1.0F, nullptr, b.data(), 0.0F, c.data()),
+      Error);
+  Tensor a = Tensor::ones({2, 3});
+  EXPECT_THROW(
+      gemm(false, false, 2, 2, 3, 1.0F, a.data(), nullptr, 0.0F, c.data()),
+      Error);
+  // Degenerate shapes never dereference the pointers, so null stays legal.
+  EXPECT_NO_THROW(
+      gemm(false, false, 0, 0, 0, 1.0F, nullptr, nullptr, 0.0F, nullptr));
+  // alpha == 0 only scales C; A and B may be null.
+  EXPECT_NO_THROW(
+      gemm(false, false, 2, 2, 3, 0.0F, nullptr, nullptr, 0.5F, c.data()));
+}
+
+TEST(RngTest, IndexRejectsNonPositiveRange) {
+  Rng rng(7);
+  EXPECT_THROW(rng.index(0), Error);
+  EXPECT_THROW(rng.index(-3), Error);
+  const int64_t v = rng.index(5);  // still usable after the failed calls
+  EXPECT_GE(v, 0);
+  EXPECT_LT(v, 5);
 }
 
 TEST(OpsTest, SoftmaxRowsSumToOne) {
