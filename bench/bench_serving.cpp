@@ -1,0 +1,202 @@
+// Serving bench: throughput and latency of the compiled inference stack.
+//
+// Configurations over the same factorized (PTT) MS-ResNet:
+//   module      — looping eval-mode Module::forward, one request at a time
+//                 (the only serving story before the train/infer split)
+//   merged/1    — Engine with merged dense kernels (Algorithm 1 lines
+//                 20-22). Reference only: merging trades more MACs for
+//                 accumulate-only spike hardware, so on CPU it loses FLOPs
+//   engine/1    — Engine::run on the exact (unmerged) TT plan, batch 1:
+//                 same FLOPs as the module, minus caching/allocation
+//                 overhead and with the pointwise-conv im2col skip
+//   engine/B    — Engine::run over pre-batched requests (upper bound for
+//                 the micro-batcher at batch size B)
+//   server      — infer::Server with concurrent clients; requests are
+//                 coalesced into micro-batches under a latency deadline
+//
+// Reports requests/s plus p50/p99 end-to-end latency per request.
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/factorize.h"
+#include "core/models.h"
+#include "infer/engine.h"
+#include "infer/server.h"
+#include "util/common.h"
+
+namespace ttsnn {
+namespace {
+
+constexpr int64_t kTimesteps = 4;
+constexpr int64_t kInputSize = 12;
+constexpr int64_t kRequests = 96;
+constexpr int64_t kBatch = 8;
+// More clients than one batch so several batches are in flight at once.
+constexpr int kClients = 16;
+
+struct LatencyStats {
+  double throughput = 0.0;  ///< requests / s
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+LatencyStats summarize(std::vector<double> latencies_s, double total_s) {
+  std::sort(latencies_s.begin(), latencies_s.end());
+  const size_t n = latencies_s.size();
+  LatencyStats s;
+  s.throughput = static_cast<double>(n) / total_s;
+  s.p50_ms = latencies_s[n / 2] * 1e3;
+  s.p99_ms = latencies_s[std::min(n - 1, n * 99 / 100)] * 1e3;
+  return s;
+}
+
+void report(const char* name, const LatencyStats& s) {
+  std::printf("  %-10s %10.1f req/s   p50 %7.2f ms   p99 %7.2f ms\n", name,
+              s.throughput, s.p50_ms, s.p99_ms);
+}
+
+}  // namespace
+}  // namespace ttsnn
+
+int main() {
+  using namespace ttsnn;
+
+  Rng rng(7);
+  ModelConfig cfg;
+  cfg.in_channels = 3;
+  cfg.num_classes = 10;
+  cfg.base_width = 8;
+  cfg.timesteps = kTimesteps;
+  ModulePtr net = make_ms_resnet18(cfg, rng);
+  FactorizeOptions fopts;
+  fopts.mode = TTMode::kPTT;
+  fopts.use_vbmf = false;
+  fopts.rank_fraction = 0.4;
+  factorize_network(*net, fopts, rng);
+
+  // Move the BN statistics off init so the fold is non-trivial, then freeze.
+  net->set_training(true);
+  for (int i = 0; i < 2; ++i) {
+    net->forward(Tensor::uniform({kTimesteps, kBatch, 3, kInputSize, kInputSize},
+                                 rng));
+  }
+  net->clear_cache();
+  net->set_training(false);
+
+  // The serving plan keeps the TT pipeline unmerged: on CPU the factorized
+  // convolutions are the FLOP-cheap path (merging exists for accumulate-only
+  // spike hardware). BN still folds where time-invariant.
+  infer::Engine engine =
+      infer::compile(*net, {.merge_tt = false, .fold_batchnorm = true});
+  infer::Engine merged = infer::compile(*net);
+  std::printf("serving bench: MS-ResNet18 w=%lld T=%lld PTT, %lld requests, "
+              "plan: %zu ops (merged: %zu)\n",
+              static_cast<long long>(cfg.base_width),
+              static_cast<long long>(kTimesteps),
+              static_cast<long long>(kRequests), engine.num_ops(),
+              merged.num_ops());
+
+  std::vector<Tensor> requests;
+  requests.reserve(kRequests);
+  for (int64_t i = 0; i < kRequests; ++i) {
+    requests.push_back(
+        Tensor::uniform({kTimesteps, 3, kInputSize, kInputSize}, rng));
+  }
+  auto as_batch1 = [](const Tensor& x) {
+    Shape s = x.shape();
+    return x.reshape({s[0], 1, s[1], s[2], s[3]});
+  };
+
+  // --- module: sequential eval-mode Module::forward, batch 1 ---------------
+  {
+    std::vector<double> lat;
+    lat.reserve(kRequests);
+    Timer total;
+    for (const Tensor& r : requests) {
+      Timer t;
+      net->forward(as_batch1(r));
+      lat.push_back(t.seconds());
+    }
+    report("module", summarize(std::move(lat), total.seconds()));
+  }
+
+  // --- merged/1: dense merged kernels (spike-hardware plan) on CPU ---------
+  {
+    std::vector<double> lat;
+    lat.reserve(kRequests);
+    Timer total;
+    for (const Tensor& r : requests) {
+      Timer t;
+      merged.run(as_batch1(r));
+      lat.push_back(t.seconds());
+    }
+    report("merged/1", summarize(std::move(lat), total.seconds()));
+  }
+
+  // --- engine/1: compiled exact plan, still one request per run ------------
+  {
+    std::vector<double> lat;
+    lat.reserve(kRequests);
+    Timer total;
+    for (const Tensor& r : requests) {
+      Timer t;
+      engine.run(as_batch1(r));
+      lat.push_back(t.seconds());
+    }
+    report("engine/1", summarize(std::move(lat), total.seconds()));
+  }
+
+  // --- engine/B: ideal pre-batched runs (micro-batching upper bound) -------
+  {
+    std::vector<double> lat;
+    lat.reserve(kRequests);
+    Timer total;
+    for (int64_t base = 0; base < kRequests; base += kBatch) {
+      Tensor batch({kTimesteps, kBatch, 3, kInputSize, kInputSize});
+      const int64_t chw = 3 * kInputSize * kInputSize;
+      for (int64_t j = 0; j < kBatch; ++j) {
+        const float* src = requests[static_cast<size_t>(base + j)].data();
+        for (int64_t t = 0; t < kTimesteps; ++t) {
+          std::copy(src + t * chw, src + (t + 1) * chw,
+                    batch.data() + (t * kBatch + j) * chw);
+        }
+      }
+      Timer t;
+      engine.run(batch);
+      const double s = t.seconds();
+      for (int64_t j = 0; j < kBatch; ++j) lat.push_back(s);
+    }
+    report("engine/8", summarize(std::move(lat), total.seconds()));
+  }
+
+  // --- server: concurrent clients, micro-batched under a deadline ----------
+  {
+    infer::Server server(engine, {.max_batch = kBatch, .max_delay_ms = 2.0,
+                                  .num_dispatchers = 2});
+    std::vector<double> lat(kRequests, 0.0);
+    std::vector<std::thread> clients;
+    Timer total;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (int64_t i = c; i < kRequests; i += kClients) {
+          Timer t;
+          server.infer(requests[static_cast<size_t>(i)]);
+          lat[static_cast<size_t>(i)] = t.seconds();
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    const double total_s = total.seconds();
+    infer::ServerStats stats = server.stats();
+    report("server", summarize(lat, total_s));
+    std::printf("  server coalescing: %lld requests in %lld batches "
+                "(mean %.1f, max %lld)\n",
+                static_cast<long long>(stats.requests),
+                static_cast<long long>(stats.batches), stats.mean_batch(),
+                static_cast<long long>(stats.max_batch));
+  }
+  return 0;
+}

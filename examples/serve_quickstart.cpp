@@ -1,0 +1,98 @@
+// Quickstart for the inference stack: train-side model -> checkpoint ->
+// compiled engine -> micro-batching server.
+//
+//   1. Build and factorize a model with the training API (here: a scaled
+//      MS-ResNet18 in PTT mode; a real run would Trainer::fit() it first).
+//   2. save_parameters() writes weights AND BatchNorm running statistics.
+//   3. A serving process reconstructs the architecture, then
+//      compile_checkpoint() loads the checkpoint and lowers the module tree
+//      into an immutable, thread-safe infer::Engine.
+//   4. infer::Server coalesces single-sample requests into micro-batches.
+
+#include <cstdio>
+#include <future>
+#include <vector>
+
+#include "core/factorize.h"
+#include "core/models.h"
+#include "infer/engine.h"
+#include "infer/server.h"
+#include "snn/serialize.h"
+#include "tensor/ops.h"
+
+using namespace ttsnn;
+
+namespace {
+
+ModulePtr build_model(uint64_t seed) {
+  Rng rng(seed);
+  ModelConfig cfg;
+  cfg.in_channels = 3;
+  cfg.num_classes = 10;
+  cfg.base_width = 8;
+  cfg.timesteps = 4;
+  ModulePtr net = make_ms_resnet18(cfg, rng);
+  FactorizeOptions fopts;
+  fopts.mode = TTMode::kPTT;
+  fopts.use_vbmf = false;
+  fopts.rank_fraction = 0.4;
+  factorize_network(*net, fopts, rng);
+  return net;
+}
+
+}  // namespace
+
+int main() {
+  const std::string ckpt = "/tmp/ttsnn_serve_quickstart.bin";
+
+  // --- training side -------------------------------------------------------
+  {
+    ModulePtr net = build_model(/*seed=*/1);
+    // Stand-in for Trainer::fit(): a couple of training forwards so the BN
+    // running statistics are real.
+    Rng data_rng(7);
+    net->set_training(true);
+    for (int i = 0; i < 2; ++i) {
+      net->forward(Tensor::uniform({4, 4, 3, 12, 12}, data_rng));
+    }
+    net->clear_cache();
+    save_parameters(*net, ckpt);
+    std::printf("saved checkpoint: %s\n", ckpt.c_str());
+  }
+
+  // --- serving side --------------------------------------------------------
+  // Rebuild the architecture (any seed: the checkpoint overwrites it), load
+  // and compile. The unmerged plan is the FLOP-cheap one on CPU; pass
+  // default options instead to get the merged spike-hardware kernels.
+  ModulePtr arch = build_model(/*seed=*/99);
+  infer::Engine engine = infer::compile_checkpoint(
+      *arch, ckpt, {.merge_tt = false, .fold_batchnorm = true});
+  std::printf("compiled plan (%zu ops):\n%s", engine.num_ops(),
+              engine.summary().c_str());
+
+  infer::Server server(engine, {.max_batch = 4, .max_delay_ms = 2.0});
+  Rng rng(42);
+  std::vector<std::future<Tensor>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(server.submit(Tensor::uniform({4, 3, 12, 12}, rng)));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Tensor logits_t = futures[i].get();  // [T, classes]
+    // Rate decoding: class scores are logits summed over timesteps.
+    const int64_t classes = logits_t.size(-1);
+    Tensor scores({classes});
+    for (int64_t t = 0; t < logits_t.size(0); ++t) {
+      for (int64_t c = 0; c < classes; ++c) {
+        scores[c] += logits_t[t * classes + c];
+      }
+    }
+    std::printf("request %zu -> class %lld\n", i,
+                static_cast<long long>(scores.argmax()));
+  }
+  infer::ServerStats stats = server.stats();
+  std::printf("served %lld requests in %lld batches (mean batch %.1f)\n",
+              static_cast<long long>(stats.requests),
+              static_cast<long long>(stats.batches), stats.mean_batch());
+  std::remove(ckpt.c_str());
+  return 0;
+}

@@ -6,38 +6,6 @@
 
 namespace ttsnn {
 
-namespace {
-
-/// Gathers timesteps (dim 0) listed in idx into a new tensor.
-Tensor gather_steps(const Tensor& x, const std::vector<int64_t>& idx) {
-  if (idx.empty()) return {};
-  Shape s = x.shape();
-  const int64_t row = x.numel() / s[0];
-  s[0] = static_cast<int64_t>(idx.size());
-  Tensor out(s);
-  for (size_t j = 0; j < idx.size(); ++j) {
-    std::copy(x.data() + idx[j] * row, x.data() + (idx[j] + 1) * row,
-              out.data() + static_cast<int64_t>(j) * row);
-  }
-  return out;
-}
-
-/// Writes timesteps of src into dst at the positions listed in idx.
-void scatter_steps(Tensor& dst, const Tensor& src,
-                   const std::vector<int64_t>& idx) {
-  if (idx.empty()) return;
-  const int64_t row = dst.numel() / dst.size(0);
-  TTSNN_CHECK(src.numel() == static_cast<int64_t>(idx.size()) * row,
-              "scatter_steps size mismatch");
-  for (size_t j = 0; j < idx.size(); ++j) {
-    std::copy(src.data() + static_cast<int64_t>(j) * row,
-              src.data() + static_cast<int64_t>(j + 1) * row,
-              dst.data() + idx[j] * row);
-  }
-}
-
-}  // namespace
-
 std::string tt_mode_name(TTMode mode) {
   switch (mode) {
     case TTMode::kSTT:
@@ -50,11 +18,23 @@ std::string tt_mode_name(TTMode mode) {
   return "?";
 }
 
-TTConv2d::TTConv2d(Options opts, Rng& rng) : opts_(opts) {
-  TTSNN_CHECK(opts_.in_channels > 0 && opts_.out_channels > 0,
+namespace {
+
+/// Shared Options validation for both constructors (rank is checked only on
+/// the random-init path; the cores constructor derives it from the cores).
+void validate_options(const TTConv2d::Options& opts) {
+  TTSNN_CHECK(opts.in_channels > 0 && opts.out_channels > 0,
               "TTConv2d channels must be positive");
-  TTSNN_CHECK(opts_.kernel % 2 == 1, "TTConv2d kernel must be odd");
-  TTSNN_CHECK(opts_.rank >= 1, "TTConv2d rank must be >= 1");
+  TTSNN_CHECK(opts.kernel >= 1, "TTConv2d kernel must be >= 1, got " << opts.kernel);
+  TTSNN_CHECK(opts.kernel % 2 == 1, "TTConv2d kernel must be odd");
+  TTSNN_CHECK(opts.stride >= 1, "TTConv2d stride must be >= 1, got " << opts.stride);
+}
+
+}  // namespace
+
+TTConv2d::TTConv2d(Options opts, Rng& rng) : opts_(opts) {
+  validate_options(opts_);
+  TTSNN_CHECK(opts_.rank >= 1, "TTConv2d rank must be >= 1, got " << opts_.rank);
   const int64_t r = opts_.rank;
   const int64_t k = opts_.kernel;
   w1_ = Parameter("tt.w1",
@@ -65,6 +45,7 @@ TTConv2d::TTConv2d(Options opts, Rng& rng) : opts_(opts) {
 }
 
 TTConv2d::TTConv2d(Options opts, const TTCores& cores) : opts_(opts) {
+  validate_options(opts_);
   cores.check();
   TTSNN_CHECK(cores.in_channels == opts_.in_channels &&
                   cores.out_channels == opts_.out_channels &&
@@ -119,17 +100,22 @@ double TTConv2d::full_step_fraction(int64_t timesteps) const {
 }
 
 Tensor TTConv2d::forward(const Tensor& x) {
-  in_x_ = x;
-  o1_ = conv2d_forward(x, w1_.value, opt_w1());
+  // Eval-mode forwards keep no activations: backward is a training-only
+  // operation, and serving must not pay BPTT memory traffic (nor hold stale
+  // caches from a previous training step).
+  if (!training_) clear_cache();
+  Tensor o1 = conv2d_forward(x, w1_.value, opt_w1());
+  if (training_) {
+    in_x_ = x;
+    o1_ = o1;
+  }
   switch (opts_.mode) {
     case TTMode::kSTT:
-      return forward_stt(o1_);
-    case TTMode::kPTT: {
-      Tensor y = forward_ptt_path(o1_);
-      return y;
-    }
+      return forward_stt(o1);
+    case TTMode::kPTT:
+      return forward_ptt_path(o1);
     case TTMode::kHTT:
-      return forward_htt(o1_);
+      return forward_htt(o1);
   }
   TTSNN_CHECK(false, "unreachable");
   return {};
@@ -153,9 +139,13 @@ Tensor TTConv2d::backward(const Tensor& grad_out) {
 }
 
 Tensor TTConv2d::forward_stt(const Tensor& o1) {
-  stt_z2_ = conv2d_forward(o1, w2_.value, opt_w2(false));
-  stt_z3_ = conv2d_forward(stt_z2_, w3_.value, opt_w3(false));
-  return conv2d_forward(stt_z3_, w4_.value, opt_w4(false));
+  Tensor z2 = conv2d_forward(o1, w2_.value, opt_w2(false));
+  Tensor z3 = conv2d_forward(z2, w3_.value, opt_w3(false));
+  if (training_) {
+    stt_z2_ = z2;
+    stt_z3_ = z3;
+  }
+  return conv2d_forward(z3, w4_.value, opt_w4(false));
 }
 
 Tensor TTConv2d::backward_stt(const Tensor& grad) {
@@ -180,8 +170,9 @@ Tensor TTConv2d::forward_ptt_path(const Tensor& x) {
     a = conv2d_forward(x, w2_.value, opt_w2(true));
     b = conv2d_forward(x, w3_.value, opt_w3(true));
   }
-  ptt_sum_ = add(a, b);
-  return conv2d_forward(ptt_sum_, w4_.value, opt_w4(false));
+  Tensor sum = add(a, b);
+  if (training_) ptt_sum_ = sum;
+  return conv2d_forward(sum, w4_.value, opt_w4(false));
 }
 
 Tensor TTConv2d::backward_ptt_path(const Tensor& grad) {
@@ -203,25 +194,30 @@ Tensor TTConv2d::backward_ptt_path(const Tensor& grad) {
 Tensor TTConv2d::forward_htt(const Tensor& o1) {
   TTSNN_CHECK(o1.dim() == 5, "HTT expects [T, N, C, H, W]");
   const int64_t t_steps = o1.size(0);
-  full_idx_.clear();
-  half_idx_.clear();
+  std::vector<int64_t> full_idx, half_idx;
   for (int64_t t = 0; t < t_steps; ++t) {
-    (is_full_step(t) ? full_idx_ : half_idx_).push_back(t);
+    (is_full_step(t) ? full_idx : half_idx).push_back(t);
   }
-  htt_full_x_ = gather_steps(o1, full_idx_);
-  htt_half_x_ = gather_steps(o1, half_idx_);
+  Tensor full_x = gather_steps(o1, full_idx);
+  Tensor half_x = gather_steps(o1, half_idx);
+  if (training_) {
+    full_idx_ = full_idx;
+    half_idx_ = half_idx;
+    htt_full_x_ = full_x;
+    htt_half_x_ = half_x;
+  }
 
   Tensor y_full, y_half;
-  if (htt_full_x_.defined()) y_full = forward_ptt_path(htt_full_x_);
-  if (htt_half_x_.defined()) {
-    y_half = conv2d_forward(htt_half_x_, w4_.value, opt_w4(true));
+  if (full_x.defined()) y_full = forward_ptt_path(full_x);
+  if (half_x.defined()) {
+    y_half = conv2d_forward(half_x, w4_.value, opt_w4(true));
   }
   TTSNN_CHECK(y_full.defined() || y_half.defined(), "HTT: empty schedule");
   Shape out_shape = (y_full.defined() ? y_full : y_half).shape();
   out_shape[0] = t_steps;
   Tensor out(out_shape);
-  if (y_full.defined()) scatter_steps(out, y_full, full_idx_);
-  if (y_half.defined()) scatter_steps(out, y_half, half_idx_);
+  if (y_full.defined()) scatter_steps(out, y_full, full_idx);
+  if (y_half.defined()) scatter_steps(out, y_half, half_idx);
   return out;
 }
 
@@ -326,6 +322,8 @@ void TTConv2d::clear_cache() {
   ptt_sum_ = Tensor();
   htt_full_x_ = Tensor();
   htt_half_x_ = Tensor();
+  full_idx_.clear();
+  half_idx_.clear();
 }
 
 }  // namespace ttsnn

@@ -72,21 +72,26 @@ class TTConv2d : public Module {
   Parameter& w2() { return w2_; }
   Parameter& w3() { return w3_; }
   Parameter& w4() { return w4_; }
+  const Parameter& w1() const { return w1_; }
+  const Parameter& w2() const { return w2_; }
+  const Parameter& w3() const { return w3_; }
+  const Parameter& w4() const { return w4_; }
 
- private:
-  // Sub-convolution option builders.
+  // Sub-convolution option builders, public so the inference lowering pass
+  // can reproduce the training pipeline's exact geometry.
   Conv2d::Options opt_w1() const;
   Conv2d::Options opt_w2(bool parallel_mode) const;
   Conv2d::Options opt_w3(bool parallel_mode) const;
   Conv2d::Options opt_w4(bool strided_half) const;
 
-  Tensor forward_stt(const Tensor& x);
+ private:
+  Tensor forward_stt(const Tensor& o1);
   Tensor backward_stt(const Tensor& grad);
   /// PTT path over the given tensor (any leading layout); caches branch
-  /// intermediates for the matching backward.
+  /// intermediates for the matching backward when training.
   Tensor forward_ptt_path(const Tensor& x);
   Tensor backward_ptt_path(const Tensor& grad);
-  Tensor forward_htt(const Tensor& x);
+  Tensor forward_htt(const Tensor& o1);
   Tensor backward_htt(const Tensor& grad);
 
   /// True at HTT step t.

@@ -1,0 +1,325 @@
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "infer/engine.h"
+#include "nn/containers.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "snn/serialize.h"
+
+namespace ttsnn::infer {
+
+namespace {
+
+/// Mutable state of one compile() call. Registers are assigned fresh per op
+/// output; BN folding mutates the most recent op in place instead of
+/// emitting a new one.
+struct Builder {
+  const CompileOptions& opts;
+  std::vector<Op> ops;
+  int num_regs = 1;  // register 0 is the network input
+  /// Registers with more than one consumer (a Residual's input feeds both
+  /// branches); folding must never rewrite the op that produced one.
+  std::set<int> pinned;
+
+  int fresh_reg() { return num_regs++; }
+
+  int emit(Op op) {
+    ops.push_back(std::move(op));
+    return ops.back().out;
+  }
+};
+
+int lower(const Module& m, int in_reg, Builder& b);
+
+std::string conv_label(const Conv2d::Options& o) {
+  std::ostringstream oss;
+  oss << o.in_channels << "->" << o.out_channels << " " << o.kernel_h << "x"
+      << o.kernel_w;
+  if (o.resolved_stride_h() != 1 || o.resolved_stride_w() != 1) {
+    oss << " s" << o.resolved_stride_h() << "," << o.resolved_stride_w();
+  }
+  return oss.str();
+}
+
+int lower_conv(const Conv2d& conv, int in_reg, Builder& b) {
+  Op op;
+  op.kind = Op::Kind::kConv;
+  op.in = in_reg;
+  op.out = b.fresh_reg();
+  op.conv = conv.options();
+  op.weight = conv.weight().value.clone();
+  if (op.conv.bias) {
+    op.bias = conv.bias().value.clone();
+    op.conv.bias = false;  // bias now lives in op.bias, not in the options
+  }
+  op.label = conv_label(op.conv);
+  return b.emit(std::move(op));
+}
+
+int lower_ttconv(const TTConv2d& tt, int in_reg, Builder& b) {
+  const TTConv2d::Options& o = tt.options();
+  // An HTT layer whose schedule is empty (or absent) runs every step full,
+  // so it merges to a single cross-kernel conv just like PTT.
+  const bool per_step =
+      o.mode == TTMode::kHTT && !o.full_step.empty();
+
+  if (b.opts.merge_tt && !per_step) {
+    // Algorithm 1 lines 20-22: one dense kernel — full K x K for STT,
+    // cross-shaped for PTT.
+    Op op;
+    op.kind = Op::Kind::kConv;
+    op.in = in_reg;
+    op.out = b.fresh_reg();
+    op.conv = Conv2d::Options{.in_channels = o.in_channels,
+                              .out_channels = o.out_channels,
+                              .kernel_h = o.kernel,
+                              .kernel_w = o.kernel,
+                              .stride = o.stride};
+    op.weight = tt.merged_kernel();
+    op.label = "merged-" + tt_mode_name(o.mode) + " " + conv_label(op.conv);
+    return b.emit(std::move(op));
+  }
+
+  if (b.opts.merge_tt) {
+    // Merged HTT: two kernels selected per timestep by the schedule.
+    Op op;
+    op.kind = Op::Kind::kTTHtt;
+    op.in = in_reg;
+    op.out = b.fresh_reg();
+    op.tt = o;
+    op.conv = Conv2d::Options{.in_channels = o.in_channels,
+                              .out_channels = o.out_channels,
+                              .kernel_h = o.kernel,
+                              .kernel_w = o.kernel,
+                              .stride = o.stride};
+    op.half_conv = Conv2d::Options{.in_channels = o.in_channels,
+                                   .out_channels = o.out_channels,
+                                   .kernel_h = 1,
+                                   .kernel_w = 1,
+                                   .stride = o.stride};
+    op.full_kernel = tt.merged_kernel();
+    op.half_kernel = tt.merged_half_kernel();
+    op.label = "merged-HTT " + conv_label(op.conv);
+    return b.emit(std::move(op));
+  }
+
+  // Exact mode: the four sub-convolutions with the training pipeline's
+  // geometry, for bit-identity with eval-mode Module::forward.
+  Op op;
+  op.kind = Op::Kind::kTTExact;
+  op.in = in_reg;
+  op.out = b.fresh_reg();
+  op.tt = o;
+  op.w1 = tt.w1().value.clone();
+  op.w2 = tt.w2().value.clone();
+  op.w3 = tt.w3().value.clone();
+  op.w4 = tt.w4().value.clone();
+  const bool parallel_mode = o.mode != TTMode::kSTT;
+  op.tt_w1_opts = tt.opt_w1();
+  op.tt_w2_opts = tt.opt_w2(parallel_mode);
+  op.tt_w3_opts = tt.opt_w3(parallel_mode);
+  op.tt_w4_opts = tt.opt_w4(false);
+  op.tt_w4_half_opts = tt.opt_w4(true);
+  {
+    std::ostringstream oss;
+    oss << tt_mode_name(o.mode) << " r" << o.rank << " " << o.in_channels
+        << "->" << o.out_channels;
+    op.label = oss.str();
+  }
+  return b.emit(std::move(op));
+}
+
+/// Per-channel inverse std, computed with the exact expression BatchNorm's
+/// eval forward uses so standalone affine ops stay bit-identical.
+Tensor bn_inv_std(const BatchNorm& bn) {
+  const Tensor& var = bn.running_var();
+  Tensor inv_std(var.shape());
+  for (int64_t c = 0; c < var.numel(); ++c) {
+    const double v = var[c];
+    inv_std[c] =
+        1.0F / std::sqrt(static_cast<float>(v) + bn.options().eps);
+  }
+  return inv_std;
+}
+
+int lower_bn(const BatchNorm& bn, int in_reg, Builder& b) {
+  const BatchNorm::Options& o = bn.options();
+  Tensor inv_std = bn_inv_std(bn);
+
+  // Peephole fold: inference BN is y = s[c] * conv(x) + (beta - s * mean)
+  // with s = gamma * alpha_vth * inv_std, time-invariant for every mode but
+  // TEBN — scale the producing conv's output channels and attach the shift
+  // as its bias. Only valid when the previous op is the conv that feeds us
+  // AND we are its sole consumer: a pinned register (a Residual input, read
+  // again by the other branch) must keep its raw conv output.
+  if (b.opts.fold_batchnorm && o.mode != BatchNorm::Mode::kTebn &&
+      !b.ops.empty() && b.pinned.count(in_reg) == 0) {
+    Op& prev = b.ops.back();
+    const bool foldable =
+        prev.out == in_reg &&
+        (prev.kind == Op::Kind::kConv || prev.kind == Op::Kind::kTTHtt);
+    if (foldable) {
+      const int64_t out_c = prev.kind == Op::Kind::kConv
+                                ? prev.conv.out_channels
+                                : prev.tt.out_channels;
+      TTSNN_CHECK(out_c == o.channels,
+                  "infer: BN channels " << o.channels
+                                        << " do not match producing conv "
+                                        << out_c);
+      Tensor bias(Shape{out_c});
+      const Tensor& gamma = bn.gamma().value;
+      const Tensor& beta = bn.beta().value;
+      const Tensor& mean = bn.running_mean();
+      auto scale_rows = [&](Tensor& w) {
+        const int64_t row = w.numel() / out_c;
+        for (int64_t oc = 0; oc < out_c; ++oc) {
+          const float s = gamma[oc] * o.alpha_vth * inv_std[oc];
+          float* wr = w.data() + oc * row;
+          for (int64_t i = 0; i < row; ++i) wr[i] *= s;
+        }
+      };
+      for (int64_t oc = 0; oc < out_c; ++oc) {
+        const float s = gamma[oc] * o.alpha_vth * inv_std[oc];
+        const float b0 = prev.bias.defined() ? prev.bias[oc] : 0.0F;
+        bias[oc] = s * b0 + beta[oc] - s * mean[oc];
+      }
+      if (prev.kind == Op::Kind::kConv) {
+        scale_rows(prev.weight);
+      } else {
+        scale_rows(prev.full_kernel);
+        scale_rows(prev.half_kernel);
+      }
+      prev.bias = std::move(bias);
+      prev.label += " +bn";
+      return in_reg;
+    }
+  }
+
+  Op op;
+  op.kind = Op::Kind::kAffine;
+  op.in = in_reg;
+  op.out = b.fresh_reg();
+  op.bn_mode = o.mode;
+  op.bn_alpha_vth = o.alpha_vth;
+  op.bn_timesteps = o.mode == BatchNorm::Mode::kTebn ? o.timesteps : 0;
+  op.bn_gamma = bn.gamma().value.clone();
+  op.bn_beta = bn.beta().value.clone();
+  op.bn_mean = bn.running_mean().clone();
+  op.bn_inv_std = std::move(inv_std);
+  if (o.mode == BatchNorm::Mode::kTebn) {
+    op.bn_step_scale = bn.step_scale().value.clone();
+  }
+  {
+    std::ostringstream oss;
+    oss << "c" << o.channels;
+    op.label = oss.str();
+  }
+  return b.emit(std::move(op));
+}
+
+int lower_residual(const Residual& res, int in_reg, Builder& b) {
+  // The input register feeds the body AND the shortcut (or the Add itself):
+  // no branch may fold state into the op that produced it.
+  b.pinned.insert(in_reg);
+  const int body_out = lower(res.body(), in_reg, b);
+  const int skip_out =
+      res.shortcut() != nullptr ? lower(*res.shortcut(), in_reg, b) : in_reg;
+  Op op;
+  op.kind = Op::Kind::kAdd;
+  op.in = body_out;
+  op.in2 = skip_out;
+  op.out = b.fresh_reg();
+  return b.emit(std::move(op));
+}
+
+int lower(const Module& m, int in_reg, Builder& b) {
+  if (const auto* seq = dynamic_cast<const Sequential*>(&m)) {
+    int reg = in_reg;
+    for (size_t i = 0; i < seq->size(); ++i) reg = lower(seq->at(i), reg, b);
+    return reg;
+  }
+  if (const auto* res = dynamic_cast<const Residual*>(&m)) {
+    return lower_residual(*res, in_reg, b);
+  }
+  if (const auto* tt = dynamic_cast<const TTConv2d*>(&m)) {
+    return lower_ttconv(*tt, in_reg, b);
+  }
+  if (const auto* conv = dynamic_cast<const Conv2d*>(&m)) {
+    return lower_conv(*conv, in_reg, b);
+  }
+  if (const auto* bn = dynamic_cast<const BatchNorm*>(&m)) {
+    return lower_bn(*bn, in_reg, b);
+  }
+  if (const auto* lif = dynamic_cast<const LIFNeuron*>(&m)) {
+    Op op;
+    op.kind = Op::Kind::kLif;
+    op.in = in_reg;
+    op.out = b.fresh_reg();
+    op.lif = lif->options();
+    return b.emit(std::move(op));
+  }
+  if (const auto* pool = dynamic_cast<const AvgPool2d*>(&m)) {
+    Op op;
+    op.kind = Op::Kind::kAvgPool;
+    op.in = in_reg;
+    op.out = b.fresh_reg();
+    op.pool_kernel = pool->kernel();
+    return b.emit(std::move(op));
+  }
+  if (dynamic_cast<const GlobalAvgPool*>(&m) != nullptr) {
+    Op op;
+    op.kind = Op::Kind::kGlobalPool;
+    op.in = in_reg;
+    op.out = b.fresh_reg();
+    return b.emit(std::move(op));
+  }
+  if (dynamic_cast<const Flatten*>(&m) != nullptr) {
+    Op op;
+    op.kind = Op::Kind::kFlatten;
+    op.in = in_reg;
+    op.out = b.fresh_reg();
+    return b.emit(std::move(op));
+  }
+  if (const auto* lin = dynamic_cast<const Linear*>(&m)) {
+    Op op;
+    op.kind = Op::Kind::kLinear;
+    op.in = in_reg;
+    op.out = b.fresh_reg();
+    op.weight = lin->weight().value.clone();
+    if (lin->has_bias()) op.bias = lin->bias().value.clone();
+    {
+      std::ostringstream oss;
+      oss << lin->in_features() << "->" << lin->out_features();
+      op.label = oss.str();
+    }
+    return b.emit(std::move(op));
+  }
+  TTSNN_CHECK(false, "infer::compile: unsupported module type '" << m.name()
+                                                                 << "'");
+  return -1;
+}
+
+}  // namespace
+
+Engine compile(const Module& root, const CompileOptions& opts) {
+  Builder b{.opts = opts};
+  const int result = lower(root, 0, b);
+  TTSNN_CHECK(!b.ops.empty(), "infer::compile: module tree lowered to no ops");
+  Engine e;
+  e.opts_ = opts;
+  e.ops_ = std::move(b.ops);
+  e.num_regs_ = b.num_regs;
+  e.result_reg_ = result;
+  e.seal();
+  return e;
+}
+
+Engine compile_checkpoint(Module& root, const std::string& checkpoint_path,
+                          const CompileOptions& opts) {
+  load_parameters(root, checkpoint_path);
+  return compile(root, opts);
+}
+
+}  // namespace ttsnn::infer

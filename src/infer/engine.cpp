@@ -1,0 +1,409 @@
+#include "infer/engine.h"
+
+#include <limits>
+#include <sstream>
+
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+#include "tensor/ops.h"
+
+namespace ttsnn::infer {
+
+namespace {
+
+/// Per-call scratch. Registers hold live activations; `col` is one reusable
+/// im2col buffer shared by every convolution in the plan, grown to the
+/// largest lowering the plan needs and never shrunk within a call.
+struct Workspace {
+  std::vector<Tensor> regs;
+  std::vector<float> col;
+
+  float* col_buffer(int64_t elems) {
+    if (static_cast<int64_t>(col.size()) < elems) {
+      col.resize(static_cast<size_t>(elems));
+    }
+    return col.data();
+  }
+};
+
+/// Dense convolution over a folded-batch NCHW tensor. Mirrors
+/// conv2d_forward() exactly (same im2col lowering, same gemm calls in the
+/// same order) so outputs are bit-identical to the Module path; the only
+/// difference is that the column matrix lives in the workspace.
+Tensor run_conv(const Tensor& x, const Tensor& weight,
+                const Conv2d::Options& opts, const Tensor& bias,
+                Workspace& ws) {
+  TTSNN_CHECK(x.dim() >= 3, "infer conv: input must be at least [C, H, W]");
+  TTSNN_CHECK(x.size(-3) == opts.in_channels,
+              "infer conv: channel mismatch, expected "
+                  << opts.in_channels << " in " << shape_str(x.shape()));
+  const int64_t chw = x.size(-3) * x.size(-2) * x.size(-1);
+  const int64_t batch = x.numel() / chw;
+  ConvGeometry g{.in_channels = opts.in_channels,
+                 .in_h = x.size(-2),
+                 .in_w = x.size(-1),
+                 .kernel_h = opts.kernel_h,
+                 .kernel_w = opts.kernel_w,
+                 .stride_h = opts.resolved_stride_h(),
+                 .stride_w = opts.resolved_stride_w(),
+                 .pad_h = opts.resolved_pad_h(),
+                 .pad_w = opts.resolved_pad_w()};
+  const int64_t oh = g.out_h();
+  const int64_t ow = g.out_w();
+  TTSNN_CHECK(oh > 0 && ow > 0, "infer conv: output would be empty for input "
+                                    << shape_str(x.shape()));
+  Shape out_shape = x.shape();
+  out_shape[out_shape.size() - 3] = opts.out_channels;
+  out_shape[out_shape.size() - 2] = oh;
+  out_shape[out_shape.size() - 1] = ow;
+  Tensor out(out_shape);
+  // Pointwise stride-1 convolutions (the TT w1/w4 cores and most shortcut
+  // projections) skip the im2col lowering entirely: the column matrix would
+  // be an identity copy of the input plane, so gemm reads it in place. The
+  // gemm call is argument-for-argument identical, keeping bit-identity.
+  const bool pointwise = g.kernel_h == 1 && g.kernel_w == 1 &&
+                         g.stride_h == 1 && g.stride_w == 1 && g.pad_h == 0 &&
+                         g.pad_w == 0;
+  float* col = pointwise ? nullptr : ws.col_buffer(g.col_rows() * g.col_cols());
+  const int64_t in_stride = opts.in_channels * g.in_h * g.in_w;
+  const int64_t out_stride = opts.out_channels * oh * ow;
+  for (int64_t b = 0; b < batch; ++b) {
+    const float* lowered;
+    if (pointwise) {
+      lowered = x.data() + b * in_stride;
+    } else {
+      im2col(x.data() + b * in_stride, g, col);
+      lowered = col;
+    }
+    gemm(false, false, opts.out_channels, g.col_cols(), g.col_rows(), 1.0F,
+         weight.data(), lowered, 0.0F, out.data() + b * out_stride);
+  }
+  if (bias.defined()) {
+    const float* bb = bias.data();
+    float* o = out.data();
+    const int64_t hw = oh * ow;
+    for (int64_t b = 0; b < batch; ++b) {
+      for (int64_t c = 0; c < opts.out_channels; ++c) {
+        float* plane = o + (b * opts.out_channels + c) * hw;
+        const float bv = bb[c];
+        for (int64_t i = 0; i < hw; ++i) plane[i] += bv;
+      }
+    }
+  }
+  return out;
+}
+
+/// Splits [0, t_steps) into full/half step index lists per the HTT schedule.
+void split_schedule(const TTConv2d::Options& tt, int64_t t_steps,
+                    std::vector<int64_t>& full_idx,
+                    std::vector<int64_t>& half_idx) {
+  for (int64_t t = 0; t < t_steps; ++t) {
+    bool full = true;
+    if (tt.mode == TTMode::kHTT && !tt.full_step.empty()) {
+      TTSNN_CHECK(t < static_cast<int64_t>(tt.full_step.size()),
+                  "infer: HTT schedule too short for timestep " << t);
+      full = tt.full_step[static_cast<size_t>(t)];
+    }
+    (full ? full_idx : half_idx).push_back(t);
+  }
+}
+
+/// Unmerged TT pipeline — reproduces eval-mode TTConv2d::forward bit-for-bit
+/// (the PTT branches run sequentially here; the training path computes them
+/// into separate buffers before the same add, so the bits agree).
+Tensor run_tt_exact(const Op& op, const Tensor& x, Workspace& ws) {
+  const Tensor none;
+  Tensor o1 = run_conv(x, op.w1, op.tt_w1_opts, none, ws);
+  auto ptt_path = [&](const Tensor& in) {
+    Tensor a = run_conv(in, op.w2, op.tt_w2_opts, none, ws);
+    Tensor b = run_conv(in, op.w3, op.tt_w3_opts, none, ws);
+    Tensor sum = add(a, b);
+    return run_conv(sum, op.w4, op.tt_w4_opts, none, ws);
+  };
+  switch (op.tt.mode) {
+    case TTMode::kSTT: {
+      Tensor z2 = run_conv(o1, op.w2, op.tt_w2_opts, none, ws);
+      Tensor z3 = run_conv(z2, op.w3, op.tt_w3_opts, none, ws);
+      return run_conv(z3, op.w4, op.tt_w4_opts, none, ws);
+    }
+    case TTMode::kPTT:
+      return ptt_path(o1);
+    case TTMode::kHTT: {
+      TTSNN_CHECK(o1.dim() == 5, "infer HTT expects [T, N, C, H, W]");
+      std::vector<int64_t> full_idx, half_idx;
+      split_schedule(op.tt, o1.size(0), full_idx, half_idx);
+      Tensor full_x = gather_steps(o1, full_idx);
+      Tensor half_x = gather_steps(o1, half_idx);
+      Tensor y_full, y_half;
+      if (full_x.defined()) y_full = ptt_path(full_x);
+      if (half_x.defined()) {
+        y_half = run_conv(half_x, op.w4, op.tt_w4_half_opts, none, ws);
+      }
+      TTSNN_CHECK(y_full.defined() || y_half.defined(),
+                  "infer HTT: empty schedule");
+      Shape out_shape = (y_full.defined() ? y_full : y_half).shape();
+      out_shape[0] = o1.size(0);
+      Tensor out(out_shape);
+      if (y_full.defined()) scatter_steps(out, y_full, full_idx);
+      if (y_half.defined()) scatter_steps(out, y_half, half_idx);
+      return out;
+    }
+  }
+  TTSNN_CHECK(false, "unreachable");
+  return {};
+}
+
+/// Merged HTT: cross kernel on full steps, merged pointwise on half steps
+/// (Algorithm 1 lines 20-22 applied per schedule entry). Both kernels use
+/// stride s, so all steps agree on the output shape.
+Tensor run_tt_htt_merged(const Op& op, const Tensor& x, Workspace& ws) {
+  TTSNN_CHECK(x.dim() == 5, "infer HTT expects [T, N, C, H, W]");
+  std::vector<int64_t> full_idx, half_idx;
+  split_schedule(op.tt, x.size(0), full_idx, half_idx);
+  Tensor full_x = gather_steps(x, full_idx);
+  Tensor half_x = gather_steps(x, half_idx);
+  Tensor y_full, y_half;
+  if (full_x.defined()) {
+    y_full = run_conv(full_x, op.full_kernel, op.conv, op.bias, ws);
+  }
+  if (half_x.defined()) {
+    y_half = run_conv(half_x, op.half_kernel, op.half_conv, op.bias, ws);
+  }
+  TTSNN_CHECK(y_full.defined() || y_half.defined(), "infer HTT: empty schedule");
+  Shape out_shape = (y_full.defined() ? y_full : y_half).shape();
+  out_shape[0] = x.size(0);
+  Tensor out(out_shape);
+  if (y_full.defined()) scatter_steps(out, y_full, full_idx);
+  if (y_half.defined()) scatter_steps(out, y_half, half_idx);
+  return out;
+}
+
+/// Inference BatchNorm. Statistics are the stored running stats, so this is
+/// an affine per (timestep, channel) — the arithmetic matches BatchNorm's
+/// eval forward expression-for-expression for bit identity.
+Tensor run_affine(const Op& op, const Tensor& x) {
+  TTSNN_CHECK(x.dim() == 5, "infer affine expects [T, N, C, H, W], got "
+                                << shape_str(x.shape()));
+  const int64_t t_steps = x.size(0);
+  const int64_t n = x.size(1);
+  const int64_t c = x.size(2);
+  const int64_t hw = x.size(3) * x.size(4);
+  TTSNN_CHECK(c == op.bn_gamma.numel(), "infer affine channel mismatch: " << c);
+  const bool tebn = op.bn_mode == BatchNorm::Mode::kTebn;
+  if (tebn) {
+    TTSNN_CHECK(t_steps == op.bn_timesteps,
+                "infer affine: TEBN configured for T=" << op.bn_timesteps
+                                                       << ", got " << t_steps);
+  }
+  Tensor out(x.shape());
+  const float* in = x.data();
+  float* y = out.data();
+  const float* g_gamma = op.bn_gamma.data();
+  const float* g_beta = op.bn_beta.data();
+  const float* g_mean = op.bn_mean.data();
+  const float* g_inv_std = op.bn_inv_std.data();
+  for (int64_t ch = 0; ch < c; ++ch) {
+    const float inv_std = g_inv_std[ch];
+    const float mu = g_mean[ch];
+    for (int64_t t = 0; t < t_steps; ++t) {
+      const float step = tebn ? op.bn_step_scale[t] : 1.0F;
+      const float eff = g_gamma[ch] * op.bn_alpha_vth * step;
+      for (int64_t b = 0; b < n; ++b) {
+        const int64_t base = (((t * n + b) * c) + ch) * hw;
+        const float* pb = in + base;
+        float* yb = y + base;
+        for (int64_t i = 0; i < hw; ++i) {
+          const float v = (pb[i] - mu) * inv_std;
+          yb[i] = eff * v + g_beta[ch];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// Non-overlapping average pool; mirrors AvgPool2d::forward.
+Tensor run_avg_pool(const Tensor& x, int64_t kernel) {
+  TTSNN_CHECK(x.dim() >= 3, "infer pool expects [..., C, H, W]");
+  const int64_t h = x.size(-2);
+  const int64_t w = x.size(-1);
+  TTSNN_CHECK(h % kernel == 0 && w % kernel == 0,
+              "infer pool requires divisible spatial dims, got "
+                  << h << "x" << w << " k=" << kernel);
+  const int64_t oh = h / kernel;
+  const int64_t ow = w / kernel;
+  const int64_t planes = x.numel() / (h * w);
+  Shape out_shape = x.shape();
+  out_shape[out_shape.size() - 2] = oh;
+  out_shape[out_shape.size() - 1] = ow;
+  Tensor out(out_shape);
+  const float* in = x.data();
+  float* o = out.data();
+  const float inv = 1.0F / static_cast<float>(kernel * kernel);
+  for (int64_t p = 0; p < planes; ++p) {
+    const float* plane = in + p * h * w;
+    float* oplane = o + p * oh * ow;
+    for (int64_t y = 0; y < oh; ++y) {
+      for (int64_t xx = 0; xx < ow; ++xx) {
+        float s = 0.0F;
+        for (int64_t ky = 0; ky < kernel; ++ky) {
+          const float* row = plane + (y * kernel + ky) * w + xx * kernel;
+          for (int64_t kx = 0; kx < kernel; ++kx) s += row[kx];
+        }
+        oplane[y * ow + xx] = s * inv;
+      }
+    }
+  }
+  return out;
+}
+
+/// Global average pool [T,N,C,H,W] -> [T,N,C]; mirrors GlobalAvgPool.
+Tensor run_global_pool(const Tensor& x) {
+  TTSNN_CHECK(x.dim() == 5, "infer global pool expects [T, N, C, H, W]");
+  const int64_t hw = x.size(3) * x.size(4);
+  const int64_t rows = x.numel() / hw;
+  Tensor out({x.size(0), x.size(1), x.size(2)});
+  const float* in = x.data();
+  float* o = out.data();
+  const float inv = 1.0F / static_cast<float>(hw);
+  for (int64_t r = 0; r < rows; ++r) {
+    double s = 0.0;
+    const float* row = in + r * hw;
+    for (int64_t i = 0; i < hw; ++i) s += row[i];
+    o[r] = static_cast<float>(s) * inv;
+  }
+  return out;
+}
+
+/// Dense head; mirrors Linear::forward (weight [out, in]).
+Tensor run_linear(const Op& op, const Tensor& x) {
+  const int64_t out_f = op.weight.size(0);
+  const int64_t in_f = op.weight.size(1);
+  TTSNN_CHECK(x.size(-1) == in_f, "infer linear expected last dim "
+                                      << in_f << ", got " << shape_str(x.shape()));
+  const int64_t b = x.numel() / in_f;
+  Shape out_shape = x.shape();
+  out_shape[out_shape.size() - 1] = out_f;
+  Tensor out(out_shape);
+  gemm(false, true, b, out_f, in_f, 1.0F, x.data(), op.weight.data(), 0.0F,
+       out.data());
+  if (op.bias.defined()) {
+    float* p = out.data();
+    const float* bb = op.bias.data();
+    for (int64_t i = 0; i < b; ++i) {
+      for (int64_t j = 0; j < out_f; ++j) p[i * out_f + j] += bb[j];
+    }
+  }
+  return out;
+}
+
+Tensor exec_op(const Op& op, const Tensor& x, const Tensor& x2, Workspace& ws) {
+  switch (op.kind) {
+    case Op::Kind::kConv:
+      return run_conv(x, op.weight, op.conv, op.bias, ws);
+    case Op::Kind::kTTExact:
+      return run_tt_exact(op, x, ws);
+    case Op::Kind::kTTHtt:
+      return run_tt_htt_merged(op, x, ws);
+    case Op::Kind::kAffine:
+      return run_affine(op, x);
+    case Op::Kind::kLif:
+      return lif_forward_eval(op.lif, x);
+    case Op::Kind::kAvgPool:
+      return run_avg_pool(x, op.pool_kernel);
+    case Op::Kind::kGlobalPool:
+      return run_global_pool(x);
+    case Op::Kind::kFlatten:
+      return x.reshape({x.size(0), x.size(1), -1});
+    case Op::Kind::kLinear:
+      return run_linear(op, x);
+    case Op::Kind::kAdd:
+      return add(x, x2);
+  }
+  TTSNN_CHECK(false, "unreachable");
+  return {};
+}
+
+const char* kind_name(Op::Kind k) {
+  switch (k) {
+    case Op::Kind::kConv:
+      return "conv";
+    case Op::Kind::kTTExact:
+      return "tt";
+    case Op::Kind::kTTHtt:
+      return "htt";
+    case Op::Kind::kAffine:
+      return "affine";
+    case Op::Kind::kLif:
+      return "lif";
+    case Op::Kind::kAvgPool:
+      return "pool";
+    case Op::Kind::kGlobalPool:
+      return "gpool";
+    case Op::Kind::kFlatten:
+      return "flatten";
+    case Op::Kind::kLinear:
+      return "linear";
+    case Op::Kind::kAdd:
+      return "add";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Tensor Engine::run(const Tensor& x) const {
+  TTSNN_CHECK(!ops_.empty(), "infer::Engine::run on an empty plan");
+  TTSNN_CHECK(x.dim() == 5, "infer::Engine::run expects [T, N, C, H, W], got "
+                                << shape_str(x.shape()));
+  Workspace ws;
+  ws.regs.resize(static_cast<size_t>(num_regs_));
+  ws.regs[0] = x;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    const Op& op = ops_[i];
+    const Tensor& a = ws.regs[static_cast<size_t>(op.in)];
+    static const Tensor kNone;
+    const Tensor& b = op.in2 >= 0 ? ws.regs[static_cast<size_t>(op.in2)] : kNone;
+    TTSNN_CHECK(a.defined(), "infer: op " << i << " reads an undefined register");
+    Tensor y = exec_op(op, a, b, ws);
+    // Eagerly release registers whose last reader just ran, so peak memory is
+    // the widest live set (e.g. a residual input), not the whole history.
+    for (int r : {op.in, op.in2}) {
+      if (r >= 0 && last_use_[static_cast<size_t>(r)] == static_cast<int>(i)) {
+        ws.regs[static_cast<size_t>(r)] = Tensor();
+      }
+    }
+    ws.regs[static_cast<size_t>(op.out)] = std::move(y);
+  }
+  return ws.regs[static_cast<size_t>(result_reg_)];
+}
+
+void Engine::seal() {
+  last_use_.assign(static_cast<size_t>(num_regs_),
+                   std::numeric_limits<int>::max());
+  for (size_t i = ops_.size(); i-- > 0;) {
+    for (int r : {ops_[i].in, ops_[i].in2}) {
+      if (r >= 0 &&
+          last_use_[static_cast<size_t>(r)] == std::numeric_limits<int>::max()) {
+        last_use_[static_cast<size_t>(r)] = static_cast<int>(i);
+      }
+    }
+  }
+  // The result must survive to the end of the plan.
+  last_use_[static_cast<size_t>(result_reg_)] = std::numeric_limits<int>::max();
+}
+
+std::string Engine::summary() const {
+  std::ostringstream oss;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    const Op& op = ops_[i];
+    oss << i << ": " << kind_name(op.kind);
+    if (!op.label.empty()) oss << " " << op.label;
+    oss << " (r" << op.in;
+    if (op.in2 >= 0) oss << ", r" << op.in2;
+    oss << " -> r" << op.out << ")\n";
+  }
+  return oss.str();
+}
+
+}  // namespace ttsnn::infer

@@ -1,0 +1,136 @@
+#pragma once
+
+/// \file engine.h
+/// Compiled inference engine — the serving half of the train/infer split.
+///
+/// The training Module API is the wrong execution model for serving: forward()
+/// is non-const, caches activations for BPTT, and mutates per-layer state, so
+/// one model instance cannot run two requests concurrently. infer::compile()
+/// walks a trained module tree once and lowers it into an immutable Engine —
+/// a flat, register-addressed plan of ops over read-only weight tensors.
+/// Engine::run(x) const allocates a per-call workspace (registers + one
+/// reusable im2col scratch) and nothing else, so any number of threads can
+/// call run() on the same Engine simultaneously.
+///
+/// Lowering follows Algorithm 1 lines 20-22: with CompileOptions::merge_tt
+/// (the default), every TTConv2d collapses into a single dense convolution —
+/// the full K x K merged kernel for STT, the cross-shaped kernel for PTT —
+/// and HTT layers keep a two-kernel per-step plan (cross on full steps,
+/// merged pointwise on half steps). With merge_tt off, the four TT cores are
+/// lowered as-is; the engine then reproduces eval-mode Module::forward
+/// bit-for-bit, which is what the equivalence tests pin. fold_batchnorm
+/// additionally folds inference-mode BN (an affine per channel) into the
+/// preceding convolution's weights wherever the scale is time-invariant
+/// (i.e. everything except TEBN).
+
+#include <string>
+#include <vector>
+
+#include "core/ttconv.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/lif.h"
+
+namespace ttsnn::infer {
+
+struct CompileOptions {
+  /// Lower each TTConv2d to its merged dense kernel(s) (Algorithm 1 lines
+  /// 20-22). Off: lower the four sub-convolutions exactly as the training
+  /// forward runs them — bit-identical to eval-mode Module::forward.
+  bool merge_tt = true;
+  /// Fold inference-mode BatchNorm into the preceding conv where the BN scale
+  /// is time-invariant (all modes except TEBN). Off: keep a standalone affine
+  /// op that reproduces BatchNorm's eval forward bit-for-bit.
+  bool fold_batchnorm = true;
+};
+
+/// One instruction of the flat plan. Ops read register `in` (and `in2` for
+/// kAdd) and write register `out`; register 0 is the network input. Which
+/// field group is meaningful depends on `kind`.
+struct Op {
+  enum class Kind {
+    kConv,        ///< dense conv: weight [O,C,kh,kw], optional bias [O]
+    kTTExact,     ///< unmerged TT pipeline (STT/PTT/HTT) from four cores
+    kTTHtt,       ///< merged HTT: cross kernel on full steps, 1x1 on half
+    kAffine,      ///< inference BatchNorm (running stats, per-(t,c) scale)
+    kLif,         ///< leaky integrate-and-fire over [T, N, ...]
+    kAvgPool,     ///< non-overlapping average pool
+    kGlobalPool,  ///< [T,N,C,H,W] -> [T,N,C]
+    kFlatten,     ///< [T,N,...] -> [T,N,F]
+    kLinear,      ///< dense classifier head
+    kAdd,         ///< residual join: regs[out] = regs[in] + regs[in2]
+  };
+
+  Kind kind = Kind::kConv;
+  int in = -1;
+  int in2 = -1;
+  int out = -1;
+
+  // kConv (also kTTHtt's full-step geometry; kLinear stores weight/bias only)
+  Conv2d::Options conv;
+  Tensor weight;
+  Tensor bias;  ///< undefined when absent (BN folding or Linear bias)
+
+  // kTTExact / kTTHtt
+  TTConv2d::Options tt;         ///< mode, stride and HTT schedule
+  Tensor w1, w2, w3, w4;        ///< kTTExact: cloned cores
+  Conv2d::Options tt_w1_opts, tt_w2_opts, tt_w3_opts, tt_w4_opts;
+  Conv2d::Options tt_w4_half_opts;  ///< HTT half step: stride moved onto w4
+  Tensor full_kernel;           ///< kTTHtt: merged cross kernel [O,I,K,K]
+  Tensor half_kernel;           ///< kTTHtt: merged pointwise kernel [O,I,1,1]
+  Conv2d::Options half_conv;    ///< kTTHtt: half-step geometry (1x1, stride s)
+
+  // kAffine
+  BatchNorm::Mode bn_mode = BatchNorm::Mode::kPerStep;
+  float bn_alpha_vth = 1.0F;
+  int64_t bn_timesteps = 0;     ///< TEBN: required T; 0 means any
+  Tensor bn_gamma, bn_beta, bn_mean, bn_inv_std, bn_step_scale;
+
+  // kLif
+  LIFNeuron::Options lif;
+
+  // kAvgPool
+  int64_t pool_kernel = 2;
+
+  std::string label;  ///< human-readable op description for summary()
+};
+
+/// Immutable compiled plan. Copyable (ops share read-only weight storage);
+/// run() is const and thread-safe.
+class Engine {
+ public:
+  /// Executes the plan on x: [T, N, C, H, W]. Thread-safe; allocates only the
+  /// per-call workspace. Registers are freed eagerly after their last use, so
+  /// peak memory is the widest live set, not the whole activation history.
+  Tensor run(const Tensor& x) const;
+
+  size_t num_ops() const { return ops_.size(); }
+  const CompileOptions& options() const { return opts_; }
+  /// One line per op: kind, label, register dataflow.
+  std::string summary() const;
+
+ private:
+  friend Engine compile(const Module& root, const CompileOptions& opts);
+
+  std::vector<Op> ops_;
+  int num_regs_ = 1;               ///< register 0 is the input
+  int result_reg_ = 0;             ///< register holding the network output
+  std::vector<int> last_use_;      ///< per register: index of last reading op
+  CompileOptions opts_;
+
+  void seal();  ///< computes last_use_ once the op list is final
+};
+
+/// Lowers a trained module tree into an Engine. The tree is read through
+/// const accessors only and can keep training afterwards: all weights are
+/// cloned at compile time, so later optimizer steps do not alias the plan.
+/// Throws ttsnn::Error on module types the lowering does not know.
+Engine compile(const Module& root, const CompileOptions& opts = {});
+
+/// Checkpoint-to-serving pipeline: loads `checkpoint_path` (written by
+/// save_parameters) into `root` — which must be architecturally identical to
+/// the saved model — then compiles it.
+Engine compile_checkpoint(Module& root, const std::string& checkpoint_path,
+                          const CompileOptions& opts = {});
+
+}  // namespace ttsnn::infer

@@ -1,0 +1,152 @@
+#include "infer/server.h"
+
+#include <algorithm>
+
+namespace ttsnn::infer {
+
+Server::Server(const Engine& engine, ServerOptions opts)
+    : engine_(engine), opts_(opts) {
+  TTSNN_CHECK(opts_.max_batch >= 1, "Server max_batch must be >= 1");
+  TTSNN_CHECK(opts_.max_delay_ms >= 0.0, "Server max_delay_ms must be >= 0");
+  TTSNN_CHECK(opts_.num_dispatchers >= 1, "Server needs >= 1 dispatcher");
+  dispatchers_.reserve(static_cast<size_t>(opts_.num_dispatchers));
+  for (int i = 0; i < opts_.num_dispatchers; ++i) {
+    dispatchers_.emplace_back([this] { dispatcher_loop(); });
+  }
+}
+
+Server::~Server() { shutdown(); }
+
+void Server::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : dispatchers_) t.join();
+  dispatchers_.clear();
+}
+
+std::future<Tensor> Server::submit(Tensor x) {
+  TTSNN_CHECK(x.dim() == 4, "Server::submit expects one sample [T, C, H, W], got "
+                                << shape_str(x.shape()));
+  Request req;
+  req.x = std::move(x);
+  req.arrival = std::chrono::steady_clock::now();
+  std::future<Tensor> fut = req.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TTSNN_CHECK(!stop_, "Server::submit after shutdown");
+    queue_.push_back(std::move(req));
+    ++stats_.requests;
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+Tensor Server::infer(Tensor x) { return submit(std::move(x)).get(); }
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::vector<Server::Request> Server::next_batch() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) return {};  // stop_ with a drained queue
+    // Coalesce: hold until the batch is full, the server stops, or the
+    // current oldest request ages out. Another dispatcher may pop the front
+    // while we sleep, so the deadline is recomputed from the live front on
+    // every wake — a stale deadline must not flush a brand-new request as a
+    // premature partial batch.
+    while (!stop_ && !queue_.empty() &&
+           static_cast<int64_t>(queue_.size()) < opts_.max_batch) {
+      const auto deadline =
+          queue_.front().arrival +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double, std::milli>(opts_.max_delay_ms));
+      if (std::chrono::steady_clock::now() >= deadline) break;
+      cv_.wait_until(lock, deadline);
+    }
+    if (queue_.empty()) continue;  // another dispatcher took everything
+    // Only same-shaped requests share a batch: a run over the batch either
+    // serves all of them or none, so a misshapen request must end up in its
+    // own batch where only its own future fails.
+    const Shape shape = queue_.front().x.shape();
+    std::vector<Request> batch;
+    batch.reserve(static_cast<size_t>(opts_.max_batch));
+    while (!queue_.empty() &&
+           static_cast<int64_t>(batch.size()) < opts_.max_batch &&
+           queue_.front().x.shape() == shape) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    ++stats_.batches;
+    stats_.max_batch =
+        std::max<int64_t>(stats_.max_batch, static_cast<int64_t>(batch.size()));
+    return batch;
+  }
+}
+
+void Server::dispatcher_loop() {
+  for (;;) {
+    std::vector<Request> batch = next_batch();
+    if (batch.empty()) return;
+    // Promises fulfilled so far; the catch below must only touch the rest —
+    // set_exception on an already-satisfied promise throws future_error.
+    size_t fulfilled = 0;
+    try {
+      // Stack [T, C, H, W] samples into [T, N, C, H, W]: sample n's step t
+      // lands at row (t * N + n).
+      const Shape& s0 = batch[0].x.shape();
+      const int64_t n = static_cast<int64_t>(batch.size());
+      const int64_t t_steps = s0[0];
+      const int64_t chw = batch[0].x.numel() / t_steps;
+      Shape in_shape{t_steps, n, s0[1], s0[2], s0[3]};
+      Tensor input(in_shape);
+      for (int64_t j = 0; j < n; ++j) {
+        TTSNN_CHECK(batch[static_cast<size_t>(j)].x.shape() == s0,
+                    "Server: all in-flight requests must share one shape, got "
+                        << shape_str(batch[static_cast<size_t>(j)].x.shape())
+                        << " vs " << shape_str(s0));
+        const float* src = batch[static_cast<size_t>(j)].x.data();
+        for (int64_t t = 0; t < t_steps; ++t) {
+          std::copy(src + t * chw, src + (t + 1) * chw,
+                    input.data() + (t * n + j) * chw);
+        }
+      }
+
+      Tensor out = engine_.run(input);
+
+      // Split [T, N, ...] back into per-sample [T, ...] tensors.
+      TTSNN_CHECK(out.dim() >= 2 && out.size(0) == t_steps && out.size(1) == n,
+                  "Server: engine output shape " << shape_str(out.shape())
+                                                 << " lost the batch layout");
+      const int64_t row = out.numel() / (t_steps * n);
+      Shape sample_shape;
+      sample_shape.push_back(t_steps);
+      for (int64_t d = 2; d < out.dim(); ++d) sample_shape.push_back(out.size(d));
+      for (int64_t j = 0; j < n; ++j) {
+        Tensor sample(sample_shape);
+        for (int64_t t = 0; t < t_steps; ++t) {
+          std::copy(out.data() + (t * n + j) * row,
+                    out.data() + (t * n + j + 1) * row,
+                    sample.data() + t * row);
+        }
+        batch[static_cast<size_t>(j)].promise.set_value(std::move(sample));
+        ++fulfilled;
+      }
+    } catch (...) {
+      // A failed run poisons the not-yet-fulfilled futures of its batch
+      // (all same-shaped, per next_batch), never the server itself.
+      for (size_t j = fulfilled; j < batch.size(); ++j) {
+        batch[j].promise.set_exception(std::current_exception());
+      }
+    }
+  }
+}
+
+}  // namespace ttsnn::infer

@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file server.h
+/// Micro-batching serving front-end over a compiled infer::Engine.
+///
+/// Single-sample requests ([T, C, H, W]) are queued and coalesced into
+/// batches: a dispatcher pops as soon as `max_batch` requests are waiting, or
+/// when the oldest request has aged past `max_delay_ms` — the classic
+/// throughput/latency trade of a serving system. Batched requests ride one
+/// Engine::run call, which amortizes kernel and im2col overhead across the
+/// batch; the heavy math inside run() still lands on the shared ThreadPool
+/// through the gemm fan-out.
+///
+/// Dispatchers are dedicated threads rather than pool tasks on purpose: they
+/// block on a condition variable waiting for traffic, and a blocked pool
+/// worker would steal a compute lane from every gemm in the process. With
+/// `num_dispatchers > 1`, several batches are in flight at once — safe
+/// because Engine::run is const and thread-safe.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "infer/engine.h"
+
+namespace ttsnn::infer {
+
+struct ServerOptions {
+  /// Coalesce at most this many requests into one Engine::run call.
+  int64_t max_batch = 8;
+  /// Dispatch a partial batch once the oldest queued request is this old.
+  double max_delay_ms = 2.0;
+  /// Dispatcher threads; each carries one batch at a time.
+  int num_dispatchers = 1;
+};
+
+struct ServerStats {
+  int64_t requests = 0;   ///< samples accepted by submit()/infer()
+  int64_t batches = 0;    ///< Engine::run calls issued
+  int64_t max_batch = 0;  ///< largest coalesced batch observed
+  double mean_batch() const {
+    return batches > 0 ? static_cast<double>(requests) /
+                             static_cast<double>(batches)
+                       : 0.0;
+  }
+};
+
+class Server {
+ public:
+  /// The engine must outlive the server. Dispatchers start immediately.
+  explicit Server(const Engine& engine, ServerOptions opts = {});
+  /// Drains the queue, then joins the dispatchers.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Enqueues one sample [T, C, H, W]; the future resolves to the engine
+  /// output for that sample with the batch axis removed (e.g. [T, classes]).
+  /// Only same-shaped samples are coalesced into one batched run, so mixed
+  /// shapes are served correctly (in separate batches) and a request the
+  /// engine rejects fails only the futures of its own shape-group. Throws
+  /// if the server is shutting down.
+  std::future<Tensor> submit(Tensor x);
+
+  /// Blocking convenience around submit().
+  Tensor infer(Tensor x);
+
+  ServerStats stats() const;
+
+  /// Stops accepting work, finishes queued requests, joins dispatchers.
+  /// Idempotent; also called by the destructor.
+  void shutdown();
+
+ private:
+  struct Request {
+    Tensor x;
+    std::promise<Tensor> promise;
+    std::chrono::steady_clock::time_point arrival;
+  };
+
+  void dispatcher_loop();
+  /// Pops a batch according to the coalescing policy. Returns empty only at
+  /// shutdown. Called with `mu_` NOT held.
+  std::vector<Request> next_batch();
+
+  const Engine& engine_;
+  ServerOptions opts_;
+  std::vector<std::thread> dispatchers_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool stop_ = false;
+  ServerStats stats_;
+};
+
+}  // namespace ttsnn::infer

@@ -45,15 +45,22 @@ Tensor BatchNorm::forward(const Tensor& x) {
   const int64_t groups = joint_stats(opts_.mode) ? 1 : t_steps;
   const int64_t group_t = t_steps / groups;
 
+  // Backward needs the normalized input; eval-mode forwards skip the cache
+  // entirely (and drop any cache left over from a previous training step).
+  const bool cache = training_;
   cached_t_ = t_steps;
   cached_n_ = n;
   cached_hw_ = hw;
-  cached_xhat_ = Tensor(x.shape());
-  cached_inv_std_.assign(static_cast<size_t>(groups * c), 0.0F);
+  cached_xhat_ = cache ? Tensor(x.shape()) : Tensor();
+  if (cache) {
+    cached_inv_std_.assign(static_cast<size_t>(groups * c), 0.0F);
+  } else {
+    cached_inv_std_.clear();
+  }
 
   Tensor out(x.shape());
   const float* in = x.data();
-  float* xhat = cached_xhat_.data();
+  float* xhat = cache ? cached_xhat_.data() : nullptr;
   float* y = out.data();
   const float* g_gamma = gamma_.value.data();
   const float* g_beta = beta_.value.data();
@@ -88,22 +95,28 @@ Tensor BatchNorm::forward(const Tensor& x) {
         var = running_var_[ch];
       }
       const float inv_std = 1.0F / std::sqrt(static_cast<float>(var) + opts_.eps);
-      cached_inv_std_[static_cast<size_t>(grp * c + ch)] = inv_std;
+      if (cache) cached_inv_std_[static_cast<size_t>(grp * c + ch)] = inv_std;
       const float mu = static_cast<float>(mean);
       for (int64_t t = t0; t < t1; ++t) {
         const float step = opts_.mode == Mode::kTebn ? step_scale_.value[t] : 1.0F;
         const float eff = g_gamma[ch] * opts_.alpha_vth * step;
         const float* p = in + (((t * n) * c) + ch) * hw;
-        float* xh = xhat + (((t * n) * c) + ch) * hw;
         float* yo = y + (((t * n) * c) + ch) * hw;
         for (int64_t b = 0; b < n; ++b) {
           const float* pb = p + b * c * hw;
-          float* xb = xh + b * c * hw;
           float* yb = yo + b * c * hw;
-          for (int64_t i = 0; i < hw; ++i) {
-            const float v = (pb[i] - mu) * inv_std;
-            xb[i] = v;
-            yb[i] = eff * v + g_beta[ch];
+          if (cache) {
+            float* xb = xhat + (((t * n) * c) + ch) * hw + b * c * hw;
+            for (int64_t i = 0; i < hw; ++i) {
+              const float v = (pb[i] - mu) * inv_std;
+              xb[i] = v;
+              yb[i] = eff * v + g_beta[ch];
+            }
+          } else {
+            for (int64_t i = 0; i < hw; ++i) {
+              const float v = (pb[i] - mu) * inv_std;
+              yb[i] = eff * v + g_beta[ch];
+            }
           }
         }
       }
@@ -197,6 +210,11 @@ void BatchNorm::collect_parameters(std::vector<Parameter*>& out) {
   out.push_back(&gamma_);
   out.push_back(&beta_);
   if (opts_.mode == Mode::kTebn) out.push_back(&step_scale_);
+}
+
+void BatchNorm::collect_buffers(std::vector<BufferRef>& out) {
+  out.push_back({"bn.running_mean", &running_mean_});
+  out.push_back({"bn.running_var", &running_var_});
 }
 
 void BatchNorm::describe(ShapeState& s, std::vector<LayerDesc>& out) const {

@@ -37,15 +37,22 @@ class BatchNorm : public Module {
   Tensor forward(const Tensor& x) override;
   Tensor backward(const Tensor& grad_out) override;
   void collect_parameters(std::vector<Parameter*>& out) override;
+  void collect_buffers(std::vector<BufferRef>& out) override;
   void describe(ShapeState& s, std::vector<LayerDesc>& out) const override;
   void clear_cache() override;
   std::string name() const override { return "BatchNorm"; }
 
   const Options& options() const { return opts_; }
   Parameter& gamma() { return gamma_; }
+  const Parameter& gamma() const { return gamma_; }
   Parameter& beta() { return beta_; }
+  const Parameter& beta() const { return beta_; }
   /// TEBN per-timestep scales (defined only in kTebn mode).
   Parameter& step_scale() { return step_scale_; }
+  const Parameter& step_scale() const { return step_scale_; }
+  /// EMA statistics used in eval mode (read by the inference lowering pass).
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
 
  private:
   Options opts_;

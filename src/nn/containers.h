@@ -32,6 +32,7 @@ class Sequential : public Module {
 
   size_t size() const { return modules_.size(); }
   Module& at(size_t i) { return *modules_.at(i); }
+  const Module& at(size_t i) const { return *modules_.at(i); }
 
  private:
   std::vector<ModulePtr> modules_;
@@ -50,6 +51,10 @@ class Residual : public Module {
   std::vector<ModulePtr*> child_slots() override;
   void clear_cache() override;
   std::string name() const override { return "Residual"; }
+
+  const Module& body() const { return *body_; }
+  /// nullptr means identity shortcut.
+  const Module* shortcut() const { return shortcut_.get(); }
 
  private:
   ModulePtr body_;

@@ -133,7 +133,9 @@ Tensor conv2d_backward(const Tensor& x, const Tensor& weight,
 }
 
 Tensor Conv2d::forward(const Tensor& x) {
-  cached_input_ = x;
+  // Only the backward pass consumes the cached input; eval-mode forwards
+  // (and any stale cache from a previous training step) keep nothing alive.
+  cached_input_ = training_ ? x : Tensor();
   Tensor out = conv2d_forward(x, weight_.value, opts_);
   if (opts_.bias) {
     // Bias broadcasts over the folded batch; reuse the NCHW helper by viewing

@@ -49,6 +49,7 @@ class Conv2d : public Module {
   Parameter& weight() { return weight_; }
   const Parameter& weight() const { return weight_; }
   Parameter& bias() { return bias_; }
+  const Parameter& bias() const { return bias_; }
 
   /// Geometry for a given input spatial size.
   ConvGeometry geometry(int64_t in_h, int64_t in_w) const;

@@ -34,6 +34,12 @@ LIFNeuron::LIFNeuron(Options opts) : opts_(opts) {
 
 Tensor LIFNeuron::forward(const Tensor& x) {
   TTSNN_CHECK(x.dim() >= 2, "LIF expects [T, N, ...], got " << shape_str(x.shape()));
+  if (!training_) {
+    clear_cache();
+    Tensor spikes = lif_forward_eval(opts_, x);
+    last_density_ = spikes.density();
+    return spikes;
+  }
   const int64_t t_steps = x.size(0);
   const int64_t m = x.numel() / t_steps;
 
@@ -60,6 +66,29 @@ Tensor LIFNeuron::forward(const Tensor& x) {
   }
   last_density_ = cached_spikes_.density();
   return cached_spikes_;
+}
+
+Tensor lif_forward_eval(const LIFNeuron::Options& opts, const Tensor& x) {
+  TTSNN_CHECK(x.dim() >= 2, "LIF expects [T, N, ...], got " << shape_str(x.shape()));
+  const int64_t t_steps = x.size(0);
+  const int64_t m = x.numel() / t_steps;
+  Tensor spikes(x.shape());
+  const float* in = x.data();
+  float* s_out = spikes.data();
+  std::vector<float> u_post(static_cast<size_t>(m), 0.0F);
+  for (int64_t t = 0; t < t_steps; ++t) {
+    const float* it = in + t * m;
+    float* st = s_out + t * m;
+    for (int64_t i = 0; i < m; ++i) {
+      const float u = opts.tau * u_post[static_cast<size_t>(i)] + it[i];
+      const float s = u >= opts.v_th ? 1.0F : 0.0F;
+      st[i] = s;
+      u_post[static_cast<size_t>(i)] = opts.reset == ResetMode::kZero
+                                           ? u * (1.0F - s)
+                                           : u - opts.v_th * s;
+    }
+  }
+  return spikes;
 }
 
 Tensor LIFNeuron::backward(const Tensor& grad_out) {

@@ -70,4 +70,9 @@ class LIFNeuron : public Module {
   double last_density_ = 0.0;
 };
 
+/// Stateless LIF forward over [T, N, ...] that keeps no membrane trace —
+/// the eval path of LIFNeuron and the kernel behind infer::Engine's LIF op.
+/// Bit-identical to the training forward's spike output.
+Tensor lif_forward_eval(const LIFNeuron::Options& opts, const Tensor& x);
+
 }  // namespace ttsnn

@@ -15,7 +15,7 @@ Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng, bool bias)
 Tensor Linear::forward(const Tensor& x) {
   TTSNN_CHECK(x.size(-1) == in_, "Linear expected last dim " << in_ << ", got "
                                                              << shape_str(x.shape()));
-  cached_input_ = x;
+  cached_input_ = training_ ? x : Tensor();
   const int64_t b = x.numel() / in_;
   Shape out_shape = x.shape();
   out_shape[out_shape.size() - 1] = out_;

@@ -20,7 +20,10 @@ class Linear : public Module {
   std::string name() const override { return "Linear"; }
 
   Parameter& weight() { return weight_; }
+  const Parameter& weight() const { return weight_; }
   Parameter& bias() { return bias_; }
+  const Parameter& bias() const { return bias_; }
+  bool has_bias() const { return has_bias_; }
   int64_t in_features() const { return in_; }
   int64_t out_features() const { return out_; }
 

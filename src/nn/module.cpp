@@ -14,6 +14,18 @@ std::vector<Parameter*> Module::parameters() {
   return out;
 }
 
+void Module::collect_buffers(std::vector<BufferRef>& out) {
+  for (ModulePtr* slot : child_slots()) {
+    if (*slot) (*slot)->collect_buffers(out);
+  }
+}
+
+std::vector<BufferRef> Module::buffers() {
+  std::vector<BufferRef> out;
+  collect_buffers(out);
+  return out;
+}
+
 void Module::set_training(bool training) {
   training_ = training;
   for (ModulePtr* slot : child_slots()) {

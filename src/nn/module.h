@@ -39,6 +39,13 @@ struct Parameter {
         decay(apply_decay) {}
 };
 
+/// A named non-trainable tensor (e.g. BatchNorm running statistics) that is
+/// part of a module's persistent state but not of its gradient graph.
+struct BufferRef {
+  std::string name;
+  Tensor* value = nullptr;
+};
+
 /// Static per-layer description used by the FLOPs analyzer and the hardware
 /// workload extractor. `macs` counts multiply-accumulates for ONE sample and
 /// ONE timestep (multiply by T and batch externally).
@@ -87,6 +94,12 @@ class Module {
   /// Appends pointers to this module's parameters (recursing into children).
   virtual void collect_parameters(std::vector<Parameter*>& out);
   std::vector<Parameter*> parameters();
+
+  /// Named non-trainable state that checkpoints must carry (BatchNorm running
+  /// statistics). Overrides append their own entries, then the default
+  /// recurses into children.
+  virtual void collect_buffers(std::vector<BufferRef>& out);
+  std::vector<BufferRef> buffers();
 
   /// Training/eval mode (affects batch-norm statistics).
   virtual void set_training(bool training);

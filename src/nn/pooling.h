@@ -18,6 +18,8 @@ class AvgPool2d : public Module {
   void describe(ShapeState& s, std::vector<LayerDesc>& out) const override;
   std::string name() const override { return "AvgPool2d"; }
 
+  int64_t kernel() const { return kernel_; }
+
  private:
   int64_t kernel_ = 2;
   Shape cached_in_shape_;

@@ -7,7 +7,12 @@ namespace ttsnn {
 
 namespace {
 
-constexpr uint64_t kMagic = 0x54545F534E4E3031ULL;  // "TT_SNN01"
+// v1 ("TT_SNN01") stored trainable parameters only. v2 appends a buffer
+// section carrying non-trainable state — BatchNorm running statistics —
+// without which a trained checkpoint cannot reproduce eval-mode outputs.
+// The loader accepts both; v1 checkpoints leave buffers at their init values.
+constexpr uint64_t kMagicV1 = 0x54545F534E4E3031ULL;  // "TT_SNN01"
+constexpr uint64_t kMagicV2 = 0x54545F534E4E3032ULL;  // "TT_SNN02"
 
 void write_u64(std::ofstream& out, uint64_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -34,52 +39,72 @@ std::string read_string(std::ifstream& in) {
   return s;
 }
 
+void write_tensor(std::ofstream& out, const std::string& name,
+                  const Tensor& value) {
+  write_string(out, name);
+  write_u64(out, static_cast<uint64_t>(value.dim()));
+  for (int64_t d = 0; d < value.dim(); ++d) {
+    write_u64(out, static_cast<uint64_t>(value.size(d)));
+  }
+  out.write(reinterpret_cast<const char*>(value.data()),
+            static_cast<std::streamsize>(value.numel() * sizeof(float)));
+}
+
+/// Reads one named tensor record into `value` (name and shape must match).
+void read_tensor(std::ifstream& in, const std::string& expected_name,
+                 Tensor& value) {
+  const std::string name = read_string(in);
+  TTSNN_CHECK(name == expected_name, "parameter order mismatch: checkpoint '"
+                                         << name << "' vs model '"
+                                         << expected_name << "'");
+  const uint64_t dims = read_u64(in);
+  Shape shape(dims);
+  for (uint64_t d = 0; d < dims; ++d) {
+    shape[d] = static_cast<int64_t>(read_u64(in));
+  }
+  TTSNN_CHECK(shape == value.shape(),
+              "shape mismatch for '" << name << "': checkpoint "
+                                     << shape_str(shape) << " vs model "
+                                     << shape_str(value.shape()));
+  in.read(reinterpret_cast<char*>(value.data()),
+          static_cast<std::streamsize>(value.numel() * sizeof(float)));
+  TTSNN_CHECK(in.good(), "checkpoint truncated in '" << name << "'");
+}
+
 }  // namespace
 
 void save_parameters(Module& root, const std::string& path) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   TTSNN_CHECK(out.is_open(), "cannot open " << path << " for writing");
   std::vector<Parameter*> params = root.parameters();
-  write_u64(out, kMagic);
+  std::vector<BufferRef> buffers = root.buffers();
+  write_u64(out, kMagicV2);
   write_u64(out, params.size());
-  for (const Parameter* p : params) {
-    write_string(out, p->name);
-    write_u64(out, static_cast<uint64_t>(p->value.dim()));
-    for (int64_t d = 0; d < p->value.dim(); ++d) {
-      write_u64(out, static_cast<uint64_t>(p->value.size(d)));
-    }
-    out.write(reinterpret_cast<const char*>(p->value.data()),
-              static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
-  }
+  for (const Parameter* p : params) write_tensor(out, p->name, p->value);
+  write_u64(out, buffers.size());
+  for (const BufferRef& b : buffers) write_tensor(out, b.name, *b.value);
   TTSNN_CHECK(out.good(), "write failure on " << path);
 }
 
 void load_parameters(Module& root, const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   TTSNN_CHECK(in.is_open(), "cannot open " << path << " for reading");
-  TTSNN_CHECK(read_u64(in) == kMagic, "not a TT-SNN checkpoint: " << path);
+  const uint64_t magic = read_u64(in);
+  TTSNN_CHECK(magic == kMagicV1 || magic == kMagicV2,
+              "not a TT-SNN checkpoint: " << path);
   std::vector<Parameter*> params = root.parameters();
   const uint64_t count = read_u64(in);
   TTSNN_CHECK(count == params.size(),
               "checkpoint has " << count << " parameters, model has "
                                 << params.size());
-  for (Parameter* p : params) {
-    const std::string name = read_string(in);
-    TTSNN_CHECK(name == p->name, "parameter order mismatch: checkpoint '"
-                                     << name << "' vs model '" << p->name << "'");
-    const uint64_t dims = read_u64(in);
-    Shape shape(dims);
-    for (uint64_t d = 0; d < dims; ++d) {
-      shape[d] = static_cast<int64_t>(read_u64(in));
-    }
-    TTSNN_CHECK(shape == p->value.shape(),
-                "shape mismatch for '" << name << "': checkpoint "
-                                       << shape_str(shape) << " vs model "
-                                       << shape_str(p->value.shape()));
-    in.read(reinterpret_cast<char*>(p->value.data()),
-            static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
-    TTSNN_CHECK(in.good(), "checkpoint truncated in '" << name << "'");
-  }
+  for (Parameter* p : params) read_tensor(in, p->name, p->value);
+  if (magic == kMagicV1) return;  // v1: no buffer section
+  std::vector<BufferRef> buffers = root.buffers();
+  const uint64_t buf_count = read_u64(in);
+  TTSNN_CHECK(buf_count == buffers.size(),
+              "checkpoint has " << buf_count << " buffers, model has "
+                                << buffers.size());
+  for (BufferRef& b : buffers) read_tensor(in, b.name, *b.value);
 }
 
 }  // namespace ttsnn

@@ -3,8 +3,10 @@
 /// \file serialize.h
 /// Binary checkpointing of module parameters. The format is a simple tagged
 /// stream: magic, parameter count, then per parameter its name, shape and
-/// raw float32 data. Loading matches parameters by position AND name, so a
-/// checkpoint only loads into an architecturally identical module tree
+/// raw float32 data; v2 appends the same record layout for non-trainable
+/// buffers (BatchNorm running statistics), which eval-mode inference and
+/// infer::compile depend on. Loading matches records by position AND name,
+/// so a checkpoint only loads into an architecturally identical module tree
 /// (including the factorization state — a PTT checkpoint loads into a PTT
 /// model, not a dense one).
 

@@ -17,8 +17,11 @@ Trainer::Trainer(Module& model, const Dataset& train, const Dataset& test,
                   .weight_decay = cfg.weight_decay}),
       schedule_(cfg.lr, std::max<int64_t>(cfg.epochs, 1)),
       rng_(cfg.seed) {
-  TTSNN_CHECK(cfg_.batch_size >= 1 && cfg_.timesteps >= 1,
-              "Trainer: batch_size and timesteps must be >= 1");
+  TTSNN_CHECK(cfg_.epochs >= 1, "Trainer: epochs must be >= 1, got " << cfg_.epochs);
+  TTSNN_CHECK(cfg_.batch_size >= 1,
+              "Trainer: batch_size must be >= 1, got " << cfg_.batch_size);
+  TTSNN_CHECK(cfg_.timesteps >= 1,
+              "Trainer: timesteps must be >= 1, got " << cfg_.timesteps);
 }
 
 LossResult Trainer::compute_loss(const Tensor& logits,

@@ -50,6 +50,14 @@ Tensor global_avg_pool_backward(const Tensor& grad, int64_t h, int64_t w);
 /// Concatenate along dim 0 (all tensors must agree on trailing dims).
 Tensor cat0(const std::vector<Tensor>& parts);
 
+// ---- timestep gather/scatter (the HTT schedule split) ----------------------
+/// Gathers dim-0 rows listed in idx into a new tensor; empty idx returns an
+/// undefined tensor.
+Tensor gather_steps(const Tensor& x, const std::vector<int64_t>& idx);
+/// Writes dim-0 rows of src into dst at the positions listed in idx.
+void scatter_steps(Tensor& dst, const Tensor& src,
+                   const std::vector<int64_t>& idx);
+
 /// Max absolute elementwise difference — test helper.
 double max_abs_diff(const Tensor& a, const Tensor& b);
 

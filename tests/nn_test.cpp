@@ -7,6 +7,7 @@
 #include "nn/batchnorm.h"
 #include "nn/containers.h"
 #include "nn/conv2d.h"
+#include "nn/lif.h"
 #include "nn/linear.h"
 #include "nn/pooling.h"
 #include "tensor/ops.h"
@@ -345,6 +346,59 @@ TEST(ModuleTest, VisitModuleSlotsReachesAllChildren) {
   int count = 0;
   visit_module_slots(root, [&](ModulePtr&) { ++count; });
   EXPECT_EQ(count, 4);  // residual + body seq + conv + bn
+}
+
+// Eval-mode forwards must not retain backward caches: serving pays no BPTT
+// memory traffic, and backward after an eval forward fails loudly instead of
+// silently reusing stale activations. Numbers must not change either way.
+TEST(EvalCacheTest, Conv2dSkipsCaching) {
+  Rng rng(40);
+  Conv2d conv({.in_channels = 3, .out_channels = 4}, rng);
+  Tensor x = Tensor::randn({2, 2, 3, 5, 5}, rng);
+  Tensor y_train = conv.forward(x);
+  conv.set_training(false);
+  Tensor y_eval = conv.forward(x);
+  EXPECT_EQ(max_abs_diff(y_train, y_eval), 0.0);
+  EXPECT_THROW(conv.backward(y_eval), Error);
+}
+
+TEST(EvalCacheTest, BatchNormSkipsCaching) {
+  Rng rng(41);
+  for (BatchNorm::Mode mode :
+       {BatchNorm::Mode::kPerStep, BatchNorm::Mode::kTdBn,
+        BatchNorm::Mode::kTebn}) {
+    BatchNorm bn({.channels = 3, .mode = mode, .timesteps = 2});
+    Tensor x = Tensor::randn({2, 2, 3, 4, 4}, rng);
+    bn.forward(x);  // training: populates caches and running stats
+    bn.set_training(false);
+    Tensor y = bn.forward(x);
+    EXPECT_EQ(y.shape(), x.shape());
+    EXPECT_THROW(bn.backward(y), Error);
+  }
+}
+
+TEST(EvalCacheTest, LifSkipsCachingAndStillReportsDensity) {
+  Rng rng(42);
+  LIFNeuron lif;
+  Tensor x = Tensor::randn({3, 2, 4, 4, 4}, rng);
+  Tensor y_train = lif.forward(x);
+  const double train_density = lif.last_spike_density();
+  lif.set_training(false);
+  Tensor y_eval = lif.forward(x);
+  EXPECT_EQ(max_abs_diff(y_train, y_eval), 0.0);
+  // profile_spikes() runs in eval mode and reads the density afterwards.
+  EXPECT_EQ(lif.last_spike_density(), train_density);
+  EXPECT_THROW(lif.backward(y_eval), Error);
+}
+
+TEST(EvalCacheTest, LinearSkipsCaching) {
+  Rng rng(43);
+  Linear lin(6, 3, rng);
+  Tensor x = Tensor::randn({2, 2, 6}, rng);
+  lin.forward(x);
+  lin.set_training(false);
+  Tensor y = lin.forward(x);
+  EXPECT_THROW(lin.backward(y), Error);
 }
 
 }  // namespace

@@ -60,6 +60,31 @@ TEST_F(SerializeTest, FactorizedRoundTrip) {
   EXPECT_LT(max_abs_diff(a->forward(x), b->forward(x)), 1e-7);
 }
 
+// A checkpoint must carry the BN running statistics (v2 buffer section):
+// after training forwards move the EMA off its init values, a fresh model
+// must still reproduce eval outputs from the checkpoint alone.
+TEST_F(SerializeTest, RoundTripCarriesBatchNormRunningStats) {
+  Rng rng(10);
+  ModelConfig cfg{.num_classes = 4, .base_width = 8, .timesteps = 2};
+  ModulePtr a = make_ms_resnet18(cfg, rng);
+  a->set_training(true);
+  for (int i = 0; i < 3; ++i) {
+    a->forward(Tensor::uniform({2, 2, 3, 8, 8}, rng));
+  }
+  a->clear_cache();
+  a->set_training(false);
+  Tensor x = Tensor::uniform({2, 2, 3, 8, 8}, rng);
+  Tensor ya = a->forward(x);
+
+  save_parameters(*a, path_);
+
+  Rng rng2(77);
+  ModulePtr b = make_ms_resnet18(cfg, rng2);
+  load_parameters(*b, path_);
+  b->set_training(false);
+  EXPECT_EQ(max_abs_diff(ya, b->forward(x)), 0.0);
+}
+
 TEST_F(SerializeTest, ArchitectureMismatchThrows) {
   Rng rng(4);
   ModelConfig cfg{.num_classes = 4, .base_width = 8, .timesteps = 2};

@@ -217,5 +217,24 @@ TEST(TrainerTest, TetLossTrains) {
   EXPECT_LT(last.loss, first.loss);
 }
 
+TEST(TrainerTest, RejectsInvalidTrainConfig) {
+  Rng rng(8);
+  ModelConfig cfg = small_model_config();
+  ModulePtr net = make_ms_resnet18(cfg, rng);
+  SyntheticImageDataset data = small_images(100, 4);
+  EXPECT_THROW(
+      Trainer(*net, data, data, {.epochs = 0, .batch_size = 16, .timesteps = 2}),
+      Error);
+  EXPECT_THROW(
+      Trainer(*net, data, data, {.epochs = 2, .batch_size = 0, .timesteps = 2}),
+      Error);
+  EXPECT_THROW(
+      Trainer(*net, data, data, {.epochs = 2, .batch_size = 16, .timesteps = 0}),
+      Error);
+  EXPECT_THROW(Trainer(*net, data, data,
+                       {.epochs = -3, .batch_size = 16, .timesteps = 2}),
+               Error);
+}
+
 }  // namespace
 }  // namespace ttsnn

@@ -229,6 +229,46 @@ TEST(TTConvTest, RejectsBadOptions) {
                          .rank = 0},
                         rng),
                Error);
+  EXPECT_THROW(TTConv2d({.in_channels = 4, .out_channels = 4, .kernel = 0,
+                         .rank = 2},
+                        rng),
+               Error);
+  EXPECT_THROW(TTConv2d({.in_channels = 4, .out_channels = 4, .kernel = 3,
+                         .stride = 0, .rank = 2},
+                        rng),
+               Error);
+  EXPECT_THROW(TTConv2d({.in_channels = 0, .out_channels = 4, .kernel = 3,
+                         .rank = 2},
+                        rng),
+               Error);
+  // The cores constructor validates the same options.
+  TTConv2d good({.in_channels = 4, .out_channels = 4, .kernel = 3, .rank = 2},
+                rng);
+  EXPECT_THROW(TTConv2d({.in_channels = 4, .out_channels = 4, .kernel = 3,
+                         .stride = -1},
+                        good.cores()),
+               Error);
+}
+
+TEST(TTConvTest, EvalForwardKeepsNoCaches) {
+  for (TTMode mode : {TTMode::kSTT, TTMode::kPTT, TTMode::kHTT}) {
+    Rng rng(20);
+    TTConv2d::Options o{.in_channels = 3, .out_channels = 4, .kernel = 3,
+                        .stride = 1, .rank = 2, .mode = mode,
+                        .full_step = std::vector<bool>{true, false}};
+    TTConv2d conv(o, rng);
+    Tensor x = Tensor::randn({2, 2, 3, 5, 5}, rng);
+
+    // Same numbers with and without caching.
+    Tensor y_train = conv.forward(x);
+    conv.set_training(false);
+    Tensor y_eval = conv.forward(x);
+    EXPECT_EQ(max_abs_diff(y_train, y_eval), 0.0) << tt_mode_name(mode);
+
+    // Backward needs the forward caches; an eval forward must not have
+    // retained (or kept stale) activations, so backward fails loudly.
+    EXPECT_THROW(conv.backward(y_eval), Error) << tt_mode_name(mode);
+  }
 }
 
 TEST(TTConvTest, HttScheduleTooShortThrows) {
