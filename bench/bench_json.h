@@ -1,0 +1,144 @@
+#pragma once
+
+/// \file bench_json.h
+/// Shared harness for the benches: repeat-until-stable timing with p50/p99
+/// percentiles, and a machine-readable JSON report (BENCH_micro.json /
+/// BENCH_serving.json) so the perf trajectory is tracked PR-over-PR as CI
+/// artifacts instead of scrollback.
+///
+/// JSON schema: {"schema": 1, "benchmarks": [{"name": ..., string and number
+/// fields...}, ...]}. Field sets vary per bench family (GEMM rows carry
+/// shape/density/GFLOPs, serving rows carry req/s), consumers should index by
+/// field name.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/common.h"
+
+namespace ttsnn::bench {
+
+struct Timing {
+  double p50_s = 0.0;
+  double p99_s = 0.0;
+  double mean_s = 0.0;
+  int64_t iters = 0;
+};
+
+/// Runs fn() repeatedly — at least min_iters times and until min_seconds of
+/// total measured time — and summarizes the per-iteration wall clock.
+template <typename Fn>
+Timing time_fn(Fn&& fn, double min_seconds = 0.2, int64_t min_iters = 5,
+               int64_t max_iters = 1 << 20) {
+  fn();  // warm-up: first-touch allocations, branch predictors, caches
+  std::vector<double> samples;
+  double total = 0.0;
+  while ((total < min_seconds ||
+          static_cast<int64_t>(samples.size()) < min_iters) &&
+         static_cast<int64_t>(samples.size()) < max_iters) {
+    Timer t;
+    fn();
+    const double s = t.seconds();
+    samples.push_back(s);
+    total += s;
+  }
+  std::sort(samples.begin(), samples.end());
+  Timing out;
+  out.iters = static_cast<int64_t>(samples.size());
+  const size_t n = samples.size();
+  out.p50_s = samples[n / 2];
+  out.p99_s = samples[std::min(n - 1, n * 99 / 100)];
+  for (double s : samples) out.mean_s += s;
+  out.mean_s /= static_cast<double>(n);
+  return out;
+}
+
+/// One report row: a name plus free-form string and numeric fields.
+class Row {
+ public:
+  explicit Row(std::string name) : name_(std::move(name)) {}
+
+  Row& str(const std::string& key, const std::string& value) {
+    strs_.emplace_back(key, value);
+    return *this;
+  }
+  Row& num(const std::string& key, double value) {
+    nums_.emplace_back(key, value);
+    return *this;
+  }
+  /// Standard latency triple from a Timing, in milliseconds.
+  Row& timing(const Timing& t) {
+    return num("p50_ms", t.p50_s * 1e3)
+        .num("p99_ms", t.p99_s * 1e3)
+        .num("mean_ms", t.mean_s * 1e3)
+        .num("iters", static_cast<double>(t.iters));
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class Report;
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> strs_;
+  std::vector<std::pair<std::string, double>> nums_;
+};
+
+/// Accumulates rows and writes them as JSON.
+class Report {
+ public:
+  Row& add(const std::string& name) {
+    rows_.emplace_back(name);
+    return rows_.back();
+  }
+
+  void write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    TTSNN_CHECK(f != nullptr, "cannot open bench report " << path);
+    std::fprintf(f, "{\n  \"schema\": 1,\n  \"benchmarks\": [\n");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(f, "    {\"name\": \"%s\"", r.name_.c_str());
+      for (const auto& [k, v] : r.strs_) {
+        std::fprintf(f, ", \"%s\": \"%s\"", k.c_str(), v.c_str());
+      }
+      for (const auto& [k, v] : r.nums_) {
+        std::fprintf(f, ", \"%s\": %.6g", k.c_str(), v);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+  }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+/// --out=path / --quick flags shared by the JSON benches.
+struct Args {
+  std::string out;
+  bool quick = false;
+
+  static Args parse(int argc, char** argv, const char* default_out) {
+    Args a;
+    a.out = default_out;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--out=", 0) == 0) {
+        a.out = arg.substr(6);
+      } else if (arg == "--quick") {
+        a.quick = true;
+      } else {
+        std::printf("unknown flag %s (supported: --out=PATH, --quick)\n",
+                    arg.c_str());
+      }
+    }
+    return a;
+  }
+};
+
+}  // namespace ttsnn::bench

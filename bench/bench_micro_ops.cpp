@@ -1,156 +1,341 @@
-// Micro-benchmarks (google-benchmark) for the op-level building blocks:
-// dense conv vs the TT pipelines (forward and forward+backward), merge
-// contractions, TT-SVD and VBMF. Not a paper exhibit — supports the
-// latency claims behind Table II and profiles regressions.
+// Micro-benchmarks for the op-level building blocks, reported both as a
+// human-readable table and as BENCH_micro.json (see bench_json.h) so the
+// perf trajectory is tracked PR-over-PR.
+//
+// Families:
+//   gemm_*      — kernel tiers (naive / blocked / simd / sparse) over dense
+//                 and spike-sparse operands; GFLOP/s is nominal 2mnk work,
+//                 so tier rows divide directly into speedups. The
+//                 `speedup_vs_naive` field is the headline: the sparse tier
+//                 at 90% spike sparsity (density 0.1) is the PR-3 target.
+//   elemwise_*  — scalar vs AVX2 tiers of the axpy/adam/lif kernels.
+//   ttconv_*    — TTConv2d forward and forward+backward per mode.
+//   merge/svd   — TT merge contraction, TT-SVD, VBMF rank estimation.
+//   train_epoch — end-to-end epoch with the pre-PR compute path (naive gemm,
+//                 scalar elementwise) vs the current defaults.
+//
+// Flags: --out=PATH (default BENCH_micro.json), --quick (CI smoke sizing).
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
 
+#include "bench_json.h"
+#include "core/factorize.h"
+#include "core/models.h"
 #include "core/ttconv.h"
+#include "data/synthetic_image.h"
 #include "nn/conv2d.h"
+#include "snn/trainer.h"
+#include "tensor/arena.h"
 #include "tensor/gemm.h"
-#include "tensor/linalg.h"
+#include "tensor/simd.h"
 #include "tt/tt_svd.h"
 #include "tt/vbmf.h"
 
 namespace ttsnn {
 namespace {
 
-// --- GEMM kernels: naive (seed) vs cache-blocked, reported in GFLOP/s ------
-//
-// Run e.g.:  ./bench_micro_ops --benchmark_filter=Gemm
-// The kernel/0 rows are the pre-PR naive loops, kernel/1 the blocked ones;
-// the GFLOPS counter makes the old-vs-new comparison direct.
-
-void bench_gemm(benchmark::State& state, bool trans_a, float density) {
-  const auto kernel = state.range(0) == 0 ? GemmKernel::kNaive
-                                          : GemmKernel::kBlocked;
-  const int64_t m = state.range(1);
-  const int64_t n = state.range(2);
-  const int64_t k = state.range(3);
-  Rng rng(8);
-  Tensor a = trans_a ? Tensor::bernoulli({k, m}, rng, density)
-                     : Tensor::bernoulli({m, k}, rng, density);
-  Tensor b = Tensor::randn({k, n}, rng);
-  Tensor c = Tensor::zeros({m, n});
-  GemmKernelGuard guard(kernel);
-  GemmThreadsGuard threads(1);  // isolate the kernel, not the fan-out
-  for (auto _ : state) {
-    gemm(trans_a, false, m, n, k, 1.0F, a.data(), b.data(), 0.0F, c.data());
-    benchmark::DoNotOptimize(c.data());
-    benchmark::ClobberMemory();
+const char* kernel_name(GemmKernel k) {
+  switch (k) {
+    case GemmKernel::kAuto:
+      return "auto";
+    case GemmKernel::kNaive:
+      return "naive";
+    case GemmKernel::kBlocked:
+      return "blocked";
+    case GemmKernel::kSimd:
+      return "simd";
+    case GemmKernel::kSparse:
+      return "sparse";
   }
-  state.counters["GFLOPS"] = benchmark::Counter(
-      2.0 * static_cast<double>(m * n * k) *
-          static_cast<double>(state.iterations()) * 1e-9,
-      benchmark::Counter::kIsRate);
+  return "?";
 }
 
-void BM_GemmNN(benchmark::State& state) { bench_gemm(state, false, 1.0F); }
-void BM_GemmTN(benchmark::State& state) { bench_gemm(state, true, 1.0F); }
-void BM_GemmNNSpikes(benchmark::State& state) {
-  bench_gemm(state, false, 0.2F);  // spike-sparse A: zero-row skip active
+/// One GEMM config at several kernel tiers; emits GFLOP/s + speedup rows.
+void bench_gemm(bench::Report& report, const char* op, bool trans_a,
+                bool trans_b, int64_t m, int64_t n, int64_t k, float density,
+                const std::vector<GemmKernel>& kernels, double min_seconds) {
+  Rng rng(8);
+  // Density < 1 makes the *B* operand a binary spike matrix (the operand the
+  // conv lowering makes sparse); A stays dense like conv weights / gradients.
+  Tensor a = trans_a ? Tensor::randn({k, m}, rng) : Tensor::randn({m, k}, rng);
+  Tensor b;
+  if (trans_b) {
+    b = density < 1.0F ? Tensor::bernoulli({n, k}, rng, density)
+                       : Tensor::randn({n, k}, rng);
+  } else {
+    b = density < 1.0F ? Tensor::bernoulli({k, n}, rng, density)
+                       : Tensor::randn({k, n}, rng);
+  }
+  Tensor c = Tensor::zeros({m, n});
+  const double flops = 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                       static_cast<double>(k);
+  GemmThreadsGuard threads(1);  // isolate the kernel, not the fan-out
+  double naive_gflops = 0.0;
+  for (GemmKernel kern : kernels) {
+    GemmKernelGuard guard(kern);
+    const bench::Timing t = bench::time_fn(
+        [&] {
+          gemm(trans_a, trans_b, m, n, k, 1.0F, a.data(), b.data(), 0.0F,
+               c.data());
+        },
+        min_seconds);
+    const double gflops = flops / t.p50_s * 1e-9;
+    if (kern == GemmKernel::kNaive) naive_gflops = gflops;
+    char name[128];
+    std::snprintf(name, sizeof(name), "%s/%lldx%lldx%lld/d%.2f/%s", op,
+                  static_cast<long long>(m), static_cast<long long>(n),
+                  static_cast<long long>(k), density, kernel_name(kern));
+    bench::Row& row = report.add(name)
+                          .str("op", op)
+                          .str("kernel", kernel_name(kern))
+                          .num("m", static_cast<double>(m))
+                          .num("n", static_cast<double>(n))
+                          .num("k", static_cast<double>(k))
+                          .num("density", density)
+                          .num("gflops", gflops)
+                          .timing(t);
+    if (naive_gflops > 0.0) {
+      row.num("speedup_vs_naive", gflops / naive_gflops);
+    }
+    std::printf("  %-44s %8.2f GFLOP/s  p50 %7.3f ms%s\n", name, gflops,
+                t.p50_s * 1e3,
+                kern == GemmKernel::kNaive
+                    ? ""
+                    : (" (" + std::to_string(gflops / naive_gflops) + "x)")
+                          .c_str());
+  }
 }
 
-BENCHMARK(BM_GemmNN)
-    ->ArgsProduct({{0, 1}, {256}, {256}, {256}})
-    ->ArgsProduct({{0, 1}, {128}, {512}, {1024}})
-    ->ArgNames({"kernel", "m", "n", "k"});
-BENCHMARK(BM_GemmTN)
-    ->ArgsProduct({{0, 1}, {256}, {256}, {256}})
-    ->ArgNames({"kernel", "m", "n", "k"});
-BENCHMARK(BM_GemmNNSpikes)
-    ->ArgsProduct({{0, 1}, {256}, {256}, {256}})
-    ->ArgNames({"kernel", "m", "n", "k"});
+/// Scalar-vs-AVX2 pair for one elementwise kernel.
+template <typename Fn>
+void bench_elemwise(bench::Report& report, const char* name, int64_t n,
+                    Fn&& fn) {
+  double scalar_ms = 0.0;
+  for (simd::Level level : {simd::Level::kScalar, simd::Level::kAvx2}) {
+    if (level == simd::Level::kAvx2 &&
+        simd::detected_level() != simd::Level::kAvx2) {
+      continue;
+    }
+    simd::LevelGuard guard(level);
+    const bench::Timing t = bench::time_fn(fn, 0.1);
+    if (level == simd::Level::kScalar) scalar_ms = t.p50_s * 1e3;
+    std::string row_name =
+        std::string("elemwise_") + name + "/" + simd::level_name(level);
+    bench::Row& row = report.add(row_name)
+                          .str("op", name)
+                          .str("level", simd::level_name(level))
+                          .num("numel", static_cast<double>(n))
+                          .timing(t);
+    if (scalar_ms > 0.0) {
+      row.num("speedup_vs_scalar", scalar_ms / (t.p50_s * 1e3));
+    }
+    std::printf("  %-44s p50 %7.4f ms\n", row_name.c_str(), t.p50_s * 1e3);
+  }
+}
 
 constexpr int64_t kC = 32;
 constexpr int64_t kHW = 16;
 constexpr int64_t kRank = 8;
 
-Tensor make_input() {
+Tensor make_conv_input() {
   Rng rng(1);
   return Tensor::bernoulli({4, 2, kC, kHW, kHW}, rng, 0.2F);
 }
 
-void BM_DenseConvForward(benchmark::State& state) {
-  Rng rng(2);
-  Conv2d conv({.in_channels = kC, .out_channels = kC}, rng);
-  Tensor x = make_input();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(conv.forward(x));
+void bench_ttconv(bench::Report& report, bool quick) {
+  Tensor x = make_conv_input();
+  {
+    Rng rng(2);
+    Conv2d conv({.in_channels = kC, .out_channels = kC}, rng);
+    const bench::Timing t = bench::time_fn([&] { conv.forward(x); }, 0.1);
+    report.add("dense_conv_forward").timing(t);
+    std::printf("  %-44s p50 %7.3f ms\n", "dense_conv_forward", t.p50_s * 1e3);
+  }
+  const TTMode modes[] = {TTMode::kSTT, TTMode::kPTT, TTMode::kHTT};
+  for (TTMode mode : modes) {
+    Rng rng(3);
+    TTConv2d conv({.in_channels = kC, .out_channels = kC, .kernel = 3,
+                   .stride = 1, .rank = kRank, .mode = mode,
+                   .full_step = std::vector<bool>{true, true, false, false}},
+                  rng);
+    const bench::Timing fwd = bench::time_fn([&] { conv.forward(x); }, 0.1);
+    std::string name = std::string("ttconv_forward/") + tt_mode_name(mode);
+    report.add(name).str("mode", tt_mode_name(mode)).timing(fwd);
+    std::printf("  %-44s p50 %7.3f ms\n", name.c_str(), fwd.p50_s * 1e3);
+    if (quick) continue;
+    Rng grng(4);
+    Tensor g = Tensor::randn({4, 2, kC, kHW, kHW}, grng);
+    const bench::Timing step = bench::time_fn(
+        [&] {
+          conv.forward(x);
+          conv.backward(g);
+        },
+        0.1);
+    name = std::string("ttconv_train_step/") + tt_mode_name(mode);
+    report.add(name).str("mode", tt_mode_name(mode)).timing(step);
+    std::printf("  %-44s p50 %7.3f ms\n", name.c_str(), step.p50_s * 1e3);
   }
 }
-BENCHMARK(BM_DenseConvForward);
 
-void BM_TTConvForward(benchmark::State& state) {
-  const auto mode = static_cast<TTMode>(state.range(0));
-  const bool parallel = state.range(1) != 0;
-  Rng rng(3);
-  TTConv2d conv({.in_channels = kC, .out_channels = kC, .kernel = 3,
-                 .stride = 1, .rank = kRank, .mode = mode,
-                 .full_step = std::vector<bool>{true, true, false, false},
-                 .parallel_branches = parallel},
-                rng);
-  Tensor x = make_input();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(conv.forward(x));
-  }
-}
-BENCHMARK(BM_TTConvForward)
-    ->ArgsProduct({{static_cast<long>(TTMode::kSTT), static_cast<long>(TTMode::kPTT),
-                    static_cast<long>(TTMode::kHTT)},
-                   {0, 1}})
-    ->ArgNames({"mode", "parallel"});
-
-void BM_TTConvTrainStep(benchmark::State& state) {
-  const auto mode = static_cast<TTMode>(state.range(0));
-  Rng rng(4);
-  TTConv2d conv({.in_channels = kC, .out_channels = kC, .kernel = 3,
-                 .stride = 1, .rank = kRank, .mode = mode,
-                 .full_step = std::vector<bool>{true, true, false, false}},
-                rng);
-  Tensor x = make_input();
-  Tensor g = Tensor::randn({4, 2, kC, kHW, kHW}, rng);
-  for (auto _ : state) {
-    conv.forward(x);
-    benchmark::DoNotOptimize(conv.backward(g));
-  }
-}
-BENCHMARK(BM_TTConvTrainStep)
-    ->Arg(static_cast<long>(TTMode::kSTT))
-    ->Arg(static_cast<long>(TTMode::kPTT))
-    ->Arg(static_cast<long>(TTMode::kHTT))
-    ->ArgName("mode");
-
-void BM_MergePtt(benchmark::State& state) {
-  Rng rng(5);
-  TTConv2d conv({.in_channels = 64, .out_channels = 64, .kernel = 3,
-                 .stride = 1, .rank = 24, .mode = TTMode::kPTT},
-                rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(conv.merged_kernel());
-  }
-}
-BENCHMARK(BM_MergePtt);
-
-void BM_TtSvd(benchmark::State& state) {
+void bench_decompositions(bench::Report& report) {
   Rng rng(6);
   Tensor dense = Tensor::randn({64, 64, 3, 3}, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(tt_svd(dense, 24));
+  {
+    Rng mrng(5);
+    TTConv2d conv({.in_channels = 64, .out_channels = 64, .kernel = 3,
+                   .stride = 1, .rank = 24, .mode = TTMode::kPTT},
+                  mrng);
+    const bench::Timing t = bench::time_fn([&] { conv.merged_kernel(); }, 0.1);
+    report.add("merge_ptt").timing(t);
+    std::printf("  %-44s p50 %7.3f ms\n", "merge_ptt", t.p50_s * 1e3);
   }
+  const bench::Timing svd = bench::time_fn([&] { tt_svd(dense, 24); }, 0.1);
+  report.add("tt_svd").timing(svd);
+  std::printf("  %-44s p50 %7.3f ms\n", "tt_svd", svd.p50_s * 1e3);
+  const bench::Timing vbmf =
+      bench::time_fn([&] { estimate_tt_rank(dense); }, 0.1);
+  report.add("vbmf").timing(vbmf);
+  std::printf("  %-44s p50 %7.3f ms\n", "vbmf", vbmf.p50_s * 1e3);
 }
-BENCHMARK(BM_TtSvd);
 
-void BM_Vbmf(benchmark::State& state) {
-  Rng rng(7);
-  Tensor dense = Tensor::randn({64, 64, 3, 3}, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(estimate_tt_rank(dense));
-  }
+/// End-to-end training epoch: pre-PR compute path vs current defaults on the
+/// same model/data. `legacy` pins the naive GEMM kernel and the scalar
+/// elementwise tier — the exact hot-path code the seed ran.
+double bench_train_epoch(bench::Report& report, const char* tag, bool legacy,
+                         bool quick) {
+  // Sized so the conv GEMMs actually reach the kernel-tier thresholds
+  // (base_width 16 on 16x16 inputs); a toy-scale model measures framework
+  // overhead, not kernels.
+  SyntheticImageDataset data({.num_classes = 10,
+                              .samples_per_class = quick ? 2 : 4,
+                              .channels = 3,
+                              .size = 16,
+                              .seed = 99});
+  Rng rng(21);
+  ModelConfig cfg;
+  cfg.in_channels = 3;
+  cfg.num_classes = 10;
+  cfg.base_width = 16;
+  cfg.timesteps = 4;
+  ModulePtr net = make_ms_resnet18(cfg, rng);
+  FactorizeOptions fopts;
+  fopts.mode = TTMode::kPTT;
+  fopts.use_vbmf = false;
+  fopts.rank_fraction = 0.4;
+  factorize_network(*net, fopts, rng);
+
+  TrainConfig tc;
+  tc.epochs = 1;
+  tc.batch_size = 8;
+  tc.timesteps = 4;
+  tc.verbose = false;
+  Trainer trainer(*net, data, data, tc);
+
+  GemmKernelGuard kernel(legacy ? GemmKernel::kNaive : GemmKernel::kAuto);
+  simd::LevelGuard level(legacy ? simd::Level::kScalar
+                                : simd::detected_level());
+  trainer.run_epoch(0);  // warm-up: first-touch weights, arena population
+  Timer t;
+  EpochStats stats = trainer.run_epoch(0);
+  const double seconds = t.seconds();
+  report.add(std::string("train_epoch/") + tag)
+      .str("config", tag)
+      .num("seconds", seconds)
+      .num("loss", stats.loss);
+  std::printf("  %-44s %7.3f s\n", (std::string("train_epoch/") + tag).c_str(),
+              seconds);
+  return seconds;
 }
-BENCHMARK(BM_Vbmf);
 
 }  // namespace
 }  // namespace ttsnn
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace ttsnn;
+  bench::Args args = bench::Args::parse(argc, argv, "BENCH_micro.json");
+  bench::Report report;
+  const double gemm_secs = args.quick ? 0.05 : 0.2;
+
+  std::printf("simd: detected=%s active=%s\n",
+              simd::level_name(simd::detected_level()),
+              simd::level_name(simd::active_level()));
+  report.add("simd_dispatch")
+      .str("detected", simd::level_name(simd::detected_level()))
+      .str("active", simd::level_name(simd::active_level()));
+
+  std::printf("== GEMM kernel tiers ==\n");
+  const std::vector<GemmKernel> dense_kernels = {
+      GemmKernel::kNaive, GemmKernel::kBlocked, GemmKernel::kSimd};
+  const std::vector<GemmKernel> spike_kernels = {
+      GemmKernel::kNaive, GemmKernel::kSimd, GemmKernel::kSparse};
+  bench_gemm(report, "gemm_nn", false, false, 256, 256, 256, 1.0F,
+             dense_kernels, gemm_secs);
+  if (!args.quick) {
+    bench_gemm(report, "gemm_nn", false, false, 128, 512, 1024, 1.0F,
+               dense_kernels, gemm_secs);
+  }
+  bench_gemm(report, "gemm_tn", true, false, 256, 256, 256, 1.0F,
+             dense_kernels, gemm_secs);
+  // Spike-sparse B: density 0.10 is the PR-3 "90% spike sparsity" target row.
+  for (float density : args.quick ? std::vector<float>{0.1F}
+                                  : std::vector<float>{0.3F, 0.1F, 0.03F}) {
+    bench_gemm(report, "gemm_nn", false, false, 256, 256, 256, density,
+               spike_kernels, gemm_secs);
+  }
+  bench_gemm(report, "gemm_nt", false, true, 64, 288, 1024, 0.1F,
+             {GemmKernel::kNaive, GemmKernel::kSparse}, gemm_secs);
+
+  std::printf("== elementwise tiers ==\n");
+  {
+    const int64_t n = 1 << 16;
+    Rng rng(11);
+    Tensor x = Tensor::randn({n}, rng);
+    Tensor y = Tensor::randn({n}, rng);
+    bench_elemwise(report, "axpy", n,
+                   [&] { simd::axpy(n, 0.5F, x.data(), y.data()); });
+    // Unit-magnitude multiplier: repeated y *= x with random x drives y into
+    // subnormals, which would benchmark the FPU's denormal stalls instead.
+    Tensor sign = Tensor::bernoulli({n}, rng, 0.5F);
+    sign.mul_scalar_(2.0F).add_scalar_(-1.0F);
+    bench_elemwise(report, "mul", n,
+                   [&] { simd::mul(n, sign.data(), y.data()); });
+    Tensor g = Tensor::randn({n}, rng);
+    Tensor m = Tensor::zeros({n});
+    Tensor v = Tensor::zeros({n});
+    Tensor w = Tensor::randn({n}, rng);
+    bench_elemwise(report, "adam", n, [&] {
+      simd::adam_step(n, 1e-3F, 0.9F, 0.999F, 0.1F, 0.01F, 1e-8F, 1e-4F,
+                      g.data(), m.data(), v.data(), w.data());
+    });
+    Tensor in = Tensor::randn({n}, rng);
+    Tensor u = Tensor::zeros({n});
+    Tensor s = Tensor::zeros({n});
+    bench_elemwise(report, "lif_step", n, [&] {
+      simd::lif_step_eval(n, 0.5F, 1.0F, true, in.data(), u.data(), s.data());
+    });
+  }
+
+  std::printf("== TTConv pipelines ==\n");
+  bench_ttconv(report, args.quick);
+  if (!args.quick) {
+    std::printf("== decompositions ==\n");
+    bench_decompositions(report);
+  }
+
+  std::printf("== end-to-end training epoch ==\n");
+  const double legacy_s = bench_train_epoch(report, "legacy", true, args.quick);
+  const double current_s =
+      bench_train_epoch(report, "current", false, args.quick);
+  report.add("train_epoch/speedup").num("speedup_vs_legacy",
+                                        legacy_s / current_s);
+  std::printf("  %-44s %7.2fx\n", "train_epoch speedup", legacy_s / current_s);
+
+  const ArenaStats arena = Arena::instance().stats();
+  report.add("arena")
+      .num("hits", static_cast<double>(arena.hits))
+      .num("misses", static_cast<double>(arena.misses))
+      .num("recycled", static_cast<double>(arena.recycled));
+
+  report.write(args.out);
+  return 0;
+}

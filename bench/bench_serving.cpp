@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.h"
 #include "core/factorize.h"
 #include "core/models.h"
 #include "infer/engine.h"
@@ -53,16 +54,22 @@ LatencyStats summarize(std::vector<double> latencies_s, double total_s) {
   return s;
 }
 
-void report(const char* name, const LatencyStats& s) {
+void report(bench::Report& out, const char* name, const LatencyStats& s) {
   std::printf("  %-10s %10.1f req/s   p50 %7.2f ms   p99 %7.2f ms\n", name,
               s.throughput, s.p50_ms, s.p99_ms);
+  out.add(name)
+      .num("req_per_s", s.throughput)
+      .num("p50_ms", s.p50_ms)
+      .num("p99_ms", s.p99_ms);
 }
 
 }  // namespace
 }  // namespace ttsnn
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ttsnn;
+  bench::Args args = bench::Args::parse(argc, argv, "BENCH_serving.json");
+  bench::Report json;
 
   Rng rng(7);
   ModelConfig cfg;
@@ -120,7 +127,7 @@ int main() {
       net->forward(as_batch1(r));
       lat.push_back(t.seconds());
     }
-    report("module", summarize(std::move(lat), total.seconds()));
+    report(json, "module", summarize(std::move(lat), total.seconds()));
   }
 
   // --- merged/1: dense merged kernels (spike-hardware plan) on CPU ---------
@@ -133,7 +140,7 @@ int main() {
       merged.run(as_batch1(r));
       lat.push_back(t.seconds());
     }
-    report("merged/1", summarize(std::move(lat), total.seconds()));
+    report(json, "merged/1", summarize(std::move(lat), total.seconds()));
   }
 
   // --- engine/1: compiled exact plan, still one request per run ------------
@@ -146,7 +153,7 @@ int main() {
       engine.run(as_batch1(r));
       lat.push_back(t.seconds());
     }
-    report("engine/1", summarize(std::move(lat), total.seconds()));
+    report(json, "engine/1", summarize(std::move(lat), total.seconds()));
   }
 
   // --- engine/B: ideal pre-batched runs (micro-batching upper bound) -------
@@ -169,7 +176,7 @@ int main() {
       const double s = t.seconds();
       for (int64_t j = 0; j < kBatch; ++j) lat.push_back(s);
     }
-    report("engine/8", summarize(std::move(lat), total.seconds()));
+    report(json, "engine/8", summarize(std::move(lat), total.seconds()));
   }
 
   // --- server: concurrent clients, micro-batched under a deadline ----------
@@ -191,12 +198,17 @@ int main() {
     for (std::thread& t : clients) t.join();
     const double total_s = total.seconds();
     infer::ServerStats stats = server.stats();
-    report("server", summarize(lat, total_s));
+    report(json, "server", summarize(lat, total_s));
     std::printf("  server coalescing: %lld requests in %lld batches "
                 "(mean %.1f, max %lld)\n",
                 static_cast<long long>(stats.requests),
                 static_cast<long long>(stats.batches), stats.mean_batch(),
                 static_cast<long long>(stats.max_batch));
+    json.add("server_coalescing")
+        .num("requests", static_cast<double>(stats.requests))
+        .num("batches", static_cast<double>(stats.batches))
+        .num("mean_batch", stats.mean_batch());
   }
+  json.write(args.out);
   return 0;
 }

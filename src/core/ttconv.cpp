@@ -170,9 +170,9 @@ Tensor TTConv2d::forward_ptt_path(const Tensor& x) {
     a = conv2d_forward(x, w2_.value, opt_w2(true));
     b = conv2d_forward(x, w3_.value, opt_w3(true));
   }
-  Tensor sum = add(a, b);
-  if (training_) ptt_sum_ = sum;
-  return conv2d_forward(sum, w4_.value, opt_w4(false));
+  a.add_(b);  // in place: a is a fresh conv output, nothing else aliases it
+  if (training_) ptt_sum_ = a;
+  return conv2d_forward(a, w4_.value, opt_w4(false));
 }
 
 Tensor TTConv2d::backward_ptt_path(const Tensor& grad) {
@@ -188,7 +188,8 @@ Tensor TTConv2d::backward_ptt_path(const Tensor& grad) {
     ga = conv2d_backward(x, w2_.value, opt_w2(true), g_sum, w2_.grad);
     gb = conv2d_backward(x, w3_.value, opt_w3(true), g_sum, w3_.grad);
   }
-  return add(ga, gb);
+  ga.add_(gb);  // in place: ga is a fresh gradient buffer
+  return ga;
 }
 
 Tensor TTConv2d::forward_htt(const Tensor& o1) {

@@ -6,6 +6,7 @@
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
 #include "tensor/ops.h"
+#include "tensor/simd.h"
 
 namespace ttsnn::infer {
 
@@ -56,14 +57,12 @@ Tensor run_conv(const Tensor& x, const Tensor& weight,
   out_shape[out_shape.size() - 3] = opts.out_channels;
   out_shape[out_shape.size() - 2] = oh;
   out_shape[out_shape.size() - 1] = ow;
-  Tensor out(out_shape);
+  Tensor out = Tensor::empty(out_shape);  // gemm beta=0 writes every element
   // Pointwise stride-1 convolutions (the TT w1/w4 cores and most shortcut
   // projections) skip the im2col lowering entirely: the column matrix would
   // be an identity copy of the input plane, so gemm reads it in place. The
   // gemm call is argument-for-argument identical, keeping bit-identity.
-  const bool pointwise = g.kernel_h == 1 && g.kernel_w == 1 &&
-                         g.stride_h == 1 && g.stride_w == 1 && g.pad_h == 0 &&
-                         g.pad_w == 0;
+  const bool pointwise = g.pointwise();
   float* col = pointwise ? nullptr : ws.col_buffer(g.col_rows() * g.col_cols());
   const int64_t in_stride = opts.in_channels * g.in_h * g.in_w;
   const int64_t out_stride = opts.out_channels * oh * ow;
@@ -117,8 +116,8 @@ Tensor run_tt_exact(const Op& op, const Tensor& x, Workspace& ws) {
   auto ptt_path = [&](const Tensor& in) {
     Tensor a = run_conv(in, op.w2, op.tt_w2_opts, none, ws);
     Tensor b = run_conv(in, op.w3, op.tt_w3_opts, none, ws);
-    Tensor sum = add(a, b);
-    return run_conv(sum, op.w4, op.tt_w4_opts, none, ws);
+    a.add_(b);  // in place: a is this call's own conv output
+    return run_conv(a, op.w4, op.tt_w4_opts, none, ws);
   };
   switch (op.tt.mode) {
     case TTMode::kSTT: {
@@ -143,7 +142,7 @@ Tensor run_tt_exact(const Op& op, const Tensor& x, Workspace& ws) {
                   "infer HTT: empty schedule");
       Shape out_shape = (y_full.defined() ? y_full : y_half).shape();
       out_shape[0] = o1.size(0);
-      Tensor out(out_shape);
+      Tensor out = Tensor::empty(out_shape);  // scatter covers every step
       if (y_full.defined()) scatter_steps(out, y_full, full_idx);
       if (y_half.defined()) scatter_steps(out, y_half, half_idx);
       return out;
@@ -172,7 +171,7 @@ Tensor run_tt_htt_merged(const Op& op, const Tensor& x, Workspace& ws) {
   TTSNN_CHECK(y_full.defined() || y_half.defined(), "infer HTT: empty schedule");
   Shape out_shape = (y_full.defined() ? y_full : y_half).shape();
   out_shape[0] = x.size(0);
-  Tensor out(out_shape);
+  Tensor out = Tensor::empty(out_shape);  // scatter covers every step
   if (y_full.defined()) scatter_steps(out, y_full, full_idx);
   if (y_half.defined()) scatter_steps(out, y_half, half_idx);
   return out;
@@ -195,7 +194,7 @@ Tensor run_affine(const Op& op, const Tensor& x) {
                 "infer affine: TEBN configured for T=" << op.bn_timesteps
                                                        << ", got " << t_steps);
   }
-  Tensor out(x.shape());
+  Tensor out = Tensor::empty(x.shape());
   const float* in = x.data();
   float* y = out.data();
   const float* g_gamma = op.bn_gamma.data();
@@ -210,12 +209,9 @@ Tensor run_affine(const Op& op, const Tensor& x) {
       const float eff = g_gamma[ch] * op.bn_alpha_vth * step;
       for (int64_t b = 0; b < n; ++b) {
         const int64_t base = (((t * n + b) * c) + ch) * hw;
-        const float* pb = in + base;
-        float* yb = y + base;
-        for (int64_t i = 0; i < hw; ++i) {
-          const float v = (pb[i] - mu) * inv_std;
-          yb[i] = eff * v + g_beta[ch];
-        }
+        // Same affine kernel (and therefore the same bits) as BatchNorm's
+        // eval forward.
+        simd::affine(hw, mu, inv_std, eff, g_beta[ch], in + base, y + base);
       }
     }
   }
@@ -236,7 +232,7 @@ Tensor run_avg_pool(const Tensor& x, int64_t kernel) {
   Shape out_shape = x.shape();
   out_shape[out_shape.size() - 2] = oh;
   out_shape[out_shape.size() - 1] = ow;
-  Tensor out(out_shape);
+  Tensor out = Tensor::empty(out_shape);
   const float* in = x.data();
   float* o = out.data();
   const float inv = 1.0F / static_cast<float>(kernel * kernel);
@@ -262,7 +258,7 @@ Tensor run_global_pool(const Tensor& x) {
   TTSNN_CHECK(x.dim() == 5, "infer global pool expects [T, N, C, H, W]");
   const int64_t hw = x.size(3) * x.size(4);
   const int64_t rows = x.numel() / hw;
-  Tensor out({x.size(0), x.size(1), x.size(2)});
+  Tensor out = Tensor::empty({x.size(0), x.size(1), x.size(2)});
   const float* in = x.data();
   float* o = out.data();
   const float inv = 1.0F / static_cast<float>(hw);
@@ -284,7 +280,7 @@ Tensor run_linear(const Op& op, const Tensor& x) {
   const int64_t b = x.numel() / in_f;
   Shape out_shape = x.shape();
   out_shape[out_shape.size() - 1] = out_f;
-  Tensor out(out_shape);
+  Tensor out = Tensor::empty(out_shape);  // gemm beta=0 writes every element
   gemm(false, true, b, out_f, in_f, 1.0F, x.data(), op.weight.data(), 0.0F,
        out.data());
   if (op.bias.defined()) {

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "tensor/simd.h"
+
 namespace ttsnn {
 
 namespace {
@@ -51,14 +53,14 @@ Tensor BatchNorm::forward(const Tensor& x) {
   cached_t_ = t_steps;
   cached_n_ = n;
   cached_hw_ = hw;
-  cached_xhat_ = cache ? Tensor(x.shape()) : Tensor();
+  cached_xhat_ = cache ? Tensor::empty(x.shape()) : Tensor();
   if (cache) {
     cached_inv_std_.assign(static_cast<size_t>(groups * c), 0.0F);
   } else {
     cached_inv_std_.clear();
   }
 
-  Tensor out(x.shape());
+  Tensor out = Tensor::empty(x.shape());
   const float* in = x.data();
   float* xhat = cache ? cached_xhat_.data() : nullptr;
   float* y = out.data();
@@ -113,10 +115,8 @@ Tensor BatchNorm::forward(const Tensor& x) {
               yb[i] = eff * v + g_beta[ch];
             }
           } else {
-            for (int64_t i = 0; i < hw; ++i) {
-              const float v = (pb[i] - mu) * inv_std;
-              yb[i] = eff * v + g_beta[ch];
-            }
+            // Eval path: plain affine — same expression, vectorized.
+            simd::affine(hw, mu, inv_std, eff, g_beta[ch], pb, yb);
           }
         }
       }
@@ -135,7 +135,7 @@ Tensor BatchNorm::backward(const Tensor& grad_out) {
   const int64_t groups = joint_stats(opts_.mode) ? 1 : t_steps;
   const int64_t group_t = t_steps / groups;
 
-  Tensor grad_in(cached_xhat_.shape());
+  Tensor grad_in = Tensor::empty(cached_xhat_.shape());
   const float* g = grad_out.data();
   const float* xhat = cached_xhat_.data();
   float* gx = grad_in.data();

@@ -81,15 +81,30 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& weight,
   const int64_t ow = g.out_w();
   TTSNN_CHECK(oh > 0 && ow > 0, "conv2d output would be empty for input "
                                     << shape_str(x.shape()));
-  Tensor out(output_shape(x, opts.out_channels, oh, ow));
-  Tensor col({g.col_rows(), g.col_cols()});
+  // Both buffers are fully overwritten (im2col writes every column entry,
+  // the gemm runs with beta = 0), so skip the zero-fill.
+  Tensor out = Tensor::empty(output_shape(x, opts.out_channels, oh, ow));
+  // Pointwise stride-1 convolutions — the TT w1/w4 cores, half the factorized
+  // pipeline — skip the im2col lowering: the column matrix would be an
+  // identity copy of the input plane, so gemm reads the plane in place. The
+  // gemm call is argument-for-argument identical, keeping bit-identity (the
+  // inference engine applies the same skip).
+  const bool pointwise = g.pointwise();
+  Tensor col =
+      pointwise ? Tensor() : Tensor::empty({g.col_rows(), g.col_cols()});
   const int64_t in_stride = opts.in_channels * g.in_h * g.in_w;
   const int64_t out_stride = opts.out_channels * oh * ow;
   for (int64_t b = 0; b < batch; ++b) {
-    im2col(x.data() + b * in_stride, g, col.data());
+    const float* lowered;
+    if (pointwise) {
+      lowered = x.data() + b * in_stride;
+    } else {
+      im2col(x.data() + b * in_stride, g, col.data());
+      lowered = col.data();
+    }
     // out_b [O, oh*ow] = W [O, C*kh*kw] * col
     gemm(false, false, opts.out_channels, g.col_cols(), g.col_rows(), 1.0F,
-         weight.data(), col.data(), 0.0F, out.data() + b * out_stride);
+         weight.data(), lowered, 0.0F, out.data() + b * out_stride);
   }
   return out;
 }
@@ -113,21 +128,40 @@ Tensor conv2d_backward(const Tensor& x, const Tensor& weight,
                   grad_out.size(-2) == oh && grad_out.size(-1) == ow,
               "conv2d_backward grad shape " << shape_str(grad_out.shape())
                                             << " mismatch");
-  Tensor grad_in(x.shape());
-  Tensor col({g.col_rows(), g.col_cols()});
-  Tensor dcol({g.col_rows(), g.col_cols()});
+  Tensor grad_in(x.shape());  // zero-filled: col2im accumulates into it
+  // Pointwise stride-1 case: im2col is an identity copy and col2im an
+  // identity accumulate, so dW reads the input plane in place and dcol is
+  // written straight into the (zeroed) grad_in plane with beta=1 — the same
+  // products accumulate in the same order, so the bits match the lowered
+  // path.
+  const bool pointwise = g.pointwise();
+  Tensor col =
+      pointwise ? Tensor() : Tensor::empty({g.col_rows(), g.col_cols()});
+  Tensor dcol =
+      pointwise ? Tensor() : Tensor::empty({g.col_rows(), g.col_cols()});
   const int64_t in_stride = opts.in_channels * g.in_h * g.in_w;
   const int64_t out_stride = opts.out_channels * oh * ow;
   for (int64_t b = 0; b < batch; ++b) {
     const float* gout = grad_out.data() + b * out_stride;
+    const float* lowered;
+    if (pointwise) {
+      lowered = x.data() + b * in_stride;
+    } else {
+      im2col(x.data() + b * in_stride, g, col.data());
+      lowered = col.data();
+    }
     // dW += g_b [O, ohw] * col^T  -> [O, C*kh*kw]
-    im2col(x.data() + b * in_stride, g, col.data());
     gemm(false, true, opts.out_channels, g.col_rows(), g.col_cols(), 1.0F,
-         gout, col.data(), 1.0F, weight_grad.data());
+         gout, lowered, 1.0F, weight_grad.data());
     // dcol = W^T [Ckk, O] * g_b [O, ohw]
-    gemm(true, false, g.col_rows(), g.col_cols(), opts.out_channels, 1.0F,
-         weight.data(), gout, 0.0F, dcol.data());
-    col2im(dcol.data(), g, grad_in.data() + b * in_stride);
+    if (pointwise) {
+      gemm(true, false, g.col_rows(), g.col_cols(), opts.out_channels, 1.0F,
+           weight.data(), gout, 1.0F, grad_in.data() + b * in_stride);
+    } else {
+      gemm(true, false, g.col_rows(), g.col_cols(), opts.out_channels, 1.0F,
+           weight.data(), gout, 0.0F, dcol.data());
+      col2im(dcol.data(), g, grad_in.data() + b * in_stride);
+    }
   }
   return grad_in;
 }

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <numbers>
 
+#include "tensor/simd.h"
+
 namespace ttsnn {
 
 float surrogate_grad(Surrogate kind, float alpha, float v_th, float u) {
@@ -43,26 +45,17 @@ Tensor LIFNeuron::forward(const Tensor& x) {
   const int64_t t_steps = x.size(0);
   const int64_t m = x.numel() / t_steps;
 
-  cached_u_ = Tensor(x.shape());
-  cached_spikes_ = Tensor(x.shape());
+  cached_u_ = Tensor::empty(x.shape());
+  cached_spikes_ = Tensor::empty(x.shape());
   const float* in = x.data();
   float* u_out = cached_u_.data();
   float* s_out = cached_spikes_.data();
 
   std::vector<float> u_post(static_cast<size_t>(m), 0.0F);
   for (int64_t t = 0; t < t_steps; ++t) {
-    const float* it = in + t * m;
-    float* ut = u_out + t * m;
-    float* st = s_out + t * m;
-    for (int64_t i = 0; i < m; ++i) {
-      const float u = opts_.tau * u_post[static_cast<size_t>(i)] + it[i];
-      const float s = u >= opts_.v_th ? 1.0F : 0.0F;
-      ut[i] = u;
-      st[i] = s;
-      u_post[static_cast<size_t>(i)] = opts_.reset == ResetMode::kZero
-                                           ? u * (1.0F - s)
-                                           : u - opts_.v_th * s;
-    }
+    simd::lif_step_train(m, opts_.tau, opts_.v_th,
+                         opts_.reset == ResetMode::kZero, in + t * m,
+                         u_post.data(), u_out + t * m, s_out + t * m);
   }
   last_density_ = cached_spikes_.density();
   return cached_spikes_;
@@ -72,21 +65,13 @@ Tensor lif_forward_eval(const LIFNeuron::Options& opts, const Tensor& x) {
   TTSNN_CHECK(x.dim() >= 2, "LIF expects [T, N, ...], got " << shape_str(x.shape()));
   const int64_t t_steps = x.size(0);
   const int64_t m = x.numel() / t_steps;
-  Tensor spikes(x.shape());
+  Tensor spikes = Tensor::empty(x.shape());
   const float* in = x.data();
   float* s_out = spikes.data();
   std::vector<float> u_post(static_cast<size_t>(m), 0.0F);
   for (int64_t t = 0; t < t_steps; ++t) {
-    const float* it = in + t * m;
-    float* st = s_out + t * m;
-    for (int64_t i = 0; i < m; ++i) {
-      const float u = opts.tau * u_post[static_cast<size_t>(i)] + it[i];
-      const float s = u >= opts.v_th ? 1.0F : 0.0F;
-      st[i] = s;
-      u_post[static_cast<size_t>(i)] = opts.reset == ResetMode::kZero
-                                           ? u * (1.0F - s)
-                                           : u - opts.v_th * s;
-    }
+    simd::lif_step_eval(m, opts.tau, opts.v_th, opts.reset == ResetMode::kZero,
+                        in + t * m, u_post.data(), s_out + t * m);
   }
   return spikes;
 }
@@ -97,11 +82,20 @@ Tensor LIFNeuron::backward(const Tensor& grad_out) {
   const int64_t t_steps = cached_u_.size(0);
   const int64_t m = cached_u_.numel() / t_steps;
 
-  Tensor grad_in(cached_u_.shape());
+  Tensor grad_in = Tensor::empty(cached_u_.shape());
   const float* gs = grad_out.data();
   const float* u_all = cached_u_.data();
   const float* s_all = cached_spikes_.data();
   float* gi = grad_in.data();
+
+  // The exp-free surrogate families run on the vectorized kernel; sigmoid
+  // needs exp() and keeps the scalar loop below.
+  const bool vectorizable = opts_.surrogate != Surrogate::kSigmoid;
+  const simd::LifSurrogate kind =
+      opts_.surrogate == Surrogate::kRectangle ? simd::LifSurrogate::kRectangle
+      : opts_.surrogate == Surrogate::kTriangle
+          ? simd::LifSurrogate::kTriangle
+          : simd::LifSurrogate::kAtan;
 
   std::vector<float> gu_post(static_cast<size_t>(m), 0.0F);
   for (int64_t t = t_steps - 1; t >= 0; --t) {
@@ -109,6 +103,13 @@ Tensor LIFNeuron::backward(const Tensor& grad_out) {
     const float* ut = u_all + t * m;
     const float* st = s_all + t * m;
     float* git = gi + t * m;
+    if (vectorizable) {
+      simd::lif_backward_step(m, kind, opts_.surrogate_alpha, opts_.tau,
+                              opts_.v_th, opts_.reset == ResetMode::kZero,
+                              opts_.detach_reset, gst, ut, st, gu_post.data(),
+                              git);
+      continue;
+    }
     for (int64_t i = 0; i < m; ++i) {
       const float surr =
           surrogate_grad(opts_.surrogate, opts_.surrogate_alpha, opts_.v_th, ut[i]);

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "tensor/ops.h"
+#include "tensor/simd.h"
+
 namespace ttsnn {
 
 Adam::Adam(std::vector<Parameter*> params, Options opts)
@@ -15,8 +18,8 @@ Adam::Adam(std::vector<Parameter*> params, Options opts)
   v_.reserve(params_.size());
   for (Parameter* p : params_) {
     TTSNN_CHECK(p != nullptr, "Adam: null parameter");
-    m_.push_back(Tensor::zeros(p->value.shape()));
-    v_.push_back(Tensor::zeros(p->value.shape()));
+    m_.push_back(zeros_like(p->value));
+    v_.push_back(zeros_like(p->value));
   }
 }
 
@@ -26,19 +29,11 @@ void Adam::step() {
   const float bc2 = 1.0F - std::pow(opts_.beta2, static_cast<float>(t_));
   for (size_t i = 0; i < params_.size(); ++i) {
     Parameter& p = *params_[i];
-    float* w = p.value.data();
-    const float* g = p.grad.data();
-    float* m = m_[i].data();
-    float* v = v_[i].data();
     const float decay = p.decay ? opts_.weight_decay : 0.0F;
-    const int64_t n = p.value.numel();
-    for (int64_t j = 0; j < n; ++j) {
-      m[j] = opts_.beta1 * m[j] + (1.0F - opts_.beta1) * g[j];
-      v[j] = opts_.beta2 * v[j] + (1.0F - opts_.beta2) * g[j] * g[j];
-      const float m_hat = m[j] / bc1;
-      const float v_hat = v[j] / bc2;
-      w[j] -= opts_.lr * (m_hat / (std::sqrt(v_hat) + opts_.eps) + decay * w[j]);
-    }
+    // Fused, vectorized in-place update — no temporaries per parameter.
+    simd::adam_step(p.value.numel(), opts_.lr, opts_.beta1, opts_.beta2, bc1,
+                    bc2, opts_.eps, decay, p.grad.data(), m_[i].data(),
+                    v_[i].data(), p.value.data());
   }
 }
 

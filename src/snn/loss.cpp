@@ -1,6 +1,7 @@
 #include "snn/loss.h"
 
 #include <cmath>
+#include <vector>
 
 #include "tensor/ops.h"
 
@@ -23,10 +24,12 @@ void check_logits(const Tensor& logits, const std::vector<int64_t>& labels) {
 Tensor sum_over_time(const Tensor& logits) {
   const int64_t t_steps = logits.size(0);
   const int64_t nc = logits.size(1) * logits.size(2);
-  Tensor out({logits.size(1), logits.size(2)});
+  if (t_steps == 0) return Tensor({logits.size(1), logits.size(2)});
+  Tensor out = Tensor::empty({logits.size(1), logits.size(2)});
   float* dst = out.data();
   const float* src = logits.data();
-  for (int64_t t = 0; t < t_steps; ++t) {
+  std::copy(src, src + nc, dst);
+  for (int64_t t = 1; t < t_steps; ++t) {
     for (int64_t i = 0; i < nc; ++i) dst[i] += src[t * nc + i];
   }
   return out;
@@ -42,19 +45,21 @@ LossResult cross_entropy_sum_loss(const Tensor& logits,
   const int64_t c = logits.size(2);
 
   Tensor summed = sum_over_time(logits);
-  Tensor logp = log_softmax(summed);
+  // One buffer serves both passes: log-softmax for the loss value, then
+  // exponentiated in place into the softmax the gradient needs.
+  Tensor p = log_softmax(summed);
 
   LossResult out;
   for (int64_t i = 0; i < n; ++i) {
-    out.value -= logp.at({i, labels[static_cast<size_t>(i)]});
+    out.value -= p.at({i, labels[static_cast<size_t>(i)]});
   }
   out.value /= static_cast<double>(n);
 
   // d loss / d summed = (softmax - onehot) / n; identical for every timestep
   // because d summed / d logits[t] = identity.
-  Tensor p = softmax(summed);
+  p.exp_();
   const float inv_n = 1.0F / static_cast<float>(n);
-  out.grad = Tensor({t_steps, n, c});
+  out.grad = Tensor::empty({t_steps, n, c});
   float* g = out.grad.data();
   const float* pp = p.data();
   for (int64_t i = 0; i < n; ++i) {
@@ -77,25 +82,30 @@ LossResult tet_loss(const Tensor& logits, const std::vector<int64_t>& labels,
   TTSNN_CHECK(lambda >= 0.0F && lambda <= 1.0F, "tet lambda must be in [0, 1]");
 
   LossResult out;
-  out.grad = Tensor({t_steps, n, c});
+  out.grad = Tensor::empty({t_steps, n, c});
   float* g = out.grad.data();
+  const float* step_base = logits.data();
   const float ce_w = (1.0F - lambda) / static_cast<float>(t_steps * n);
   const float mse_w = lambda / static_cast<float>(t_steps * n * c);
 
+  // Scratch reused across the T per-step passes instead of three fresh
+  // tensors (slice clone, log-softmax, softmax) per timestep.
+  std::vector<float> logp(static_cast<size_t>(n * c));
   for (int64_t t = 0; t < t_steps; ++t) {
-    Tensor step = logits.slice0(t, t + 1).reshape({n, c});
-    Tensor logp = log_softmax(step);
-    Tensor p = softmax(step);
+    const float* step = step_base + t * n * c;
+    log_softmax_rows(step, n, c, logp.data());
     for (int64_t i = 0; i < n; ++i) {
       const int64_t label = labels[static_cast<size_t>(i)];
-      out.value -= (1.0F - lambda) * logp.at({i, label}) /
+      const float* srow = step + i * c;
+      const float* lrow = logp.data() + i * c;
+      float* grow = g + (t * n + i) * c;
+      out.value -= (1.0F - lambda) * lrow[label] /
                    static_cast<double>(t_steps * n);
       for (int64_t j = 0; j < c; ++j) {
         const float onehot = label == j ? 1.0F : 0.0F;
-        const float diff = step.at({i, j}) - phi * onehot;
+        const float diff = srow[j] - phi * onehot;
         out.value += static_cast<double>(mse_w) * diff * diff;
-        g[(t * n + i) * c + j] =
-            ce_w * (p.at({i, j}) - onehot) + 2.0F * mse_w * diff;
+        grow[j] = ce_w * (std::exp(lrow[j]) - onehot) + 2.0F * mse_w * diff;
       }
     }
   }

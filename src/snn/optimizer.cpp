@@ -3,6 +3,9 @@
 #include <cmath>
 #include <numbers>
 
+#include "tensor/ops.h"
+#include "tensor/simd.h"
+
 namespace ttsnn {
 
 SGD::SGD(std::vector<Parameter*> params, Options opts)
@@ -12,23 +15,17 @@ SGD::SGD(std::vector<Parameter*> params, Options opts)
   velocity_.reserve(params_.size());
   for (Parameter* p : params_) {
     TTSNN_CHECK(p != nullptr, "SGD: null parameter");
-    velocity_.push_back(Tensor::zeros(p->value.shape()));
+    velocity_.push_back(zeros_like(p->value));
   }
 }
 
 void SGD::step() {
   for (size_t i = 0; i < params_.size(); ++i) {
     Parameter& p = *params_[i];
-    Tensor& v = velocity_[i];
-    float* vd = v.data();
-    float* wd = p.value.data();
-    const float* gd = p.grad.data();
     const float decay = p.decay ? opts_.weight_decay : 0.0F;
-    const int64_t n = p.value.numel();
-    for (int64_t j = 0; j < n; ++j) {
-      vd[j] = opts_.momentum * vd[j] + gd[j] + decay * wd[j];
-      wd[j] -= opts_.lr * vd[j];
-    }
+    // Fused, vectorized in-place update — no temporaries per parameter.
+    simd::sgd_step(p.value.numel(), opts_.lr, opts_.momentum, decay,
+                   p.grad.data(), velocity_[i].data(), p.value.data());
   }
 }
 

@@ -4,6 +4,8 @@
 #include <iostream>
 #include <numeric>
 
+#include "tensor/arena.h"
+
 namespace ttsnn {
 
 Trainer::Trainer(Module& model, const Dataset& train, const Dataset& test,
@@ -37,6 +39,9 @@ LossResult Trainer::compute_loss(const Tensor& logits,
 }
 
 EpochStats Trainer::run_epoch(int64_t epoch) {
+  // Every batch allocates the same activation/gradient/im2col shapes; the
+  // arena recycles them across batches instead of round-tripping the heap.
+  ArenaScope arena;
   if (cfg_.cosine_lr) optimizer_.set_lr(schedule_.at(epoch));
   model_.set_training(true);
 
@@ -81,6 +86,7 @@ EpochStats Trainer::run_epoch(int64_t epoch) {
 }
 
 double Trainer::evaluate() {
+  ArenaScope arena;
   model_.set_training(false);
   int64_t correct = 0, seen = 0;
   for (int64_t cursor = 0; cursor < test_.size(); cursor += cfg_.batch_size) {
@@ -113,6 +119,7 @@ FitResult Trainer::fit() {
 
 double Trainer::time_batch(int64_t reps) {
   TTSNN_CHECK(reps >= 1, "time_batch: reps must be >= 1");
+  ArenaScope arena;
   model_.set_training(true);
   std::vector<int64_t> idx(static_cast<size_t>(
       std::min<int64_t>(cfg_.batch_size, train_.size())));

@@ -1,0 +1,145 @@
+#include "tensor/arena.h"
+
+#include <atomic>
+#include <bit>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "util/common.h"
+
+namespace ttsnn {
+
+struct Arena::Impl {
+  mutable std::mutex mu;
+  std::unordered_map<int64_t, std::vector<float*>> buckets;  // keyed by cap
+  int64_t cached_bytes = 0;
+  int64_t cached_blocks = 0;
+  int64_t byte_limit = 256LL << 20;  // 256 MiB
+  /// Read lock-free on the allocation fast path: while no scope is active,
+  /// acquire/release must not serialize concurrent Engine::run threads on
+  /// the mutex just to reach new[]/delete[].
+  std::atomic<int> scope_depth{0};
+  // Counters are atomics so the pass-through path can count without locking.
+  std::atomic<int64_t> hits{0}, misses{0}, recycled{0}, freed{0};
+};
+
+Arena::Arena() : impl_(new Impl) {}
+
+Arena::~Arena() {
+  trim();
+  delete impl_;
+}
+
+Arena& Arena::instance() {
+  static Arena arena;
+  return arena;
+}
+
+int64_t Arena::size_class(int64_t n) {
+  if (n <= kMinClass) return kMinClass;
+  return static_cast<int64_t>(std::bit_ceil(static_cast<uint64_t>(n)));
+}
+
+float* Arena::acquire(int64_t cap) {
+  TTSNN_CHECK(cap == size_class(cap), "Arena::acquire of a non-class size "
+                                          << cap);
+  if (impl_->scope_depth.load(std::memory_order_relaxed) > 0) {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    auto it = impl_->buckets.find(cap);
+    if (it != impl_->buckets.end() && !it->second.empty()) {
+      float* p = it->second.back();
+      it->second.pop_back();
+      impl_->cached_bytes -= cap * static_cast<int64_t>(sizeof(float));
+      --impl_->cached_blocks;
+      impl_->hits.fetch_add(1, std::memory_order_relaxed);
+      return p;
+    }
+  }
+  impl_->misses.fetch_add(1, std::memory_order_relaxed);
+  return new float[static_cast<size_t>(cap)];
+}
+
+void Arena::release(float* p, int64_t cap) noexcept {
+  if (p == nullptr) return;
+  // Lock-free pass-through while no scope is active. A release racing a
+  // scope transition at worst caches a block that the next trim (scope exit
+  // or destructor) frees — never a leak or double-free.
+  if (impl_->scope_depth.load(std::memory_order_relaxed) > 0) {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    const int64_t bytes = cap * static_cast<int64_t>(sizeof(float));
+    if (impl_->cached_bytes + bytes <= impl_->byte_limit) {
+      impl_->buckets[cap].push_back(p);
+      impl_->cached_bytes += bytes;
+      ++impl_->cached_blocks;
+      impl_->recycled.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  impl_->freed.fetch_add(1, std::memory_order_relaxed);
+  delete[] p;
+}
+
+bool Arena::active() const {
+  return impl_->scope_depth.load(std::memory_order_relaxed) > 0;
+}
+
+ArenaStats Arena::stats() const {
+  ArenaStats out;
+  out.hits = impl_->hits.load(std::memory_order_relaxed);
+  out.misses = impl_->misses.load(std::memory_order_relaxed);
+  out.recycled = impl_->recycled.load(std::memory_order_relaxed);
+  out.freed = impl_->freed.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  out.cached_blocks = impl_->cached_blocks;
+  out.cached_bytes = impl_->cached_bytes;
+  return out;
+}
+
+void Arena::reset_stats() {
+  impl_->hits.store(0, std::memory_order_relaxed);
+  impl_->misses.store(0, std::memory_order_relaxed);
+  impl_->recycled.store(0, std::memory_order_relaxed);
+  impl_->freed.store(0, std::memory_order_relaxed);
+}
+
+void Arena::trim() {
+  std::unordered_map<int64_t, std::vector<float*>> buckets;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    buckets.swap(impl_->buckets);
+    impl_->cached_bytes = 0;
+    impl_->cached_blocks = 0;
+  }
+  for (auto& [cap, blocks] : buckets) {
+    (void)cap;
+    for (float* p : blocks) delete[] p;
+  }
+}
+
+void Arena::set_byte_limit(int64_t bytes) {
+  TTSNN_CHECK(bytes >= 0, "Arena byte limit must be non-negative");
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->byte_limit = bytes;
+}
+
+int64_t Arena::byte_limit() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->byte_limit;
+}
+
+void Arena::enter_scope() {
+  impl_->scope_depth.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Arena::exit_scope() {
+  const int prev = impl_->scope_depth.fetch_sub(1, std::memory_order_relaxed);
+  TTSNN_CHECK(prev > 0, "ArenaScope underflow");
+  if (prev == 1) trim();  // nothing holds the cache between training loops
+}
+
+ArenaScope::ArenaScope() { Arena::instance().enter_scope(); }
+
+ArenaScope::~ArenaScope() { Arena::instance().exit_scope(); }
+
+}  // namespace ttsnn

@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file arena.h
+/// Recycling allocator for tensor storage — the training-side counterpart of
+/// the inference engine's per-call workspace.
+///
+/// A BPTT training step allocates and frees the same activation, gradient,
+/// and im2col shapes every batch; with plain heap allocation each of those is
+/// a fresh malloc plus a page-faulted zero-fill. The Arena keeps freed blocks
+/// on power-of-two size-class free lists and hands them back on the next
+/// request, so a steady-state training step touches the allocator not at all.
+///
+/// Mechanics: Tensor storage always allocates and releases through
+/// Arena::instance(). While no ArenaScope is alive the arena is pass-through
+/// (plain new[]/delete[]). Inside a scope — Trainer wraps every epoch, eval
+/// and timing pass in one — released blocks are cached up to byte_limit() and
+/// reused. Blocks are raw capacity: zero-filling (when the caller asked for
+/// zeros) happens in Storage, so recycling never changes Tensor semantics.
+/// All entry points are thread-safe; blocks may be acquired and released from
+/// pool workers while a scope is active on the main thread.
+
+#include <cstdint>
+
+namespace ttsnn {
+
+struct ArenaStats {
+  int64_t hits = 0;       ///< acquires served from the cache
+  int64_t misses = 0;     ///< acquires that fell through to new[]
+  int64_t recycled = 0;   ///< releases that went back to the cache
+  int64_t freed = 0;      ///< releases that fell through to delete[]
+  int64_t cached_blocks = 0;
+  int64_t cached_bytes = 0;
+};
+
+class Arena {
+ public:
+  /// Process-wide arena. First use happens inside the first tensor-storage
+  /// allocation, so it outlives every tensor (static destruction order).
+  static Arena& instance();
+
+  /// Size class (in floats) a request of n floats is rounded up to: the next
+  /// power of two, at least kMinClass. Capacity, not numel, keys the cache.
+  static int64_t size_class(int64_t n);
+
+  /// Returns a block of exactly `cap` floats (a size_class value); contents
+  /// are unspecified.
+  float* acquire(int64_t cap);
+  /// Returns a block to the arena. Cached while a scope is active and the
+  /// cache is under byte_limit(); freed otherwise. noexcept — runs in
+  /// Storage's destructor.
+  void release(float* p, int64_t cap) noexcept;
+
+  bool active() const;
+  ArenaStats stats() const;
+  void reset_stats();
+  /// Frees every cached block (stats keep counting).
+  void trim();
+  /// Cache cap in bytes; releases beyond it fall through to delete[].
+  void set_byte_limit(int64_t bytes);
+  int64_t byte_limit() const;
+
+  static constexpr int64_t kMinClass = 1024;  ///< floats: 4 KiB blocks
+
+ private:
+  friend class ArenaScope;
+  Arena();
+  ~Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void enter_scope();
+  void exit_scope();
+
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Enables storage recycling for the enclosing scope. Nestable and
+/// refcounted; the cache is trimmed when the last scope exits, so memory
+/// held between training steps never outlives the training loop.
+class ArenaScope {
+ public:
+  ArenaScope();
+  ~ArenaScope();
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+};
+
+}  // namespace ttsnn

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "tensor/simd.h"
+#include "tensor/spike_plane.h"
 #include "util/common.h"
 #include "util/thread_pool.h"
 
@@ -27,49 +29,62 @@ int64_t panel_width(int64_t k) {
   return std::max<int64_t>(64, nc & ~int64_t{15});
 }
 
-/// The blocked kernels only pay off once B no longer fits in cache; below
-/// this size the naive loops win on overhead.
+/// The scalar blocked kernel only pays off once B no longer fits in cache;
+/// below this size the naive loops win on its panel overhead.
 constexpr int64_t kBlockedThreshold = 1 << 17;
 
-/// Fraction of zeros in a strided sample of A. The blocked kernel's 4-row
-/// grouping dilutes the zero-row skip (it can only skip when all four rows
-/// are zero at once), so for spike-sparse A the naive kernel wins; an O(1)
-/// sample decides which regime we are in for O(m*n*k) work.
-bool sample_is_sparse(const float* a, int64_t len) {
-  constexpr int64_t kSamples = 1024;
+/// The AVX2 kernel has essentially no setup cost, so it engages far earlier —
+/// the training loop is dominated by thousands of small per-item conv GEMMs
+/// (m*n*k around 10^4-10^5) that the blocked threshold never reaches.
+constexpr int64_t kVectorThreshold = 1 << 10;
+
+/// Minimum problem size for attempting a SpikePlane build on B (the build
+/// scans k*n floats; at m >= 4 that is at most 1/8 of the nominal work).
+constexpr int64_t kSparseThreshold = 1 << 14;
+
+/// Fraction of zeros in a strided sample of the matrix, against a threshold
+/// in percent. The O(1) sample decides a kernel regime for O(m*n*k) work:
+///  - A side, > 25% zeros: the blocked kernels' 4-row grouping dilutes the
+///    zero-row skip, so spike-sparse A stays on the naive kernel;
+///  - B side, > 70% zeros: worth attempting a SpikePlane build for the
+///    gathered-accumulation path.
+bool sample_zeros_exceed(const float* p, int64_t len, int64_t percent) {
+  constexpr int64_t kSamples = 256;
   // Odd stride: a power-of-two stride over a power-of-two row length would
   // sample the same few columns of every row, misreading structured matrices.
   const int64_t stride = std::max<int64_t>(1, len / kSamples) | 1;
   int64_t seen = 0, zeros = 0;
   for (int64_t i = 0; i < len; i += stride, ++seen) {
-    if (a[i] == 0.0F) ++zeros;
+    if (p[i] == 0.0F) ++zeros;
   }
-  return zeros * 4 > seen;  // > 25% zeros: skip-friendly
+  return zeros * 100 > seen * percent;
 }
 
-bool use_blocked(int64_t m, int64_t n, int64_t k, const float* a) {
-  switch (g_gemm_kernel.load()) {
-    case GemmKernel::kNaive:
-      return false;
-    case GemmKernel::kBlocked:
-      return true;
-    case GemmKernel::kAuto:
-      break;
-  }
-  // Register/cache blocking pays off for dense A once the problem is big
-  // enough; sparse spike matrices stay on the naive kernel for its per-row
-  // zero skip.
-  return m * n * k >= kBlockedThreshold && m >= 8 &&
-         !sample_is_sparse(a, m * k);
-}
+/// Above this spike density the gathered-accumulation path loses to the
+/// vectorized dense kernels (one scalar add + index load per non-zero vs an
+/// 8-wide multiply-add per 8 elements) and the build is abandoned.
+constexpr double kSparseMaxDensity = 0.25;
 
 /// Computes rows [m0, m1) of C for the non-transposed case A[m,k] * B[k,n].
 /// Inner loops are ordered i-k-j so the B row is streamed contiguously.
+/// A single O(k) scan per row hoists the zero check out of the O(k*n) inner
+/// loop: fully dense rows (conv weights, gradients) run branch-free, and
+/// only rows that actually contain zeros (spike rows) pay the per-element
+/// test. Contributions stay in ascending-k order either way, so the result
+/// is bit-identical to the pre-hoist kernel.
 void gemm_nn_rows(int64_t m0, int64_t m1, int64_t n, int64_t k, float alpha,
                   const float* a, const float* b, float* c) {
   for (int64_t i = m0; i < m1; ++i) {
     const float* arow = a + i * k;
     float* crow = c + i * n;
+    if (std::find(arow, arow + k, 0.0F) == arow + k) {  // dense row
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = alpha * arow[p];
+        const float* brow = b + p * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+      continue;
+    }
     for (int64_t p = 0; p < k; ++p) {
       const float av = alpha * arow[p];
       if (av == 0.0F) continue;  // spike matrices are sparse; skip zero rows
@@ -159,12 +174,22 @@ void gemm_nt_rows(int64_t m0, int64_t m1, int64_t n, int64_t k, float alpha,
   }
 }
 
-/// Rows [m0, m1) of C for A^T * B where A is [k, m], B is [k, n].
+/// Rows [m0, m1) of C for A^T * B where A is [k, m], B is [k, n]. The zero
+/// check is hoisted per A row (one O(m) scan instead of m per-element tests)
+/// exactly like gemm_nn_rows.
 void gemm_tn_rows(int64_t m0, int64_t m1, int64_t n, int64_t k, int64_t lda,
                   float alpha, const float* a, const float* b, float* c) {
   for (int64_t p = 0; p < k; ++p) {
     const float* arow = a + p * lda;
     const float* brow = b + p * n;
+    if (std::find(arow + m0, arow + m1, 0.0F) == arow + m1) {  // dense row
+      for (int64_t i = m0; i < m1; ++i) {
+        const float av = alpha * arow[i];
+        float* crow = c + i * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+      continue;
+    }
     for (int64_t i = m0; i < m1; ++i) {
       const float av = alpha * arow[i];
       if (av == 0.0F) continue;
@@ -215,8 +240,12 @@ void scale_c(float beta, int64_t mn, float* c) {
     std::fill(c, c + mn, 0.0F);
     return;
   }
-  for (int64_t i = 0; i < mn; ++i) c[i] *= beta;
+  simd::scale(mn, beta, c);
 }
+
+/// Which dense kernel a strip runs. kVector is the AVX2 kernel from
+/// simd_avx2.cpp; kBlocked its scalar twin; kNaive the plain loops.
+enum class DenseTier { kNaive, kBlocked, kVector };
 
 }  // namespace
 
@@ -256,21 +285,102 @@ void gemm(bool trans_a, bool trans_b, int64_t m, int64_t n, int64_t k,
   // A^T with B^T is not needed anywhere in the library.
   TTSNN_CHECK(!(trans_a && trans_b), "gemm: TT case unsupported");
 
-  // NT has no blocked kernel, so skip the selection (and its A sample) there.
-  const bool blocked = !trans_b && use_blocked(m, n, k, a);
+  const GemmKernel pinned = g_gemm_kernel.load();
+
+  // --- spike-plane path: binary sparse B, NN and NT --------------------------
+  // The B operand of the conv GEMMs is the (im2col'd) spike activation; when
+  // it samples sparse, one O(k*n) CSR build turns the O(m*n*k) product into
+  // gathered accumulation over the non-zeros. The build itself verifies the
+  // matrix is binary and bails above kSparseMaxDensity, so a false positive
+  // from the sample costs one scan, never a wrong kernel.
+  SpikePlane plane;
+  bool sparse = false;
+  if (!trans_a) {
+    const int64_t b_rows = trans_b ? n : k;
+    const int64_t b_cols = trans_b ? k : n;
+    if (pinned == GemmKernel::kSparse) {
+      sparse = plane.build(b, b_rows, b_cols);  // forced: any binary density
+    } else if (pinned == GemmKernel::kAuto && m >= 4 &&
+               m * n * k >= kSparseThreshold &&
+               sample_zeros_exceed(b, b_rows * b_cols, 70)) {
+      sparse = plane.build(b, b_rows, b_cols, kSparseMaxDensity);
+    }
+  }
+
+  // --- dense tier selection. NN/TN have vector and scalar-blocked kernels;
+  // NT has a vector kernel only (four parallel double-lane dot columns) and
+  // otherwise stays on the naive double-accumulating loop.
+  DenseTier tier = DenseTier::kNaive;
+  if (!sparse) {
+    const bool avx2 = simd::active_level() == simd::Level::kAvx2;
+    switch (pinned) {
+      case GemmKernel::kNaive:
+      case GemmKernel::kSparse:  // sparse build failed: B was not binary
+        break;
+      case GemmKernel::kBlocked:
+        if (!trans_b) tier = DenseTier::kBlocked;
+        break;
+      case GemmKernel::kSimd:
+        if (avx2) {
+          tier = DenseTier::kVector;
+        } else if (!trans_b) {
+          tier = DenseTier::kBlocked;
+        }
+        break;
+      case GemmKernel::kAuto:
+        // Dense A above the tier threshold runs vectorized (or scalar
+        // blocked without AVX2); sparse spike matrices stay on the naive
+        // kernel, whose per-row zero skip the 4-row grouping would dilute
+        // (NT has no zero skip, so the A sample is skipped there).
+        if (avx2 && m * n * k >= kVectorThreshold &&
+            (trans_b || !sample_zeros_exceed(a, m * k, 25))) {
+          tier = DenseTier::kVector;
+        } else if (!avx2 && !trans_b && m * n * k >= kBlockedThreshold &&
+                   m >= 8 && !sample_zeros_exceed(a, m * k, 25)) {
+          tier = DenseTier::kBlocked;
+        }
+        break;
+    }
+  }
+
+  const int64_t panel = panel_width(k);
   auto run_rows = [&](int64_t m0, int64_t m1) {
-    if (trans_a) {
-      if (blocked) {
-        gemm_tn_rows_blocked(m0, m1, n, k, m, alpha, a, b, c);
+    if (sparse) {
+      if (trans_b) {
+        spmm_nt_rows(m0, m1, n, k, alpha, a, plane, c);
       } else {
-        gemm_tn_rows(m0, m1, n, k, m, alpha, a, b, c);
+        spmm_nn_rows(m0, m1, n, k, alpha, a, plane, c);
+      }
+    } else if (trans_a) {
+      switch (tier) {
+        case DenseTier::kVector:
+          simd::gemm_tn_rows_avx2(m0, m1, n, k, m, panel, alpha, a, b, c);
+          break;
+        case DenseTier::kBlocked:
+          gemm_tn_rows_blocked(m0, m1, n, k, m, alpha, a, b, c);
+          break;
+        case DenseTier::kNaive:
+          gemm_tn_rows(m0, m1, n, k, m, alpha, a, b, c);
+          break;
       }
     } else if (trans_b) {
-      gemm_nt_rows(m0, m1, n, k, alpha, a, b, c);
-    } else if (blocked) {
-      gemm_nn_rows_blocked(m0, m1, n, k, alpha, a, b, c);
+      if (tier == DenseTier::kVector) {
+        simd::gemm_nt_rows_avx2(m0, m1, n, k, alpha, a, b, c);
+      } else {
+        gemm_nt_rows(m0, m1, n, k, alpha, a, b, c);
+      }
     } else {
-      gemm_nn_rows(m0, m1, n, k, alpha, a, b, c);
+      switch (tier) {
+        case DenseTier::kVector:
+          simd::gemm_nn_rows_avx2(m0, m1, n, k, panel, alpha, a, b, c);
+          break;
+        case DenseTier::kBlocked:
+          gemm_nn_rows_blocked(m0, m1, n, k, alpha, a, b, c);
+          break;
+        case DenseTier::kNaive:
+          gemm_nn_rows(m0, m1, n, k, alpha, a, b, c);
+          break;
+      }
     }
   };
 

@@ -38,10 +38,20 @@ class GemmThreadsGuard {
   int prev_;
 };
 
-/// Inner-kernel selection for the NN/TN paths. kAuto picks kBlocked above a
-/// size threshold; the explicit values exist for benchmarking the two kernels
-/// against each other and for pinning one in tests.
-enum class GemmKernel { kAuto, kNaive, kBlocked };
+/// Inner-kernel selection. kAuto dispatches per call:
+///   - spike-sparse binary B (NN / NT) -> the SpikePlane spmm path, which
+///     replaces inner products with gathered accumulation;
+///   - large dense problems -> the AVX2 kernel when the CPU has it (kSimd),
+///     else the scalar cache-blocked kernel (kBlocked);
+///   - everything else -> the naive loops (kNaive).
+/// The explicit values pin one tier for tests and benchmarks. kSimd degrades
+/// to kBlocked on CPUs without AVX2 (or under simd::LevelGuard(kScalar));
+/// kSparse degrades to kNaive when B is not a binary matrix. Every tier
+/// returns bit-identical results on finite inputs — the AVX2 kernels use
+/// unfused multiply+add in scalar order, and the spmm path's skipped zeros
+/// would have contributed exact ±0.0 terms — so selection is a pure
+/// performance decision.
+enum class GemmKernel { kAuto, kNaive, kBlocked, kSimd, kSparse };
 
 void set_gemm_kernel(GemmKernel kernel);
 GemmKernel gemm_kernel();

@@ -33,6 +33,12 @@ struct ConvGeometry {
   int64_t col_rows() const { return in_channels * kernel_h * kernel_w; }
   /// Columns of the lowered column matrix: out_h * out_w.
   int64_t col_cols() const { return out_h() * out_w(); }
+  /// 1x1 / stride 1 / no padding: the lowering is an identity copy, so conv
+  /// code can feed the input plane to gemm directly.
+  bool pointwise() const {
+    return kernel_h == 1 && kernel_w == 1 && stride_h == 1 && stride_w == 1 &&
+           pad_h == 0 && pad_w == 0;
+  }
 };
 
 /// Lowers one CHW image (pointer to c*h*w floats) into the column matrix

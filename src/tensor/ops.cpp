@@ -4,8 +4,13 @@
 #include <cmath>
 
 #include "tensor/gemm.h"
+#include "tensor/simd.h"
 
 namespace ttsnn {
+
+Tensor zeros_like(const Tensor& t) { return Tensor::zeros(t.shape()); }
+
+Tensor empty_like(const Tensor& t) { return Tensor::empty(t.shape()); }
 
 namespace {
 
@@ -32,20 +37,18 @@ Tensor mul(const Tensor& a, const Tensor& b) {
 
 Tensor scale(const Tensor& a, float s) {
   Tensor out = a.clone();
-  out.mul_scalar_(s);
+  out.scale_(s);
   return out;
 }
 
 Tensor relu(const Tensor& a) {
   Tensor out = a.clone();
-  float* p = out.data();
-  const int64_t n = out.numel();
-  for (int64_t i = 0; i < n; ++i) p[i] = std::max(p[i], 0.0F);
+  simd::relu(out.numel(), out.data());
   return out;
 }
 
 Tensor relu_mask(const Tensor& a) {
-  Tensor out(a.shape());
+  Tensor out = empty_like(a);
   const float* s = a.data();
   float* p = out.data();
   const int64_t n = out.numel();
@@ -55,9 +58,7 @@ Tensor relu_mask(const Tensor& a) {
 
 Tensor exp(const Tensor& a) {
   Tensor out = a.clone();
-  float* p = out.data();
-  const int64_t n = out.numel();
-  for (int64_t i = 0; i < n; ++i) p[i] = std::exp(p[i]);
+  out.exp_();
   return out;
 }
 
@@ -75,7 +76,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   TTSNN_CHECK(b.size(0) == k, "matmul inner dim mismatch "
                                   << shape_str(a.shape()) << " x "
                                   << shape_str(b.shape()));
-  Tensor out({m, n});
+  Tensor out = Tensor::empty({m, n});
   gemm(false, false, m, n, k, 1.0F, a.data(), b.data(), 0.0F, out.data());
   return out;
 }
@@ -84,7 +85,7 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   TTSNN_CHECK(a.dim() == 2 && b.dim() == 2, "matmul_tn expects 2-D operands");
   const int64_t k = a.size(0), m = a.size(1), n = b.size(1);
   TTSNN_CHECK(b.size(0) == k, "matmul_tn inner dim mismatch");
-  Tensor out({m, n});
+  Tensor out = Tensor::empty({m, n});
   gemm(true, false, m, n, k, 1.0F, a.data(), b.data(), 0.0F, out.data());
   return out;
 }
@@ -93,7 +94,7 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   TTSNN_CHECK(a.dim() == 2 && b.dim() == 2, "matmul_nt expects 2-D operands");
   const int64_t m = a.size(0), k = a.size(1), n = b.size(0);
   TTSNN_CHECK(b.size(1) == k, "matmul_nt inner dim mismatch");
-  Tensor out({m, n});
+  Tensor out = Tensor::empty({m, n});
   gemm(false, true, m, n, k, 1.0F, a.data(), b.data(), 0.0F, out.data());
   return out;
 }
@@ -101,9 +102,12 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
 Tensor log_softmax(const Tensor& logits) {
   TTSNN_CHECK(logits.dim() == 2, "log_softmax expects [n, c]");
   const int64_t n = logits.size(0), c = logits.size(1);
-  Tensor out(logits.shape());
-  const float* src = logits.data();
-  float* dst = out.data();
+  Tensor out = empty_like(logits);
+  log_softmax_rows(logits.data(), n, c, out.data());
+  return out;
+}
+
+void log_softmax_rows(const float* src, int64_t n, int64_t c, float* dst) {
   for (int64_t i = 0; i < n; ++i) {
     const float* row = src + i * c;
     float* orow = dst + i * c;
@@ -113,15 +117,10 @@ Tensor log_softmax(const Tensor& logits) {
     const float logz = static_cast<float>(std::log(z)) + mx;
     for (int64_t j = 0; j < c; ++j) orow[j] = row[j] - logz;
   }
-  return out;
 }
 
 Tensor softmax(const Tensor& logits) {
-  Tensor out = log_softmax(logits);
-  float* p = out.data();
-  const int64_t n = out.numel();
-  for (int64_t i = 0; i < n; ++i) p[i] = std::exp(p[i]);
-  return out;
+  return log_softmax(logits).exp_();
 }
 
 std::vector<int64_t> argmax_rows(const Tensor& logits) {
@@ -174,7 +173,7 @@ Tensor global_avg_pool(const Tensor& x) {
   TTSNN_CHECK(x.dim() == 4, "global_avg_pool expects NCHW");
   const int64_t n = x.size(0), c = x.size(1), hw = x.size(2) * x.size(3);
   TTSNN_CHECK(hw > 0, "empty spatial dims");
-  Tensor out({n, c});
+  Tensor out = Tensor::empty({n, c});
   const float* src = x.data();
   float* dst = out.data();
   for (int64_t i = 0; i < n * c; ++i) {
@@ -189,7 +188,7 @@ Tensor global_avg_pool(const Tensor& x) {
 Tensor global_avg_pool_backward(const Tensor& grad, int64_t h, int64_t w) {
   TTSNN_CHECK(grad.dim() == 2, "gap backward expects [n, c]");
   const int64_t n = grad.size(0), c = grad.size(1), hw = h * w;
-  Tensor out({n, c, h, w});
+  Tensor out = Tensor::empty({n, c, h, w});
   const float* src = grad.data();
   float* dst = out.data();
   const float inv = 1.0F / static_cast<float>(hw);
@@ -213,7 +212,7 @@ Tensor cat0(const std::vector<Tensor>& parts) {
     rows += t.size(0);
   }
   out_shape[0] = rows;
-  Tensor out(out_shape);
+  Tensor out = Tensor::empty(out_shape);
   float* dst = out.data();
   for (const Tensor& t : parts) {
     std::copy(t.data(), t.data() + t.numel(), dst);
@@ -227,7 +226,7 @@ Tensor gather_steps(const Tensor& x, const std::vector<int64_t>& idx) {
   Shape s = x.shape();
   const int64_t row = x.numel() / s[0];
   s[0] = static_cast<int64_t>(idx.size());
-  Tensor out(s);
+  Tensor out = Tensor::empty(s);
   for (size_t j = 0; j < idx.size(); ++j) {
     std::copy(x.data() + idx[j] * row, x.data() + (idx[j] + 1) * row,
               out.data() + static_cast<int64_t>(j) * row);

@@ -10,6 +10,13 @@
 
 namespace ttsnn {
 
+// ---- allocation helpers ----------------------------------------------------
+/// Zero tensor with the same shape as t (PyTorch's zeros_like).
+Tensor zeros_like(const Tensor& t);
+/// Uninitialized tensor with the same shape as t — for buffers every element
+/// of which is about to be written.
+Tensor empty_like(const Tensor& t);
+
 // ---- elementwise -----------------------------------------------------------
 Tensor add(const Tensor& a, const Tensor& b);
 Tensor sub(const Tensor& a, const Tensor& b);
@@ -32,6 +39,10 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b);
 // ---- softmax / classification ----------------------------------------------
 /// Row-wise log-softmax of logits [n, c].
 Tensor log_softmax(const Tensor& logits);
+/// Raw-buffer variant: log-softmax of `src` [n, c] into `dst` (may alias
+/// src). Lets the loss kernels reuse one scratch buffer per timestep instead
+/// of allocating tensors in the BPTT hot loop.
+void log_softmax_rows(const float* src, int64_t n, int64_t c, float* dst);
 /// Row-wise softmax of logits [n, c].
 Tensor softmax(const Tensor& logits);
 /// Per-row argmax of a [n, c] matrix -> length-n vector of class indices.

@@ -1,0 +1,239 @@
+#include "tensor/simd.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "tensor/simd_kernels.h"
+#include "util/common.h"
+
+namespace ttsnn::simd {
+
+namespace {
+
+/// CPU support for the AVX2 tier: the instruction set must be present at
+/// runtime *and* simd_avx2.cpp must have been built with AVX2 codegen.
+bool cpu_has_avx2() {
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+  return avx2::compiled_in() && __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+Level compute_detected() {
+  Level best = cpu_has_avx2() ? Level::kAvx2 : Level::kScalar;
+  if (const char* env = std::getenv("TTSNN_SIMD")) {
+    if (std::strcmp(env, "scalar") == 0) return Level::kScalar;
+    if (std::strcmp(env, "avx2") == 0) return best;  // cannot exceed the CPU
+  }
+  return best;
+}
+
+std::atomic<Level>& active_storage() {
+  static std::atomic<Level> level{detected_level()};
+  return level;
+}
+
+}  // namespace
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+Level detected_level() {
+  static const Level detected = compute_detected();
+  return detected;
+}
+
+Level active_level() { return active_storage().load(); }
+
+void set_level(Level level) {
+  if (level == Level::kAvx2 && detected_level() != Level::kAvx2) {
+    level = Level::kScalar;  // clamp: never dispatch into unsupported code
+  }
+  active_storage().store(level);
+}
+
+LevelGuard::LevelGuard(Level level) : prev_(active_level()) { set_level(level); }
+
+LevelGuard::~LevelGuard() { set_level(prev_); }
+
+namespace {
+
+/// True when the AVX2 implementation should run. Inlined into every kernel;
+/// one relaxed atomic load per whole-buffer call.
+inline bool use_avx2() { return active_level() == Level::kAvx2; }
+
+}  // namespace
+
+// ---- elementwise: scalar reference implementations -------------------------
+// These are the semantics the AVX2 TU reproduces bit-for-bit (mul + add in the
+// same per-element order; this TU is built with -ffp-contract=off so the
+// compiler cannot fuse them into FMAs behind our back).
+
+void axpy(int64_t n, float a, const float* x, float* y) {
+  if (use_avx2()) return avx2::axpy(n, a, x, y);
+  for (int64_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+void mul(int64_t n, const float* x, float* y) {
+  if (use_avx2()) return avx2::mul(n, x, y);
+  for (int64_t i = 0; i < n; ++i) y[i] *= x[i];
+}
+
+void scale(int64_t n, float a, float* y) {
+  if (use_avx2()) return avx2::scale(n, a, y);
+  for (int64_t i = 0; i < n; ++i) y[i] *= a;
+}
+
+void relu(int64_t n, float* y) {
+  if (use_avx2()) return avx2::relu(n, y);
+  for (int64_t i = 0; i < n; ++i) y[i] = std::max(y[i], 0.0F);
+}
+
+void affine(int64_t n, float mu, float inv_std, float eff, float beta,
+            const float* x, float* y) {
+  if (use_avx2()) return avx2::affine(n, mu, inv_std, eff, beta, x, y);
+  for (int64_t i = 0; i < n; ++i) {
+    const float v = (x[i] - mu) * inv_std;
+    y[i] = eff * v + beta;
+  }
+}
+
+namespace {
+
+/// Scalar surrogate derivative, kept expression-identical to the AVX2 lanes
+/// (and to nn/lif.cpp's surrogate_grad for these families).
+inline float surrogate(LifSurrogate kind, float alpha, float v_th, float u) {
+  const float x = u - v_th;
+  switch (kind) {
+    case LifSurrogate::kRectangle:
+      return std::fabs(x) < 0.5F * alpha ? 1.0F / alpha : 0.0F;
+    case LifSurrogate::kTriangle: {
+      const float v = 1.0F - std::fabs(x) / alpha;
+      return v > 0.0F ? v / alpha : 0.0F;
+    }
+    case LifSurrogate::kAtan: {
+      const float z = 0.5F * 3.14159265358979323846F * alpha * x;
+      return alpha / (2.0F * (1.0F + z * z));
+    }
+  }
+  return 0.0F;
+}
+
+}  // namespace
+
+void lif_backward_step(int64_t m, LifSurrogate kind, float alpha, float tau,
+                       float v_th, bool zero_reset, bool detach_reset,
+                       const float* gst, const float* ut, const float* st,
+                       float* gu_post, float* git) {
+  if (use_avx2()) {
+    return avx2::lif_backward_step(m, static_cast<int>(kind), alpha, tau, v_th,
+                                   zero_reset, detach_reset, gst, ut, st,
+                                   gu_post, git);
+  }
+  for (int64_t i = 0; i < m; ++i) {
+    const float surr = surrogate(kind, alpha, v_th, ut[i]);
+    const float carry =
+        zero_reset ? gu_post[i] * (1.0F - st[i]) : gu_post[i];
+    float gu = gst[i] * surr + carry;
+    if (!detach_reset) {
+      const float reset_term = zero_reset ? ut[i] : v_th;
+      gu -= gu_post[i] * reset_term * surr;
+    }
+    git[i] = gu;
+    gu_post[i] = tau * gu;
+  }
+}
+
+void lif_step_eval(int64_t m, float tau, float v_th, bool zero_reset,
+                   const float* in, float* u_post, float* s_out) {
+  if (use_avx2()) {
+    return avx2::lif_step_eval(m, tau, v_th, zero_reset, in, u_post, s_out);
+  }
+  for (int64_t i = 0; i < m; ++i) {
+    const float u = tau * u_post[i] + in[i];
+    const float s = u >= v_th ? 1.0F : 0.0F;
+    s_out[i] = s;
+    u_post[i] = zero_reset ? u * (1.0F - s) : u - v_th * s;
+  }
+}
+
+void lif_step_train(int64_t m, float tau, float v_th, bool zero_reset,
+                    const float* in, float* u_post, float* u_out,
+                    float* s_out) {
+  if (use_avx2()) {
+    return avx2::lif_step_train(m, tau, v_th, zero_reset, in, u_post, u_out,
+                                s_out);
+  }
+  for (int64_t i = 0; i < m; ++i) {
+    const float u = tau * u_post[i] + in[i];
+    const float s = u >= v_th ? 1.0F : 0.0F;
+    u_out[i] = u;
+    s_out[i] = s;
+    u_post[i] = zero_reset ? u * (1.0F - s) : u - v_th * s;
+  }
+}
+
+void adam_step(int64_t n, float lr, float beta1, float beta2, float bc1,
+               float bc2, float eps, float decay, const float* g, float* m,
+               float* v, float* w) {
+  if (use_avx2()) {
+    return avx2::adam_step(n, lr, beta1, beta2, bc1, bc2, eps, decay, g, m, v,
+                           w);
+  }
+  for (int64_t j = 0; j < n; ++j) {
+    m[j] = beta1 * m[j] + (1.0F - beta1) * g[j];
+    v[j] = beta2 * v[j] + (1.0F - beta2) * g[j] * g[j];
+    const float m_hat = m[j] / bc1;
+    const float v_hat = v[j] / bc2;
+    w[j] -= lr * (m_hat / (std::sqrt(v_hat) + eps) + decay * w[j]);
+  }
+}
+
+void sgd_step(int64_t n, float lr, float momentum, float decay, const float* g,
+              float* v, float* w) {
+  if (use_avx2()) return avx2::sgd_step(n, lr, momentum, decay, g, v, w);
+  for (int64_t j = 0; j < n; ++j) {
+    v[j] = momentum * v[j] + g[j] + decay * w[j];
+    w[j] -= lr * v[j];
+  }
+}
+
+// ---- GEMM row-strip kernels ------------------------------------------------
+// gemm.cpp only calls these after checking the active level itself, so the
+// public entry points just assert and forward.
+
+void gemm_nn_rows_avx2(int64_t m0, int64_t m1, int64_t n, int64_t k,
+                       int64_t panel, float alpha, const float* a,
+                       const float* b, float* c) {
+  TTSNN_CHECK(active_level() == Level::kAvx2,
+              "gemm_nn_rows_avx2 called on the scalar tier");
+  avx2::gemm_nn_rows(m0, m1, n, k, panel, alpha, a, b, c);
+}
+
+void gemm_tn_rows_avx2(int64_t m0, int64_t m1, int64_t n, int64_t k,
+                       int64_t lda, int64_t panel, float alpha, const float* a,
+                       const float* b, float* c) {
+  TTSNN_CHECK(active_level() == Level::kAvx2,
+              "gemm_tn_rows_avx2 called on the scalar tier");
+  avx2::gemm_tn_rows(m0, m1, n, k, lda, panel, alpha, a, b, c);
+}
+
+void gemm_nt_rows_avx2(int64_t m0, int64_t m1, int64_t n, int64_t k,
+                       float alpha, const float* a, const float* b, float* c) {
+  TTSNN_CHECK(active_level() == Level::kAvx2,
+              "gemm_nt_rows_avx2 called on the scalar tier");
+  avx2::gemm_nt_rows(m0, m1, n, k, alpha, a, b, c);
+}
+
+}  // namespace ttsnn::simd

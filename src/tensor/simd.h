@@ -1,0 +1,117 @@
+#pragma once
+
+/// \file simd.h
+/// Vectorized kernel tier with runtime dispatch.
+///
+/// Every function here has two implementations: a portable scalar loop
+/// (simd.cpp) and an AVX2 one (simd_avx2.cpp, compiled with -mavx2 -mfma and
+/// only reachable after a cpuid check). The active tier is picked once at
+/// startup — the TTSNN_SIMD environment variable ("scalar" / "avx2") can pin
+/// it — and can be overridden per-scope with LevelGuard for tests and benches.
+///
+/// Bit-identity contract: the AVX2 kernels use separate multiply and add
+/// instructions (never FMA) in exactly the per-element order of the scalar
+/// loops, and both TUs are built with -ffp-contract=off, so scalar and AVX2
+/// results are bitwise identical for every reorder-free kernel below (all of
+/// them — reductions that would need lane-split accumulators are deliberately
+/// not offered here). That keeps the library-wide "same bits on every kernel
+/// tier" invariant that the GEMM layer and the inference engine pin in tests.
+
+#include <cstdint>
+
+namespace ttsnn::simd {
+
+enum class Level { kScalar, kAvx2 };
+
+const char* level_name(Level level);
+
+/// Best tier this CPU supports, intersected with TTSNN_SIMD if set.
+/// Computed once on first call.
+Level detected_level();
+
+/// Tier used by all kernels below. Defaults to detected_level().
+Level active_level();
+
+/// Pins the active tier; requests above detected_level() are clamped down
+/// (asking for AVX2 on a non-AVX2 host leaves the scalar tier active).
+void set_level(Level level);
+
+/// RAII pin-and-restore, so a test or bench cannot leak its tier.
+class LevelGuard {
+ public:
+  explicit LevelGuard(Level level);
+  ~LevelGuard();
+  LevelGuard(const LevelGuard&) = delete;
+  LevelGuard& operator=(const LevelGuard&) = delete;
+
+ private:
+  Level prev_;
+};
+
+// ---- elementwise kernels ---------------------------------------------------
+// All operate on contiguous float buffers; in-place variants mutate y.
+
+/// y[i] += a * x[i]
+void axpy(int64_t n, float a, const float* x, float* y);
+/// y[i] *= x[i]
+void mul(int64_t n, const float* x, float* y);
+/// y[i] *= a
+void scale(int64_t n, float a, float* y);
+/// y[i] = max(y[i], 0)
+void relu(int64_t n, float* y);
+/// y[i] = eff * ((x[i] - mu) * inv_std) + beta — the BatchNorm eval affine.
+void affine(int64_t n, float mu, float inv_std, float eff, float beta,
+            const float* x, float* y);
+
+/// Exp-free surrogate-gradient families of the LIF backward step. The
+/// sigmoid surrogate needs exp() (no exact vector form) and stays on the
+/// caller's scalar loop.
+enum class LifSurrogate { kRectangle, kTriangle, kAtan };
+
+/// One BPTT timestep of the LIF backward recurrence over m neurons, mirroring
+/// LIFNeuron::backward's inner loop: surrogate at the cached membrane u,
+/// reset-carry from gu_post, optional non-detached reset term, then
+/// gu_post = tau * gu. Reads gst/ut/st, updates gu_post, writes git.
+void lif_backward_step(int64_t m, LifSurrogate kind, float alpha, float tau,
+                       float v_th, bool zero_reset, bool detach_reset,
+                       const float* gst, const float* ut, const float* st,
+                       float* gu_post, float* git);
+
+/// One LIF timestep over m neurons (eval mode): u = tau * u_post + in,
+/// s = u >= v_th, then the reset update of u_post. Writes spikes to s_out.
+void lif_step_eval(int64_t m, float tau, float v_th, bool zero_reset,
+                   const float* in, float* u_post, float* s_out);
+/// Training variant: additionally records the pre-reset membrane u.
+void lif_step_train(int64_t m, float tau, float v_th, bool zero_reset,
+                    const float* in, float* u_post, float* u_out, float* s_out);
+
+/// Fused Adam update for one parameter block; bc1/bc2 are the bias-correction
+/// denominators 1 - beta^t.
+void adam_step(int64_t n, float lr, float beta1, float beta2, float bc1,
+               float bc2, float eps, float decay, const float* g, float* m,
+               float* v, float* w);
+/// Fused SGD-with-momentum update: v = mu*v + g + decay*w; w -= lr*v.
+void sgd_step(int64_t n, float lr, float momentum, float decay, const float* g,
+              float* v, float* w);
+
+// ---- GEMM microkernels -----------------------------------------------------
+// Row-strip kernels matching the scalar kernels in gemm.cpp: same n-panel /
+// 4-row blocking, same ascending-k accumulation, same zero-skip semantics.
+// Called by gemm() only when the active level is kAvx2.
+
+/// Rows [m0, m1) of C += alpha * A * B (A [m,k], B [k,n]), n-panelled.
+void gemm_nn_rows_avx2(int64_t m0, int64_t m1, int64_t n, int64_t k,
+                       int64_t panel, float alpha, const float* a,
+                       const float* b, float* c);
+/// Rows [m0, m1) of C += alpha * A^T * B (A [k,m] with leading dim lda).
+void gemm_tn_rows_avx2(int64_t m0, int64_t m1, int64_t n, int64_t k,
+                       int64_t lda, int64_t panel, float alpha, const float* a,
+                       const float* b, float* c);
+/// Rows [m0, m1) of C += alpha * A * B^T (B [n,k]). Four output columns run
+/// as four independent double-precision lanes; each dot product still
+/// accumulates in ascending k with unfused mul+add, so the result matches
+/// the scalar kernel bit-for-bit.
+void gemm_nt_rows_avx2(int64_t m0, int64_t m1, int64_t n, int64_t k,
+                       float alpha, const float* a, const float* b, float* c);
+
+}  // namespace ttsnn::simd

@@ -2,10 +2,25 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <numeric>
 #include <utility>
 
+#include "tensor/arena.h"
+#include "tensor/simd.h"
+
 namespace ttsnn {
+
+Storage::Storage(int64_t n, bool zero)
+    : size_(n), cap_(Arena::size_class(n)) {
+  TTSNN_CHECK(n >= 0, "negative storage size " << n);
+  data_ = Arena::instance().acquire(cap_);
+  if (zero && n > 0) {
+    std::memset(data_, 0, static_cast<size_t>(n) * sizeof(float));
+  }
+}
+
+Storage::~Storage() { Arena::instance().release(data_, cap_); }
 
 int64_t shape_numel(const Shape& s) {
   int64_t n = 1;
@@ -27,14 +42,22 @@ std::string shape_str(const Shape& s) {
 
 Tensor::Tensor(Shape shape)
     : shape_(std::move(shape)),
-      storage_(std::make_shared<std::vector<float>>(shape_numel(shape_), 0.0F)) {}
+      storage_(std::make_shared<Storage>(shape_numel(shape_), /*zero=*/true)) {}
 
-Tensor::Tensor(Shape shape, std::vector<float> data)
-    : shape_(std::move(shape)),
-      storage_(std::make_shared<std::vector<float>>(std::move(data))) {
-  TTSNN_CHECK(static_cast<int64_t>(storage_->size()) == shape_numel(shape_),
-              "data size " << storage_->size() << " does not match shape "
+Tensor::Tensor(Shape shape, std::vector<float> data) {
+  shape_ = std::move(shape);
+  TTSNN_CHECK(static_cast<int64_t>(data.size()) == shape_numel(shape_),
+              "data size " << data.size() << " does not match shape "
                            << shape_str(shape_));
+  storage_ = std::make_shared<Storage>(shape_numel(shape_), /*zero=*/false);
+  std::copy(data.begin(), data.end(), storage_->data());
+}
+
+Tensor Tensor::empty(Shape shape) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.storage_ = std::make_shared<Storage>(shape_numel(t.shape_), /*zero=*/false);
+  return t;
 }
 
 Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
@@ -42,19 +65,19 @@ Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
 Tensor Tensor::ones(Shape shape) { return full(std::move(shape), 1.0F); }
 
 Tensor Tensor::full(Shape shape, float value) {
-  Tensor t(std::move(shape));
+  Tensor t = empty(std::move(shape));
   t.fill_(value);
   return t;
 }
 
 Tensor Tensor::arange(int64_t n) {
-  Tensor t({n});
+  Tensor t = empty({n});
   for (int64_t i = 0; i < n; ++i) t[i] = static_cast<float>(i);
   return t;
 }
 
 Tensor Tensor::randn(Shape shape, Rng& rng) {
-  Tensor t(std::move(shape));
+  Tensor t = empty(std::move(shape));
   float* p = t.data();
   const int64_t n = t.numel();
   for (int64_t i = 0; i < n; ++i) p[i] = rng.normal();
@@ -62,7 +85,7 @@ Tensor Tensor::randn(Shape shape, Rng& rng) {
 }
 
 Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
-  Tensor t(std::move(shape));
+  Tensor t = empty(std::move(shape));
   float* p = t.data();
   const int64_t n = t.numel();
   for (int64_t i = 0; i < n; ++i) p[i] = rng.uniform(lo, hi);
@@ -70,7 +93,7 @@ Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
 }
 
 Tensor Tensor::bernoulli(Shape shape, Rng& rng, float p) {
-  Tensor t(std::move(shape));
+  Tensor t = empty(std::move(shape));
   float* d = t.data();
   const int64_t n = t.numel();
   for (int64_t i = 0; i < n; ++i) d[i] = rng.bernoulli(p) ? 1.0F : 0.0F;
@@ -101,12 +124,12 @@ const float* Tensor::data() const {
 
 float& Tensor::operator[](int64_t flat_index) {
   check_defined();
-  return (*storage_)[static_cast<size_t>(flat_index)];
+  return storage_->data()[flat_index];
 }
 
 float Tensor::operator[](int64_t flat_index) const {
   check_defined();
-  return (*storage_)[static_cast<size_t>(flat_index)];
+  return storage_->data()[flat_index];
 }
 
 namespace {
@@ -130,17 +153,19 @@ int64_t checked_flat_index(const Shape& shape, std::initializer_list<int64_t> id
 
 float& Tensor::at(std::initializer_list<int64_t> idx) {
   check_defined();
-  return (*storage_)[static_cast<size_t>(checked_flat_index(shape_, idx))];
+  return storage_->data()[checked_flat_index(shape_, idx)];
 }
 
 float Tensor::at(std::initializer_list<int64_t> idx) const {
   check_defined();
-  return (*storage_)[static_cast<size_t>(checked_flat_index(shape_, idx))];
+  return storage_->data()[checked_flat_index(shape_, idx)];
 }
 
 Tensor Tensor::clone() const {
   if (!defined()) return {};
-  return Tensor(shape_, *storage_);
+  Tensor out = empty(shape_);
+  std::copy(data(), data() + numel(), out.data());
+  return out;
 }
 
 Tensor Tensor::reshape(Shape shape) const {
@@ -190,7 +215,7 @@ Tensor Tensor::permute(const std::vector<int64_t>& axes) const {
     src_stride[static_cast<size_t>(i)] =
         src_stride[static_cast<size_t>(i + 1)] * shape_[static_cast<size_t>(i + 1)];
   }
-  Tensor out(new_shape);
+  Tensor out = empty(new_shape);
   const float* src = data();
   float* dst = out.data();
   const int64_t n = numel();
@@ -225,14 +250,14 @@ Tensor Tensor::slice0(int64_t begin, int64_t end) const {
   Shape out_shape = shape_;
   out_shape[0] = end - begin;
   const int64_t row = numel() / std::max<int64_t>(shape_[0], 1);
-  Tensor out(out_shape);
+  Tensor out = empty(out_shape);
   std::copy(data() + begin * row, data() + end * row, out.data());
   return out;
 }
 
 Tensor& Tensor::fill_(float value) {
   check_defined();
-  std::fill(storage_->begin(), storage_->end(), value);
+  std::fill(data(), data() + numel(), value);
   return *this;
 }
 
@@ -244,10 +269,7 @@ Tensor& Tensor::mul_(const Tensor& other) {
   TTSNN_CHECK(same_shape(other), "mul_ shape mismatch " << shape_str(shape_)
                                                         << " vs "
                                                         << shape_str(other.shape_));
-  float* a = data();
-  const float* b = other.data();
-  const int64_t n = numel();
-  for (int64_t i = 0; i < n; ++i) a[i] *= b[i];
+  simd::mul(numel(), other.data(), data());
   return *this;
 }
 
@@ -259,9 +281,14 @@ Tensor& Tensor::add_scalar_(float value) {
 }
 
 Tensor& Tensor::mul_scalar_(float value) {
+  simd::scale(numel(), value, data());
+  return *this;
+}
+
+Tensor& Tensor::exp_() {
   float* a = data();
   const int64_t n = numel();
-  for (int64_t i = 0; i < n; ++i) a[i] *= value;
+  for (int64_t i = 0; i < n; ++i) a[i] = std::exp(a[i]);
   return *this;
 }
 
@@ -269,10 +296,7 @@ Tensor& Tensor::axpy_(float alpha, const Tensor& other) {
   TTSNN_CHECK(same_shape(other), "axpy_ shape mismatch " << shape_str(shape_)
                                                          << " vs "
                                                          << shape_str(other.shape_));
-  float* a = data();
-  const float* b = other.data();
-  const int64_t n = numel();
-  for (int64_t i = 0; i < n; ++i) a[i] += alpha * b[i];
+  simd::axpy(numel(), alpha, other.data(), data());
   return *this;
 }
 
@@ -298,18 +322,17 @@ double Tensor::mean() const {
 
 float Tensor::max_value() const {
   TTSNN_CHECK(numel() > 0, "max of empty tensor");
-  return *std::max_element(storage_->begin(), storage_->end());
+  return *std::max_element(data(), data() + numel());
 }
 
 float Tensor::min_value() const {
   TTSNN_CHECK(numel() > 0, "min of empty tensor");
-  return *std::min_element(storage_->begin(), storage_->end());
+  return *std::min_element(data(), data() + numel());
 }
 
 int64_t Tensor::argmax() const {
   TTSNN_CHECK(numel() > 0, "argmax of empty tensor");
-  return std::distance(storage_->begin(),
-                       std::max_element(storage_->begin(), storage_->end()));
+  return std::distance(data(), std::max_element(data(), data() + numel()));
 }
 
 double Tensor::density() const {
@@ -335,7 +358,7 @@ std::string Tensor::to_string(int64_t max_entries) const {
   const int64_t n = std::min(numel(), max_entries);
   for (int64_t i = 0; i < n; ++i) {
     if (i > 0) out += ", ";
-    out += std::to_string((*storage_)[static_cast<size_t>(i)]);
+    out += std::to_string(data()[i]);
   }
   if (numel() > max_entries) out += ", ...";
   return out + "}";

@@ -28,6 +28,30 @@ int64_t shape_numel(const Shape& s);
 /// Human-readable form, e.g. "[2, 3, 8, 8]".
 std::string shape_str(const Shape& s);
 
+/// Flat float buffer backing a Tensor. Allocation and release go through the
+/// Arena (arena.h): inside an ArenaScope, freed blocks are recycled instead
+/// of hitting the heap, which removes the per-op malloc/zero-fill churn from
+/// the training loop. Blocks are size-class capacities; `size` is the numel
+/// actually in use.
+class Storage {
+ public:
+  /// Allocates n floats; zero-fills when `zero` (recycled blocks carry stale
+  /// data, so Tensor's zero-initialized constructors must ask for it).
+  Storage(int64_t n, bool zero);
+  ~Storage();
+  Storage(const Storage&) = delete;
+  Storage& operator=(const Storage&) = delete;
+
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+  int64_t size() const { return size_; }
+
+ private:
+  float* data_;
+  int64_t size_;
+  int64_t cap_;  ///< size-class capacity returned to the arena on release
+};
+
 /// Dense float32 tensor. See file comment for semantics.
 class Tensor {
  public:
@@ -41,6 +65,10 @@ class Tensor {
   Tensor(Shape shape, std::vector<float> data);
 
   // ---- factories -----------------------------------------------------------
+  /// Tensor with *unspecified* contents — for outputs every element of which
+  /// is about to be written (clones, GEMM beta=0 results, elementwise maps).
+  /// Skips the zero-fill that Tensor(Shape) guarantees.
+  static Tensor empty(Shape shape);
   static Tensor zeros(Shape shape);
   static Tensor ones(Shape shape);
   static Tensor full(Shape shape, float value);
@@ -92,6 +120,10 @@ class Tensor {
   Tensor& mul_(const Tensor& other);
   Tensor& add_scalar_(float value);
   Tensor& mul_scalar_(float value);
+  /// Alias of mul_scalar_ matching the free-function name ops.h::scale.
+  Tensor& scale_(float value) { return mul_scalar_(value); }
+  /// Elementwise e^x in place.
+  Tensor& exp_();
   /// *this += alpha * other (BLAS axpy).
   Tensor& axpy_(float alpha, const Tensor& other);
   /// Clamp all entries into [lo, hi].
@@ -115,7 +147,7 @@ class Tensor {
   void check_defined() const;
 
   Shape shape_;
-  std::shared_ptr<std::vector<float>> storage_;
+  std::shared_ptr<Storage> storage_;
 };
 
 }  // namespace ttsnn

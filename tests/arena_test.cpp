@@ -1,0 +1,137 @@
+// Arena allocator tests: recycling inside a scope, pass-through outside,
+// zero-fill correctness on recycled blocks (the one way recycling could
+// corrupt Tensor semantics), byte-limit eviction, scope nesting/trim, and a
+// threaded smoke over the shared pool.
+
+#include "tensor/arena.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/thread_pool.h"
+
+namespace ttsnn {
+namespace {
+
+TEST(ArenaTest, SizeClassesArePow2AboveMin) {
+  EXPECT_EQ(Arena::size_class(1), Arena::kMinClass);
+  EXPECT_EQ(Arena::size_class(Arena::kMinClass), Arena::kMinClass);
+  EXPECT_EQ(Arena::size_class(Arena::kMinClass + 1), 2 * Arena::kMinClass);
+  EXPECT_EQ(Arena::size_class(3000), 4096);
+  EXPECT_EQ(Arena::size_class(4096), 4096);
+  EXPECT_EQ(Arena::size_class(4097), 8192);
+}
+
+TEST(ArenaTest, ScopeRecyclesBlocks) {
+  Arena& arena = Arena::instance();
+  ArenaScope scope;
+  arena.reset_stats();
+  const float* first;
+  {
+    Tensor t = Tensor::zeros({512, 8});  // 4096 floats
+    first = t.data();
+  }  // storage released -> cached
+  EXPECT_GE(arena.stats().recycled, 1);
+  Tensor t2 = Tensor::zeros({4096});  // same size class
+  EXPECT_EQ(t2.data(), first);        // LIFO reuse of the cached block
+  EXPECT_GE(arena.stats().hits, 1);
+}
+
+TEST(ArenaTest, RecycledBlocksAreZeroFilledOnZeros) {
+  ArenaScope scope;
+  {
+    Tensor garbage = Tensor::full({2048}, 123.0F);
+  }
+  Tensor z = Tensor::zeros({2048});  // likely the recycled block
+  for (int64_t i = 0; i < z.numel(); ++i) {
+    ASSERT_EQ(z[i], 0.0F) << "stale data at " << i;
+  }
+}
+
+TEST(ArenaTest, InactivePassThrough) {
+  Arena& arena = Arena::instance();
+  ASSERT_FALSE(arena.active());
+  arena.reset_stats();
+  {
+    Tensor t = Tensor::zeros({4096});
+  }
+  EXPECT_EQ(arena.stats().recycled, 0);
+  EXPECT_GE(arena.stats().freed, 1);
+  EXPECT_EQ(arena.stats().cached_blocks, 0);
+}
+
+TEST(ArenaTest, ScopeExitTrimsCache) {
+  Arena& arena = Arena::instance();
+  {
+    ArenaScope scope;
+    { Tensor t = Tensor::zeros({8192}); }
+    EXPECT_GE(arena.stats().cached_blocks, 1);
+  }
+  EXPECT_EQ(arena.stats().cached_blocks, 0);
+  EXPECT_EQ(arena.stats().cached_bytes, 0);
+}
+
+TEST(ArenaTest, NestedScopesKeepCacheUntilOutermostExit) {
+  Arena& arena = Arena::instance();
+  ArenaScope outer;
+  {
+    ArenaScope inner;
+    { Tensor t = Tensor::zeros({8192}); }
+  }  // inner exit must NOT trim: outer still active
+  EXPECT_TRUE(arena.active());
+  EXPECT_GE(arena.stats().cached_blocks, 1);
+}
+
+TEST(ArenaTest, ByteLimitEvicts) {
+  Arena& arena = Arena::instance();
+  const int64_t old_limit = arena.byte_limit();
+  ArenaScope scope;
+  arena.set_byte_limit(1024);  // smaller than any minimum-class block
+  arena.reset_stats();
+  {
+    Tensor t = Tensor::zeros({4096});
+  }
+  EXPECT_EQ(arena.stats().recycled, 0);
+  EXPECT_GE(arena.stats().freed, 1);
+  arena.set_byte_limit(old_limit);
+}
+
+TEST(ArenaTest, TensorsOutliveTheirScope) {
+  Tensor survivor;
+  {
+    ArenaScope scope;
+    survivor = Tensor::full({4096}, 7.0F);
+  }  // scope trims its cache; survivor's block is still owned by survivor
+  for (int64_t i = 0; i < survivor.numel(); ++i) {
+    ASSERT_EQ(survivor[i], 7.0F);
+  }
+}  // survivor released after the scope: plain delete[], no arena touch
+
+TEST(ArenaTest, ThreadedAllocationSmoke) {
+  ArenaScope scope;
+  parallel_for(64, [](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      Tensor t = Tensor::zeros({1024 + (i % 7) * 512});
+      t.fill_(static_cast<float>(i));
+      Tensor u = t.clone();
+      ASSERT_EQ(u[0], static_cast<float>(i));
+    }
+  });
+}
+
+TEST(ArenaTest, EmptyTensorSkipsZeroFillButHasStorage) {
+  Tensor t = Tensor::empty({16, 16});
+  ASSERT_TRUE(t.defined());
+  EXPECT_EQ(t.numel(), 256);
+  t.fill_(3.0F);  // contents unspecified until written
+  EXPECT_EQ(t[255], 3.0F);
+  Tensor z = zeros_like(t);
+  EXPECT_EQ(z.numel(), 256);
+  for (int64_t i = 0; i < z.numel(); ++i) ASSERT_EQ(z[i], 0.0F);
+  Tensor e = empty_like(t);
+  EXPECT_TRUE(e.same_shape(t));
+}
+
+}  // namespace
+}  // namespace ttsnn

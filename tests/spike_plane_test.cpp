@@ -1,0 +1,148 @@
+// SpikePlane build semantics and the sparse-vs-dense GEMM identity the
+// kernel-selection layer relies on: at every spike density the gathered-
+// accumulation path must return the same BITS as the naive dense kernel,
+// because gemm() switches between them based on a runtime sample.
+
+#include "tensor/spike_plane.h"
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace ttsnn {
+namespace {
+
+TEST(SpikePlaneTest, BuildIndexesBinaryMatrix) {
+  // 3x4: rows with 2, 0, 3 spikes.
+  const float data[] = {1, 0, 0, 1,
+                        0, 0, 0, 0,
+                        1, 1, 0, 1};
+  SpikePlane plane;
+  ASSERT_TRUE(plane.build(data, 3, 4));
+  EXPECT_EQ(plane.rows, 3);
+  EXPECT_EQ(plane.cols, 4);
+  EXPECT_EQ(plane.nnz(), 5);
+  ASSERT_EQ(plane.row_ptr.size(), 4U);
+  EXPECT_EQ(plane.row_ptr[0], 0);
+  EXPECT_EQ(plane.row_ptr[1], 2);
+  EXPECT_EQ(plane.row_ptr[2], 2);
+  EXPECT_EQ(plane.row_ptr[3], 5);
+  const int32_t expect_cols[] = {0, 3, 0, 1, 3};
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(plane.col_idx[i], expect_cols[i]);
+  EXPECT_NEAR(plane.density(), 5.0 / 12.0, 1e-12);
+}
+
+TEST(SpikePlaneTest, BuildRejectsNonBinary) {
+  const float data[] = {1, 0, 0.5F, 1};
+  SpikePlane plane;
+  EXPECT_FALSE(plane.build(data, 2, 2));
+  EXPECT_EQ(plane.rows, 0);
+  EXPECT_EQ(plane.nnz(), 0);
+}
+
+TEST(SpikePlaneTest, BuildRejectsAboveMaxDensity) {
+  Rng rng(3);
+  Tensor dense_spikes = Tensor::bernoulli({32, 32}, rng, 0.9F);
+  SpikePlane plane;
+  EXPECT_FALSE(plane.build(dense_spikes.data(), 32, 32, 0.25));
+  // Unlimited build of the same matrix succeeds.
+  EXPECT_TRUE(plane.build(dense_spikes.data(), 32, 32));
+}
+
+Tensor run_gemm(GemmKernel kernel, bool trans_b, int64_t m, int64_t n,
+                int64_t k, float alpha, const Tensor& a, const Tensor& b,
+                float beta, const Tensor& c0) {
+  GemmKernelGuard guard(kernel);
+  GemmThreadsGuard threads(1);
+  Tensor c = c0.clone();
+  gemm(false, trans_b, m, n, k, alpha, a.data(), b.data(), beta, c.data());
+  return c;
+}
+
+bool bit_identical(const Tensor& x, const Tensor& y) {
+  return x.numel() == y.numel() &&
+         std::memcmp(x.data(), y.data(),
+                     static_cast<size_t>(x.numel()) * sizeof(float)) == 0;
+}
+
+// The PR-3 acceptance densities: empty, ultra-sparse, paper-typical, full.
+const float kDensities[] = {0.0F, 0.03F, 0.3F, 1.0F};
+
+TEST(SpikePlaneGemmTest, SparseMatchesNaiveBitwiseAcrossDensities) {
+  const int64_t shapes[][3] = {{4, 9, 16}, {17, 33, 65}, {64, 100, 128}};
+  Rng rng(11);
+  for (const auto& s : shapes) {
+    const int64_t m = s[0], n = s[1], k = s[2];
+    for (float density : kDensities) {
+      for (bool trans_b : {false, true}) {
+        Tensor a = Tensor::randn({m, k}, rng);
+        Tensor b = trans_b ? Tensor::bernoulli({n, k}, rng, density)
+                           : Tensor::bernoulli({k, n}, rng, density);
+        // beta=1 with a non-zero C exercises the accumulate path the dW
+        // GEMMs use; alpha != 1 exercises the scaling.
+        Tensor c0 = Tensor::randn({m, n}, rng);
+        Tensor ref =
+            run_gemm(GemmKernel::kNaive, trans_b, m, n, k, 0.5F, a, b, 1.0F, c0);
+        Tensor out =
+            run_gemm(GemmKernel::kSparse, trans_b, m, n, k, 0.5F, a, b, 1.0F, c0);
+        EXPECT_TRUE(bit_identical(ref, out))
+            << (trans_b ? "nt" : "nn") << " m=" << m << " n=" << n
+            << " k=" << k << " density=" << density;
+      }
+    }
+  }
+}
+
+TEST(SpikePlaneGemmTest, SparsePinFallsBackOnNonBinaryB) {
+  Rng rng(13);
+  Tensor a = Tensor::randn({8, 32}, rng);
+  Tensor b = Tensor::randn({32, 24}, rng);  // not binary: build must bail
+  Tensor c0 = Tensor::zeros({8, 24});
+  Tensor ref = run_gemm(GemmKernel::kNaive, false, 8, 24, 32, 1.0F, a, b,
+                        0.0F, c0);
+  Tensor out = run_gemm(GemmKernel::kSparse, false, 8, 24, 32, 1.0F, a, b,
+                        0.0F, c0);
+  EXPECT_TRUE(bit_identical(ref, out));
+}
+
+TEST(SpikePlaneGemmTest, AutoSelectionStaysBitIdenticalOnSpikes) {
+  // A realistic conv-forward shape: dense weights x binary spike columns,
+  // large enough that kAuto's sparse heuristic fires. Whatever path auto
+  // picks must agree with the pinned naive kernel bit-for-bit.
+  Rng rng(17);
+  const int64_t m = 64, n = 256, k = 288;
+  Tensor a = Tensor::randn({m, k}, rng);
+  for (float density : {0.05F, 0.2F}) {
+    Tensor b = Tensor::bernoulli({k, n}, rng, density);
+    Tensor c0 = Tensor::zeros({m, n});
+    Tensor ref =
+        run_gemm(GemmKernel::kNaive, false, m, n, k, 1.0F, a, b, 0.0F, c0);
+    Tensor out =
+        run_gemm(GemmKernel::kAuto, false, m, n, k, 1.0F, a, b, 0.0F, c0);
+    EXPECT_TRUE(bit_identical(ref, out)) << "density=" << density;
+  }
+}
+
+TEST(SpikePlaneGemmTest, SparseMatchesAcrossThreadCounts) {
+  Rng rng(19);
+  const int64_t m = 32, n = 64, k = 128;
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor b = Tensor::bernoulli({k, n}, rng, 0.1F);
+  Tensor c0 = Tensor::zeros({m, n});
+  Tensor ref = run_gemm(GemmKernel::kSparse, false, m, n, k, 1.0F, a, b,
+                        0.0F, c0);
+  for (int threads : {2, 4}) {
+    GemmThreadsGuard tguard(threads);
+    GemmKernelGuard kguard(GemmKernel::kSparse);
+    Tensor c = c0.clone();
+    gemm(false, false, m, n, k, 1.0F, a.data(), b.data(), 0.0F, c.data());
+    EXPECT_TRUE(bit_identical(ref, c)) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace ttsnn
