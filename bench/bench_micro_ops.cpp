@@ -12,13 +12,15 @@
 //   ttconv_*    — TTConv2d forward and forward+backward per mode.
 //   merge/svd   — TT merge contraction, TT-SVD, VBMF rank estimation.
 //   train_epoch — end-to-end epoch with the pre-PR compute path (naive gemm,
-//                 scalar elementwise) vs the current defaults.
+//                 scalar elementwise) vs the current defaults, plus a
+//                 sync-vs-prefetch pair with augmentation on; every row
+//                 reports the compute / data-wait wall-clock split.
 //
 // Flags: --out=PATH (default BENCH_micro.json), --quick (CI smoke sizing).
 
 #include <cstdio>
 
-#include "bench_json.h"
+#include "util/bench_json.h"
 #include "core/factorize.h"
 #include "core/models.h"
 #include "core/ttconv.h"
@@ -198,11 +200,14 @@ void bench_decompositions(bench::Report& report) {
   std::printf("  %-44s p50 %7.3f ms\n", "vbmf", vbmf.p50_s * 1e3);
 }
 
-/// End-to-end training epoch: pre-PR compute path vs current defaults on the
-/// same model/data. `legacy` pins the naive GEMM kernel and the scalar
-/// elementwise tier — the exact hot-path code the seed ran.
+/// End-to-end training epoch on a shared model/data recipe. `legacy` pins the
+/// naive GEMM kernel and the scalar elementwise tier — the exact hot-path
+/// code the seed ran. `augment` + `prefetch` exercise the DataLoader: the
+/// sync (prefetch 0) vs prefetch-2 pair with augmentation on isolates how
+/// much batch assembly the producer tasks hide behind the compute.
 double bench_train_epoch(bench::Report& report, const char* tag, bool legacy,
-                         bool quick) {
+                         bool quick, bool augment = false,
+                         int64_t prefetch = 2) {
   // Sized so the conv GEMMs actually reach the kernel-tier thresholds
   // (base_width 16 on 16x16 inputs); a toy-scale model measures framework
   // overhead, not kernels.
@@ -228,6 +233,9 @@ double bench_train_epoch(bench::Report& report, const char* tag, bool legacy,
   tc.epochs = 1;
   tc.batch_size = 8;
   tc.timesteps = 4;
+  tc.augment = augment;
+  tc.augment_opts = {.max_shift = 2, .cutout_size = 4};
+  tc.prefetch = prefetch;
   tc.verbose = false;
   Trainer trainer(*net, data, data, tc);
 
@@ -241,9 +249,14 @@ double bench_train_epoch(bench::Report& report, const char* tag, bool legacy,
   report.add(std::string("train_epoch/") + tag)
       .str("config", tag)
       .num("seconds", seconds)
+      .num("compute_s", stats.compute_seconds)
+      .num("data_wait_s", stats.data_wait_seconds)
+      .num("prefetch", static_cast<double>(prefetch))
+      .num("augment", augment ? 1.0 : 0.0)
       .num("loss", stats.loss);
-  std::printf("  %-44s %7.3f s\n", (std::string("train_epoch/") + tag).c_str(),
-              seconds);
+  std::printf("  %-44s %7.3f s (%.3f s data wait)\n",
+              (std::string("train_epoch/") + tag).c_str(), seconds,
+              stats.data_wait_seconds);
   return seconds;
 }
 
@@ -323,12 +336,28 @@ int main(int argc, char** argv) {
   }
 
   std::printf("== end-to-end training epoch ==\n");
-  const double legacy_s = bench_train_epoch(report, "legacy", true, args.quick);
+  // Legacy pins prefetch=0 as well: the seed assembled batches synchronously,
+  // and the row must keep measuring that exact path PR-over-PR.
+  const double legacy_s = bench_train_epoch(report, "legacy", true, args.quick,
+                                            /*augment=*/false, /*prefetch=*/0);
   const double current_s =
       bench_train_epoch(report, "current", false, args.quick);
   report.add("train_epoch/speedup").num("speedup_vs_legacy",
                                         legacy_s / current_s);
   std::printf("  %-44s %7.2fx\n", "train_epoch speedup", legacy_s / current_s);
+  // DataLoader pair: same compute, augmentation on, batch assembly on the
+  // training thread (sync) vs hidden behind prefetch-2 producer tasks. On a
+  // single-core host the loader falls back to sync and the pair ties.
+  const double sync_aug_s = bench_train_epoch(report, "sync_augment", false,
+                                              args.quick, /*augment=*/true,
+                                              /*prefetch=*/0);
+  const double prefetch_aug_s =
+      bench_train_epoch(report, "prefetch_augment", false, args.quick,
+                        /*augment=*/true, /*prefetch=*/2);
+  report.add("train_epoch/prefetch_speedup")
+      .num("speedup_vs_sync", sync_aug_s / prefetch_aug_s);
+  std::printf("  %-44s %7.2fx\n", "train_epoch prefetch speedup",
+              sync_aug_s / prefetch_aug_s);
 
   const ArenaStats arena = Arena::instance().stats();
   report.add("arena")

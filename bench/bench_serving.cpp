@@ -21,7 +21,7 @@
 #include <thread>
 #include <vector>
 
-#include "bench_json.h"
+#include "util/bench_json.h"
 #include "core/factorize.h"
 #include "core/models.h"
 #include "infer/engine.h"

@@ -1,73 +1,77 @@
 // CIFAR-style pipeline: the full Algorithm 1 flow on a static image dataset,
-// including VBMF rank selection from pretrained dense weights.
+// composed as ONE scenario config (the same schema `ttsnn_train` and the
+// configs/*.cfg files use) instead of a hand-written pipeline:
 //
-//   1. Train a dense MS-ResNet18 briefly (the "base model").
-//   2. Run VBMF on its conv weights to pick TT-ranks automatically.
-//   3. Factorize with TT-SVD initialization and continue training (PTT).
-//   4. Compare baseline vs TT on accuracy / params / FLOPs / batch time.
+//   pretrain_epochs  trains the dense base model (Algorithm 1 line 1),
+//   vbmf             picks TT-ranks from its trained weights (line 2),
+//   tt_mode = ptt    factorizes with TT-SVD init and continues training,
+//   compile_smoke    verifies the exact-mode engine matches the module.
 //
-// Build & run:  ./build/examples/cifar_pipeline
+// The same run from the CLI:
+//   ./build/ttsnn_train --dataset=image --model=resnet18 --base_width=12 …
+//       --tt_mode=ptt --pretrain_epochs=4 --vbmf --epochs=4 --compile_smoke
+//
+// Build & run:  ./build/cifar_pipeline
 
 #include <cstdio>
 
 #include "core/factorize.h"
-#include "core/flops.h"
-#include "core/models.h"
-#include "data/synthetic_image.h"
+#include "snn/scenario.h"
 #include "snn/trainer.h"
 
 using namespace ttsnn;
 
 int main() {
-  Rng rng(7);
-  ModelConfig cfg;
-  cfg.num_classes = 4;
+  ScenarioConfig cfg;
+  cfg.dataset = "image";
+  cfg.classes = 4;
+  cfg.train_per_class = 24;
+  cfg.test_per_class = 8;
+  cfg.image_size = 12;
+  cfg.data_seed = 11;
+  cfg.model = "resnet18";
   cfg.base_width = 12;
+  cfg.tt_mode = "ptt";
+  cfg.pretrain_epochs = 4;  // Algorithm 1 line 1: dense base model
+  cfg.vbmf = true;          // line 2: automatic rank selection
+  cfg.epochs = 4;
+  cfg.batch_size = 16;
   cfg.timesteps = 4;
+  cfg.lr = 0.08F;
+  cfg.seed = 5;
+  cfg.compile_smoke = true;
 
-  SyntheticImageDataset train({.num_classes = 4, .samples_per_class = 24,
-                               .size = 12, .seed = 11});
-  SyntheticImageDataset test({.num_classes = 4, .samples_per_class = 8,
-                              .size = 12, .seed = 22});
-  TrainConfig tcfg{.epochs = 4, .batch_size = 16, .timesteps = 4, .lr = 0.08F,
-                   .seed = 5};
+  ScenarioResult r = run_scenario(cfg);
 
-  // 1. Base model pre-training (Algorithm 1 line 1).
-  ModulePtr net = make_ms_resnet18(cfg, rng);
-  Trainer base_trainer(*net, train, test, tcfg);
-  FitResult base_fit = base_trainer.fit();
-  ModelStats base_stats = analyze_model(*net, 3, 12, 12);
-  std::printf("baseline: acc %.1f%%  %s  %.3f s/batch\n",
-              100.0 * base_fit.test_accuracy,
-              stats_summary(base_stats, 4).c_str(), base_fit.batch_time_s);
-
-  // 2+3. VBMF ranks from the trained weights, TT-SVD init, continue training.
-  FactorizeOptions fopts;
-  fopts.mode = TTMode::kPTT;
-  fopts.use_vbmf = true;  // Algorithm 1 line 2
-  FactorizeReport report = factorize_network(*net, fopts, rng);
+  std::printf("baseline: acc %.1f%%  %s\n",
+              100.0 * r.pretrain_fit.test_accuracy,
+              stats_summary(r.dense_stats, cfg.timesteps).c_str());
   std::printf("VBMF ranks: ");
-  for (const FactorizedLayer& l : report.layers) {
+  for (const FactorizedLayer& l : r.factorization.layers) {
     std::printf("%lld ", static_cast<long long>(l.rank));
   }
   std::printf("\n");
   std::printf("compression: %.2fx params in decomposed layers (init err "
               "%.2f..%.2f)\n",
-              static_cast<double>(report.dense_params()) /
-                  static_cast<double>(report.tt_params()),
-              report.layers.front().init_error, report.layers.back().init_error);
+              static_cast<double>(r.factorization.dense_params()) /
+                  static_cast<double>(r.factorization.tt_params()),
+              r.factorization.layers.front().init_error,
+              r.factorization.layers.back().init_error);
+  std::printf("PTT:      %s\n", scenario_summary(cfg, r).c_str());
+  std::printf("exact engine max |diff| vs module: %.3g\n",
+              r.compile_max_abs_diff);
 
-  Trainer tt_trainer(*net, train, test, tcfg);
-  FitResult tt_fit = tt_trainer.fit();
-  ModelStats tt_stats = analyze_model(*net, 3, 12, 12);
-  std::printf("PTT:      acc %.1f%%  %s  %.3f s/batch\n",
-              100.0 * tt_fit.test_accuracy, stats_summary(tt_stats, 4).c_str(),
-              tt_fit.batch_time_s);
-
-  // 4. Merge for spike-driven inference (Algorithm 1 lines 20-22).
-  merge_network(*net);
-  Trainer merged(*net, train, test, tcfg);
-  std::printf("merged:   acc %.1f%% (spike-driven inference model)\n",
-              100.0 * merged.evaluate());
+  // 4. Merge for spike-driven inference (Algorithm 1 lines 20-22). The
+  //    scenario hands back the trained model, so post-passes keep composing.
+  merge_network(*r.model);
+  {
+    std::unique_ptr<Dataset> train = make_scenario_dataset(cfg, true);
+    std::unique_ptr<Dataset> test = make_scenario_dataset(cfg, false);
+    Trainer merged(*r.model, *train, *test,
+                   {.epochs = 1, .batch_size = cfg.batch_size,
+                    .timesteps = cfg.timesteps, .seed = cfg.seed});
+    std::printf("merged:   acc %.1f%% (spike-driven inference model)\n",
+                100.0 * merged.evaluate());
+  }
   return 0;
 }

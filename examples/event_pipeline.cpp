@@ -1,61 +1,60 @@
 // Event-camera pipeline: TT-SNN on a dynamic dataset (N-Caltech101 stand-in)
 // where every timestep carries DIFFERENT input — the regime in which the
 // paper finds HTT loses accuracy while PTT holds up (Table II discussion).
-// Also demonstrates NDA-style event augmentation.
+// Also demonstrates NDA-style event augmentation riding the async DataLoader.
 //
-// Build & run:  ./build/examples/event_pipeline
+// Each mode is the SAME scenario config with tt_mode swapped — the point of
+// the scenario layer: comparing baseline / PTT / HTT is three option edits,
+// not three pipelines. The equivalent CLI run:
+//   ./build/ttsnn_train --dataset=event --model=resnet18 --base_width=8 …
+//       --tt_mode=htt --timesteps=6 --htt_schedule=111100 --augment --epochs=5
+//
+// Build & run:  ./build/event_pipeline
 
 #include <cstdio>
 
-#include "core/factorize.h"
-#include "core/models.h"
-#include "data/synthetic_event.h"
-#include "snn/trainer.h"
+#include "snn/scenario.h"
 
 using namespace ttsnn;
 
 namespace {
 
-double train_mode(TTMode mode, bool factorize, const char* label) {
-  Rng rng(9);
-  ModelConfig cfg;
-  cfg.in_channels = 2;  // ON / OFF polarity
-  cfg.num_classes = 4;
+double train_mode(const char* tt_mode, const char* label) {
+  ScenarioConfig cfg;
+  cfg.dataset = "event";
+  cfg.classes = 4;
+  cfg.train_per_class = 20;
+  cfg.test_per_class = 8;
+  cfg.image_size = 12;
+  cfg.data_seed = 31;
+  cfg.model = "resnet18";
   cfg.base_width = 8;
+  cfg.tt_mode = tt_mode;
+  cfg.rank_fraction = 0.5;
+  // Paper (Sec. V-A): N-Caltech101 uses half sub-convolutions at t = 5, 6.
+  cfg.htt_schedule = "111100";
+  cfg.epochs = 6;
+  cfg.batch_size = 16;
   cfg.timesteps = 6;
-  ModulePtr net = make_ms_resnet18(cfg, rng);
-  if (factorize) {
-    FactorizeOptions f;
-    f.mode = mode;
-    f.use_vbmf = false;
-    f.rank_fraction = 0.5;
-    // Paper (Sec. V-A): N-Caltech101 uses half sub-convolutions at t = 5, 6.
-    if (mode == TTMode::kHTT) f.htt_schedule = {true, true, true, true, false, false};
-    factorize_network(*net, f, rng);
-  }
+  cfg.lr = 0.08F;
+  cfg.augment = true;
+  cfg.augment_max_shift = 1;
+  cfg.augment_cutout = 0;
+  cfg.seed = 5;
 
-  SyntheticEventDataset train({.num_classes = 4, .samples_per_class = 20,
-                               .size = 12, .seed = 31});
-  SyntheticEventDataset test({.num_classes = 4, .samples_per_class = 8,
-                              .size = 12, .seed = 32});
-  Trainer trainer(*net, train, test,
-                  {.epochs = 5, .batch_size = 16, .timesteps = 6, .lr = 0.08F,
-                   .augment = true,
-                   .augment_opts = {.max_shift = 1, .cutout_size = 0},
-                   .seed = 13});
-  FitResult fit = trainer.fit();
+  ScenarioResult r = run_scenario(cfg);
   std::printf("%-8s acc %.1f%%  %.3f s/batch\n", label,
-              100.0 * fit.test_accuracy, fit.batch_time_s);
-  return fit.test_accuracy;
+              100.0 * r.fit.test_accuracy, r.fit.batch_time_s);
+  return r.fit.test_accuracy;
 }
 
 }  // namespace
 
 int main() {
   std::printf("event dataset: per-timestep distinct frames, T = 6\n");
-  train_mode(TTMode::kPTT, false, "baseline");
-  const double ptt = train_mode(TTMode::kPTT, true, "PTT");
-  const double htt = train_mode(TTMode::kHTT, true, "HTT");
+  train_mode("none", "baseline");
+  const double ptt = train_mode("ptt", "PTT");
+  const double htt = train_mode("htt", "HTT");
   std::printf("PTT - HTT accuracy gap: %.1f points (paper: HTT loses on "
               "dynamic data)\n",
               100.0 * (ptt - htt));

@@ -1,0 +1,195 @@
+#include "snn/dataloader.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "util/thread_pool.h"
+
+namespace ttsnn {
+
+namespace {
+
+/// SplitMix64 finalizer: decorrelates derived seeds so (seed, epoch, batch)
+/// streams never overlap even for adjacent inputs.
+uint64_t mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+DataLoader::DataLoader(const Dataset& dataset, DataLoaderOptions opts)
+    : dataset_(dataset), opts_(opts) {
+  TTSNN_CHECK(opts_.batch_size >= 1,
+              "DataLoader: batch_size must be >= 1, got " << opts_.batch_size);
+  TTSNN_CHECK(opts_.timesteps >= 1,
+              "DataLoader: timesteps must be >= 1, got " << opts_.timesteps);
+  TTSNN_CHECK(opts_.prefetch >= 0,
+              "DataLoader: prefetch must be >= 0, got " << opts_.prefetch);
+  // With no pool workers a submitted task would never run; fall back to
+  // assembling batches on the consumer thread.
+  async_ = opts_.prefetch > 0 && ThreadPool::instance().workers() > 0;
+}
+
+DataLoader::~DataLoader() { drain(); }
+
+int64_t DataLoader::batches_per_epoch() const {
+  const int64_t n = dataset_.size();
+  if (opts_.drop_last) return n / opts_.batch_size;
+  return (n + opts_.batch_size - 1) / opts_.batch_size;
+}
+
+void DataLoader::begin_epoch(int64_t epoch) {
+  TTSNN_CHECK(epoch >= 0, "DataLoader: epoch must be >= 0, got " << epoch);
+  drain();  // after this no producer reads the epoch state we rewrite below
+
+  epoch_seed_ = mix64(opts_.seed ^ mix64(static_cast<uint64_t>(epoch) + 1));
+  order_.resize(static_cast<size_t>(dataset_.size()));
+  std::iota(order_.begin(), order_.end(), 0);
+  if (opts_.shuffle) {
+    Rng rng(epoch_seed_);
+    std::shuffle(order_.begin(), order_.end(), rng.engine());
+  }
+  epoch_batches_ = batches_per_epoch();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ready_.clear();
+    next_batch_ = 0;
+    next_submit_ = 0;
+    error_ = nullptr;
+    error_batch_ = -1;
+    wait_seconds_ = 0.0;
+  }
+  if (async_) {
+    const int64_t ahead = std::min(opts_.prefetch, epoch_batches_);
+    for (int64_t b = 0; b < ahead; ++b) schedule(b);
+    std::lock_guard<std::mutex> lock(mu_);
+    next_submit_ = ahead;
+  }
+}
+
+Batch DataLoader::produce(int64_t batch_index) const {
+  const int64_t begin = batch_index * opts_.batch_size;
+  const int64_t end =
+      std::min<int64_t>(begin + opts_.batch_size, dataset_.size());
+  std::vector<int64_t> idx(order_.begin() + begin, order_.begin() + end);
+  Batch batch = dataset_.get_batch(idx, opts_.timesteps);
+  if (opts_.augment) {
+    // Per-batch derived Rng: augmentation draws depend on the batch index,
+    // not on which producer ran first — the async/sync bit-identity hinge.
+    Rng rng(mix64(epoch_seed_ ^ mix64(static_cast<uint64_t>(batch_index))));
+    batch.input = augment_events(batch.input, opts_.augment_opts, rng);
+  }
+  return batch;
+}
+
+void DataLoader::schedule(int64_t batch_index) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++inflight_;
+  }
+  ThreadPool::instance().submit([this, batch_index] {
+    bool cancelled;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      cancelled = cancel_;
+    }
+    Batch batch;
+    std::exception_ptr err;
+    if (!cancelled) {
+      try {
+        batch = produce(batch_index);
+      } catch (...) {
+        err = std::current_exception();
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!cancel_) {
+      if (err) {
+        // Keep the error of the LOWEST failing index: that is where the
+        // sequential sync path would have thrown.
+        if (error_batch_ < 0 || batch_index < error_batch_) {
+          error_ = err;
+          error_batch_ = batch_index;
+        }
+      } else if (!cancelled) {
+        ready_.emplace(batch_index, std::move(batch));
+      }
+    }
+    --inflight_;
+    // Notify while still holding the mutex: drain() may destroy this loader
+    // (and this condition variable) the instant it sees inflight_ == 0, so
+    // the notify must happen-before our unlock, not after it.
+    cv_.notify_all();
+  });
+}
+
+bool DataLoader::next(Batch* out) {
+  TTSNN_CHECK(out != nullptr, "DataLoader::next: null output batch");
+  if (!async_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (next_batch_ >= epoch_batches_) return false;
+    // Synchronous assembly is pure data wait: the consumer thread is doing
+    // the producer's job.
+    Timer t;
+    *out = produce(next_batch_);
+    wait_seconds_ += t.seconds();
+    ++next_batch_;
+    return true;
+  }
+
+  {
+    Timer t;
+    std::unique_lock<std::mutex> lock(mu_);
+    if (next_batch_ >= epoch_batches_) return false;
+    const int64_t take = next_batch_;
+    // A failure on a LATER batch must not preempt `take`: its producer is
+    // still in flight and will deliver. Only when `take` itself failed is
+    // there nothing left to wait for — consumption is in order, so an
+    // error_batch_ below take would already have thrown.
+    cv_.wait(lock, [&] { return ready_.count(take) > 0 || error_batch_ == take; });
+    wait_seconds_ += t.seconds();
+    auto it = ready_.find(take);
+    if (it == ready_.end()) {
+      // Every good batch before the failure has been delivered (matching the
+      // sync path's order). Mark the epoch finished before surfacing it so a
+      // caller that catches and retries gets a clean begin_epoch, not a
+      // wedged cursor.
+      const std::exception_ptr err = error_;
+      next_batch_ = epoch_batches_;
+      lock.unlock();
+      drain();
+      std::rethrow_exception(err);
+    }
+    *out = std::move(it->second);
+    ready_.erase(it);
+    ++next_batch_;
+  }
+  // Refill the prefetch window outside the lock (submit takes the pool lock).
+  int64_t refill = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (next_submit_ < epoch_batches_) refill = next_submit_++;
+  }
+  if (refill >= 0) schedule(refill);
+  return true;
+}
+
+double DataLoader::wait_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wait_seconds_;
+}
+
+void DataLoader::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cancel_ = true;
+  cv_.wait(lock, [&] { return inflight_ == 0; });
+  cancel_ = false;
+  ready_.clear();
+}
+
+}  // namespace ttsnn

@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file dataloader.h
+/// Async, double-buffered batch pipeline between a Dataset and the training
+/// loop. The Trainer used to assemble and augment every batch on the training
+/// thread, so the compute kernels stalled on data between steps; the
+/// DataLoader moves `Dataset::get_batch` + augmentation onto producer tasks
+/// running on the shared ThreadPool and hands the consumer ready Batches
+/// through a bounded prefetch window (default depth 2 — double buffering).
+///
+/// Determinism contract: batch content depends only on (seed, epoch,
+/// batch index), never on production order or thread timing. The epoch
+/// shuffle order is drawn from a per-epoch derived seed, and each batch's
+/// augmentation draws come from a per-batch derived Rng, so the async path is
+/// bit-identical to the synchronous fallback (`prefetch = 0`, or a pool with
+/// no workers) under the same seed — a property the tests pin.
+///
+/// Scheduling: at most `prefetch` producer tasks are ever in flight; a new
+/// one is submitted only when the consumer takes a batch, so producers never
+/// block on a full queue (a blocked pool worker could starve parallel_for).
+/// begin_epoch() and the destructor cancel and drain in-flight producers, so
+/// abandoning an epoch mid-way cannot leave a task referencing a dead loader.
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "snn/augment.h"
+#include "snn/dataset.h"
+
+namespace ttsnn {
+
+struct DataLoaderOptions {
+  int64_t batch_size = 32;
+  int64_t timesteps = 4;
+  uint64_t seed = 7;
+  /// Reshuffle sample order every epoch (training); false = sequential (eval).
+  bool shuffle = true;
+  /// Drop the ragged tail batch (training); false = keep it (eval).
+  bool drop_last = true;
+  bool augment = false;
+  AugmentOptions augment_opts;
+  /// Producer tasks kept in flight ahead of the consumer. 0 = synchronous:
+  /// next() assembles the batch on the calling thread.
+  int64_t prefetch = 2;
+};
+
+class DataLoader {
+ public:
+  DataLoader(const Dataset& dataset, DataLoaderOptions opts);
+  /// Cancels and drains any in-flight producers.
+  ~DataLoader();
+
+  DataLoader(const DataLoader&) = delete;
+  DataLoader& operator=(const DataLoader&) = delete;
+
+  /// Batches next() will yield per epoch (0 when drop_last and the dataset is
+  /// smaller than one batch).
+  int64_t batches_per_epoch() const;
+
+  /// Starts an epoch: derives the shuffle order from (seed, epoch), resets
+  /// the wait clock, and (async mode) schedules the first `prefetch`
+  /// producers. Cancels any batches still in flight from a previous epoch,
+  /// so calling it mid-epoch is a clean restart.
+  void begin_epoch(int64_t epoch);
+
+  /// Yields the next batch of the epoch in deterministic order; false at
+  /// epoch end. Rethrows the first exception raised by a producer task.
+  bool next(Batch* out);
+
+  /// Time next() spent blocked waiting on data since begin_epoch() — the
+  /// "data wait" half of the Trainer's compute/data split. In synchronous
+  /// mode this is the full batch assembly time.
+  double wait_seconds() const;
+
+  /// True when producers actually run ahead on the pool (prefetch > 0 and
+  /// the shared ThreadPool has workers); false means next() is synchronous.
+  bool async() const { return async_; }
+
+ private:
+  /// Assembles batch `batch_index` of the current epoch: index slice,
+  /// get_batch, then augmentation with a per-batch Rng. Thread-safe w.r.t.
+  /// other produce() calls (reads epoch state that only begin_epoch writes).
+  Batch produce(int64_t batch_index) const;
+  /// Registers one in-flight producer for `batch_index` and enqueues it.
+  void schedule(int64_t batch_index);
+  /// Cancels outstanding producers and blocks until in-flight hits zero.
+  void drain();
+
+  const Dataset& dataset_;
+  DataLoaderOptions opts_;
+  bool async_ = false;
+
+  // Epoch-constant state, written by begin_epoch() only while no producer is
+  // in flight; read unlocked by produce().
+  std::vector<int64_t> order_;
+  uint64_t epoch_seed_ = 0;
+  int64_t epoch_batches_ = 0;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<int64_t, Batch> ready_;  ///< produced, not yet consumed
+  int64_t next_batch_ = 0;          ///< next index handed to the consumer
+  int64_t next_submit_ = 0;         ///< next index handed to a producer
+  int64_t inflight_ = 0;
+  bool cancel_ = false;
+  /// First (lowest-index) producer failure of the epoch. The error is
+  /// attributed to its batch index so next() delivers every good batch
+  /// before it and throws exactly where the sync path would.
+  std::exception_ptr error_;
+  int64_t error_batch_ = -1;  ///< -1 = no error
+  double wait_seconds_ = 0.0;
+};
+
+}  // namespace ttsnn

@@ -1,0 +1,408 @@
+#include "snn/scenario.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/models.h"
+#include "data/synthetic_event.h"
+#include "data/synthetic_gesture.h"
+#include "data/synthetic_image.h"
+#include "infer/engine.h"
+#include "snn/serialize.h"
+#include "util/bench_json.h"
+
+namespace ttsnn {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  const size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+int64_t to_i64(const std::string& key, const std::string& value) {
+  size_t pos = 0;
+  int64_t v = 0;
+  try {
+    v = std::stoll(value, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;
+  }
+  TTSNN_CHECK(pos == value.size() && !value.empty(),
+              "scenario: '" << key << "' wants an integer, got '" << value << "'");
+  return v;
+}
+
+double to_f64(const std::string& key, const std::string& value) {
+  size_t pos = 0;
+  double v = 0;
+  try {
+    v = std::stod(value, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;
+  }
+  TTSNN_CHECK(pos == value.size() && !value.empty(),
+              "scenario: '" << key << "' wants a number, got '" << value << "'");
+  return v;
+}
+
+bool to_bool(const std::string& key, const std::string& value) {
+  if (value == "1" || value == "true" || value == "on" || value == "yes") {
+    return true;
+  }
+  if (value == "0" || value == "false" || value == "off" || value == "no") {
+    return false;
+  }
+  TTSNN_CHECK(false, "scenario: '" << key << "' wants a boolean, got '"
+                                   << value << "'");
+  return false;
+}
+
+std::vector<int64_t> to_i64_list(const std::string& key,
+                                 const std::string& value) {
+  std::vector<int64_t> out;
+  std::stringstream ss(value);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    item = trim(item);
+    if (!item.empty()) out.push_back(to_i64(key, item));
+  }
+  return out;
+}
+
+TTMode parse_tt_mode(const std::string& name) {
+  if (name == "stt") return TTMode::kSTT;
+  if (name == "ptt") return TTMode::kPTT;
+  if (name == "htt") return TTMode::kHTT;
+  TTSNN_CHECK(false, "scenario: unknown tt_mode '" << name
+                         << "' (expected none|stt|ptt|htt)");
+  return TTMode::kPTT;
+}
+
+BatchNorm::Mode parse_bn(const std::string& name) {
+  if (name == "per_step") return BatchNorm::Mode::kPerStep;
+  if (name == "tdbn") return BatchNorm::Mode::kTdBn;
+  if (name == "tebn") return BatchNorm::Mode::kTebn;
+  TTSNN_CHECK(false, "scenario: unknown bn '" << name
+                         << "' (expected per_step|tdbn|tebn)");
+  return BatchNorm::Mode::kPerStep;
+}
+
+ModulePtr build_model(const ScenarioConfig& cfg, int64_t in_channels,
+                      Rng& rng) {
+  ModelConfig mc;
+  mc.in_channels = in_channels;
+  mc.num_classes = cfg.classes;
+  mc.base_width = cfg.base_width;
+  mc.timesteps = cfg.timesteps;
+  mc.bn_mode = parse_bn(cfg.bn);
+  if (cfg.model == "resnet18") return make_ms_resnet18(mc, rng);
+  if (cfg.model == "resnet34") return make_ms_resnet34(mc, rng);
+  if (cfg.model == "resnet20") return make_resnet20(mc, rng);
+  if (cfg.model == "vgg9") return make_vgg9(mc, rng);
+  if (cfg.model == "vgg11") return make_vgg11(mc, rng);
+  TTSNN_CHECK(false, "scenario: unknown model '"
+                         << cfg.model
+                         << "' (expected resnet18|resnet34|resnet20|vgg9|vgg11)");
+  return nullptr;
+}
+
+TrainConfig make_train_config(const ScenarioConfig& cfg, int64_t epochs) {
+  TrainConfig tc;
+  tc.epochs = epochs;
+  tc.batch_size = cfg.batch_size;
+  tc.timesteps = cfg.timesteps;
+  tc.lr = static_cast<float>(cfg.lr);
+  tc.loss = cfg.loss == "tet" ? LossKind::kTet : LossKind::kCeSum;
+  tc.tet_lambda = cfg.tet_lambda;
+  tc.augment = cfg.augment;
+  tc.augment_opts = {.max_shift = cfg.augment_max_shift,
+                     .cutout_size = cfg.augment_cutout};
+  tc.prefetch = cfg.prefetch;
+  tc.seed = cfg.seed;
+  tc.verbose = cfg.verbose;
+  return tc;
+}
+
+/// Keys a bare `--flag` may enable. Anything else requires `=value`: a bare
+/// `--checkpoint` would otherwise silently write a file literally named
+/// "true" instead of failing loudly.
+bool is_boolean_key(const std::string& key) {
+  return key == "vbmf" || key == "augment" || key == "verbose" ||
+         key == "compile_smoke";
+}
+
+}  // namespace
+
+void apply_scenario_option(ScenarioConfig& cfg, const std::string& key,
+                           const std::string& value) {
+  if (key == "dataset") cfg.dataset = value;
+  else if (key == "classes") cfg.classes = to_i64(key, value);
+  else if (key == "train_per_class") cfg.train_per_class = to_i64(key, value);
+  else if (key == "test_per_class") cfg.test_per_class = to_i64(key, value);
+  else if (key == "image_size") cfg.image_size = to_i64(key, value);
+  else if (key == "data_seed") cfg.data_seed = static_cast<uint64_t>(to_i64(key, value));
+  else if (key == "model") cfg.model = value;
+  else if (key == "base_width") cfg.base_width = to_i64(key, value);
+  else if (key == "bn") cfg.bn = value;
+  else if (key == "tt_mode") cfg.tt_mode = value;
+  else if (key == "pretrain_epochs") cfg.pretrain_epochs = to_i64(key, value);
+  else if (key == "ranks") cfg.ranks = to_i64_list(key, value);
+  else if (key == "vbmf") cfg.vbmf = to_bool(key, value);
+  else if (key == "rank_fraction") cfg.rank_fraction = to_f64(key, value);
+  else if (key == "htt_schedule") cfg.htt_schedule = value;
+  else if (key == "epochs") cfg.epochs = to_i64(key, value);
+  else if (key == "batch_size") cfg.batch_size = to_i64(key, value);
+  else if (key == "timesteps") cfg.timesteps = to_i64(key, value);
+  else if (key == "lr") cfg.lr = static_cast<float>(to_f64(key, value));
+  else if (key == "loss") cfg.loss = value;
+  else if (key == "tet_lambda") cfg.tet_lambda = static_cast<float>(to_f64(key, value));
+  else if (key == "augment") cfg.augment = to_bool(key, value);
+  else if (key == "augment_max_shift") cfg.augment_max_shift = to_i64(key, value);
+  else if (key == "augment_cutout") cfg.augment_cutout = to_i64(key, value);
+  else if (key == "prefetch") cfg.prefetch = to_i64(key, value);
+  else if (key == "seed") cfg.seed = static_cast<uint64_t>(to_i64(key, value));
+  else if (key == "verbose") cfg.verbose = to_bool(key, value);
+  else if (key == "checkpoint") cfg.checkpoint = value;
+  else if (key == "compile_smoke") cfg.compile_smoke = to_bool(key, value);
+  else if (key == "report") cfg.report = value;
+  else TTSNN_CHECK(false, "scenario: unknown option '" << key << "'");
+}
+
+ScenarioConfig load_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  TTSNN_CHECK(in.good(), "scenario: cannot open config file '" << path << "'");
+  ScenarioConfig cfg;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const size_t eq = line.find('=');
+    TTSNN_CHECK(eq != std::string::npos, "scenario: " << path << ":" << lineno
+                    << ": expected 'key = value', got '" << line << "'");
+    apply_scenario_option(cfg, trim(line.substr(0, eq)),
+                          trim(line.substr(eq + 1)));
+  }
+  return cfg;
+}
+
+ScenarioConfig parse_scenario_cli(const std::vector<std::string>& args) {
+  ScenarioConfig cfg;
+  bool any_option = false;
+  for (const std::string& arg : args) {
+    TTSNN_CHECK(arg.rfind("--", 0) == 0,
+                "scenario: expected --key=value, got '" << arg << "'");
+    std::string key = arg.substr(2);
+    std::string value;
+    const size_t eq = key.find('=');
+    if (eq != std::string::npos) {
+      value = key.substr(eq + 1);
+      key.erase(eq);
+    } else {
+      TTSNN_CHECK(is_boolean_key(key),
+                  "scenario: '--" << key << "' needs a value (--" << key
+                                  << "=...); only boolean flags may be bare");
+      value = "true";
+    }
+    if (key == "config") {
+      // The file replaces the whole config, so options in front of it would
+      // be silently discarded — refuse instead of training the wrong
+      // scenario. (Precedence stays: defaults < file < later flags.)
+      TTSNN_CHECK(!any_option,
+                  "scenario: --config must come before other options "
+                  "(options after it override the file)");
+      cfg = load_scenario_file(value);
+    } else {
+      apply_scenario_option(cfg, key, value);
+    }
+    any_option = true;
+  }
+  return cfg;
+}
+
+std::unique_ptr<Dataset> make_scenario_dataset(const ScenarioConfig& cfg,
+                                               bool train) {
+  const int64_t per_class = train ? cfg.train_per_class : cfg.test_per_class;
+  const uint64_t seed = train ? cfg.data_seed : cfg.data_seed + 1;
+  if (cfg.dataset == "image") {
+    return std::make_unique<SyntheticImageDataset>(SyntheticImageDataset::Options{
+        .num_classes = cfg.classes, .samples_per_class = per_class,
+        .size = cfg.image_size, .seed = seed});
+  }
+  if (cfg.dataset == "event") {
+    return std::make_unique<SyntheticEventDataset>(SyntheticEventDataset::Options{
+        .num_classes = cfg.classes, .samples_per_class = per_class,
+        .size = cfg.image_size, .seed = seed});
+  }
+  if (cfg.dataset == "gesture") {
+    return std::make_unique<SyntheticGestureDataset>(
+        SyntheticGestureDataset::Options{.num_classes = cfg.classes,
+                                         .samples_per_class = per_class,
+                                         .size = cfg.image_size,
+                                         .seed = seed});
+  }
+  TTSNN_CHECK(false, "scenario: unknown dataset '"
+                         << cfg.dataset << "' (expected image|event|gesture)");
+  return nullptr;
+}
+
+ScenarioResult run_scenario(const ScenarioConfig& cfg) {
+  TTSNN_CHECK(cfg.loss == "ce" || cfg.loss == "tet",
+              "scenario: unknown loss '" << cfg.loss << "' (expected ce|tet)");
+  TTSNN_CHECK(cfg.epochs >= 1,
+              "scenario: epochs must be >= 1, got " << cfg.epochs);
+  TTSNN_CHECK(cfg.pretrain_epochs >= 0, "scenario: pretrain_epochs must be >= 0");
+
+  std::unique_ptr<Dataset> train = make_scenario_dataset(cfg, /*train=*/true);
+  std::unique_ptr<Dataset> test = make_scenario_dataset(cfg, /*train=*/false);
+  const int64_t in_c = train->channels();
+
+  Rng rng(cfg.seed);
+  ScenarioResult result;
+  result.model = build_model(cfg, in_c, rng);
+  Module& net = *result.model;
+
+  // Algorithm 1 line 1: optional dense base-model training before the
+  // decomposition (the source of meaningful VBMF ranks).
+  if (cfg.pretrain_epochs > 0) {
+    Trainer pre(net, *train, *test, make_train_config(cfg, cfg.pretrain_epochs));
+    result.pretrain_fit = pre.fit();
+  }
+  result.dense_stats =
+      analyze_model(net, in_c, cfg.image_size, cfg.image_size);
+
+  if (cfg.tt_mode != "none") {
+    FactorizeOptions fo;
+    fo.mode = parse_tt_mode(cfg.tt_mode);
+    fo.explicit_ranks = cfg.ranks;
+    fo.use_vbmf = cfg.vbmf;
+    fo.rank_fraction = cfg.rank_fraction;
+    if (fo.mode == TTMode::kHTT) {
+      if (!cfg.htt_schedule.empty()) {
+        TTSNN_CHECK(static_cast<int64_t>(cfg.htt_schedule.size()) ==
+                        cfg.timesteps,
+                    "scenario: htt_schedule length "
+                        << cfg.htt_schedule.size() << " != timesteps "
+                        << cfg.timesteps);
+        for (char c : cfg.htt_schedule) {
+          TTSNN_CHECK(c == '0' || c == '1',
+                      "scenario: htt_schedule wants a '1'/'0' string, got '"
+                          << cfg.htt_schedule << "'");
+          fo.htt_schedule.push_back(c == '1');
+        }
+      } else {
+        // Paper default (Sec. V-A): full sub-convolutions in the early half.
+        for (int64_t t = 0; t < cfg.timesteps; ++t) {
+          fo.htt_schedule.push_back(t < (cfg.timesteps + 1) / 2);
+        }
+      }
+    }
+    result.factorization = factorize_network(net, fo, rng);
+  }
+
+  Trainer trainer(net, *train, *test, make_train_config(cfg, cfg.epochs));
+  result.fit = trainer.fit();
+  result.stats = analyze_model(net, in_c, cfg.image_size, cfg.image_size);
+
+  if (!cfg.checkpoint.empty()) save_parameters(net, cfg.checkpoint);
+
+  if (cfg.compile_smoke) {
+    // Exact lowering reproduces eval-mode Module::forward bit-for-bit, so a
+    // nonzero diff here means the checkpointed model would serve wrong.
+    net.set_training(false);
+    infer::Engine engine =
+        infer::compile(net, {.merge_tt = false, .fold_batchnorm = false});
+    std::vector<int64_t> idx(static_cast<size_t>(
+        std::min<int64_t>(cfg.batch_size, test->size())));
+    for (size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<int64_t>(i);
+    Batch batch = test->get_batch(idx, cfg.timesteps);
+    Tensor ref = net.forward(batch.input);
+    Tensor got = engine.run(batch.input);
+    net.set_training(true);
+    TTSNN_CHECK(ref.numel() == got.numel(),
+                "scenario: compile smoke shape mismatch");
+    double max_diff = 0.0;
+    for (int64_t i = 0; i < ref.numel(); ++i) {
+      max_diff = std::max(
+          max_diff, std::abs(static_cast<double>(ref.data()[i]) -
+                             static_cast<double>(got.data()[i])));
+    }
+    result.compile_max_abs_diff = max_diff;
+  }
+
+  if (!cfg.report.empty()) write_scenario_report(cfg, result, cfg.report);
+  return result;
+}
+
+void write_scenario_report(const ScenarioConfig& cfg,
+                           const ScenarioResult& result,
+                           const std::string& path) {
+  bench::Report report;
+  report.add("scenario")
+      .str("dataset", cfg.dataset)
+      .str("model", cfg.model)
+      .str("bn", cfg.bn)
+      .str("tt_mode", cfg.tt_mode)
+      .str("loss", cfg.loss)
+      .num("classes", static_cast<double>(cfg.classes))
+      .num("base_width", static_cast<double>(cfg.base_width))
+      .num("epochs", static_cast<double>(cfg.epochs))
+      .num("pretrain_epochs", static_cast<double>(cfg.pretrain_epochs))
+      .num("batch_size", static_cast<double>(cfg.batch_size))
+      .num("timesteps", static_cast<double>(cfg.timesteps))
+      .num("prefetch", static_cast<double>(cfg.prefetch))
+      .num("augment", cfg.augment ? 1.0 : 0.0)
+      .num("seed", static_cast<double>(cfg.seed));
+  for (size_t e = 0; e < result.fit.epochs.size(); ++e) {
+    const EpochStats& s = result.fit.epochs[e];
+    report.add("epoch/" + std::to_string(e))
+        .num("loss", s.loss)
+        .num("train_accuracy", s.train_accuracy)
+        .num("seconds", s.seconds)
+        .num("compute_s", s.compute_seconds)
+        .num("data_wait_s", s.data_wait_seconds);
+  }
+  bench::Row& row = report.add("result");
+  row.num("test_accuracy", result.fit.test_accuracy)
+      .num("batch_time_s", result.fit.batch_time_s)
+      .num("params_m", result.stats.params_m())
+      .num("flops_g", result.stats.flops_g(cfg.timesteps));
+  if (!result.factorization.layers.empty()) {
+    row.num("tt_layers", static_cast<double>(result.factorization.replaced()))
+        .num("tt_compression",
+             static_cast<double>(result.factorization.dense_params()) /
+                 static_cast<double>(result.factorization.tt_params()));
+  }
+  if (result.compile_max_abs_diff >= 0.0) {
+    row.num("compile_max_abs_diff", result.compile_max_abs_diff);
+  }
+  report.write(path);
+}
+
+std::string scenario_summary(const ScenarioConfig& cfg,
+                             const ScenarioResult& result) {
+  double wait = 0.0, total = 0.0;
+  for (const EpochStats& e : result.fit.epochs) {
+    wait += e.data_wait_seconds;
+    total += e.seconds;
+  }
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s/%s/%s: acc %.1f%%  %s  %.3f s/batch  data wait %.0f%%",
+                cfg.dataset.c_str(), cfg.model.c_str(), cfg.tt_mode.c_str(),
+                100.0 * result.fit.test_accuracy,
+                stats_summary(result.stats, cfg.timesteps).c_str(),
+                result.fit.batch_time_s,
+                total > 0.0 ? 100.0 * wait / total : 0.0);
+  return buf;
+}
+
+}  // namespace ttsnn

@@ -1,0 +1,137 @@
+#pragma once
+
+/// \file scenario.h
+/// Declarative end-to-end training scenarios: one config struct composes
+/// dataset (synthetic image / CIFAR-like / event-gesture), model architecture,
+/// TT mode and rank source, loss, timesteps, augmentation, and the output
+/// artifacts (checkpoint, compile smoke, JSON report). `ttsnn_train` is a
+/// thin CLI over this API, and the examples build their pipelines from the
+/// same configs — "new scenario" means "new config", not "new .cpp file".
+///
+/// Config sources compose in precedence order: defaults < config file
+/// (`key = value` lines, '#' comments) < explicit CLI overrides
+/// (`--key=value`). Unknown keys throw, so a typo fails loudly instead of
+/// silently training the wrong scenario.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/factorize.h"
+#include "core/flops.h"
+#include "nn/module.h"
+#include "snn/dataset.h"
+#include "snn/trainer.h"
+
+namespace ttsnn {
+
+struct ScenarioConfig {
+  // -- dataset ------------------------------------------------------------
+  /// "image" (CIFAR-like static gratings), "event" (N-Caltech-like clips),
+  /// or "gesture" (DVS-Gesture-like motion classes).
+  std::string dataset = "image";
+  int64_t classes = 4;
+  int64_t train_per_class = 16;
+  int64_t test_per_class = 6;
+  int64_t image_size = 12;
+  uint64_t data_seed = 11;
+
+  // -- model --------------------------------------------------------------
+  /// "resnet18", "resnet34", "resnet20", "vgg9", or "vgg11".
+  std::string model = "resnet18";
+  int64_t base_width = 8;
+  /// "per_step", "tdbn", or "tebn".
+  std::string bn = "per_step";
+
+  // -- tensor-train factorization ------------------------------------------
+  /// "none" (dense baseline), "stt", "ptt", or "htt".
+  std::string tt_mode = "none";
+  /// Dense pre-training epochs before factorization (Algorithm 1 line 1);
+  /// 0 factorizes the random init directly.
+  int64_t pretrain_epochs = 0;
+  /// Explicit per-layer ranks (traversal order); empty defers to vbmf or
+  /// rank_fraction.
+  std::vector<int64_t> ranks;
+  /// VBMF auto-rank from the (pre)trained dense weights (Algorithm 1 line 2).
+  bool vbmf = false;
+  double rank_fraction = 0.5;
+  /// HTT per-timestep schedule as a '1'/'0' string ("1100" = full steps then
+  /// half steps); empty defaults to full sub-convolutions in the first half.
+  std::string htt_schedule;
+
+  // -- training -----------------------------------------------------------
+  int64_t epochs = 2;
+  int64_t batch_size = 16;
+  int64_t timesteps = 4;
+  float lr = 0.05F;
+  /// "ce" (CE on summed logits) or "tet".
+  std::string loss = "ce";
+  float tet_lambda = 0.05F;
+  bool augment = false;
+  int64_t augment_max_shift = 2;
+  int64_t augment_cutout = 4;
+  int64_t prefetch = 2;
+  uint64_t seed = 7;
+  bool verbose = false;
+
+  // -- artifacts ----------------------------------------------------------
+  /// Checkpoint path (save_parameters v2); empty skips saving.
+  std::string checkpoint;
+  /// After training, lower through infer::compile in exact mode and verify
+  /// the engine reproduces eval-mode Module::forward on one test batch.
+  bool compile_smoke = false;
+  /// JSON training report path (bench_json.h conventions); empty skips it.
+  std::string report;
+};
+
+struct ScenarioResult {
+  FitResult fit;
+  /// Static analysis of the trained model (post-factorization when TT is on).
+  ModelStats stats;
+  /// Dense pre-training result; epochs empty when pretrain_epochs = 0.
+  FitResult pretrain_fit;
+  /// Dense counts before factorization (equals `stats` for tt_mode "none").
+  ModelStats dense_stats;
+  /// Per-layer factorization report; empty for tt_mode "none".
+  FactorizeReport factorization;
+  /// Compile smoke: max |engine - module| over one test batch (-1 = not run).
+  double compile_max_abs_diff = -1.0;
+  /// The trained model, for callers that keep composing (merge, serve, ...).
+  ModulePtr model;
+};
+
+/// Applies one `key = value` setting. Throws ttsnn::Error on an unknown key
+/// or an unparsable value.
+void apply_scenario_option(ScenarioConfig& cfg, const std::string& key,
+                           const std::string& value);
+
+/// Loads `key = value` lines ('#' starts a comment, blank lines ignored).
+ScenarioConfig load_scenario_file(const std::string& path);
+
+/// Parses CLI tokens: every token must be `--key=value` or a bare `--flag`
+/// (bools). `--config=FILE` loads a file and must come first — it replaces
+/// the whole config, and silently discarding earlier flags is exactly the
+/// quiet misconfiguration this layer refuses.
+ScenarioConfig parse_scenario_cli(const std::vector<std::string>& args);
+
+/// Runs the scenario end to end: build data + model, optional dense
+/// pre-training, factorize, train, then emit the requested artifacts
+/// (checkpoint / compile smoke / JSON report).
+ScenarioResult run_scenario(const ScenarioConfig& cfg);
+
+/// Writes the JSON training report (schema of util/bench_json.h: one
+/// "scenario" row, one row per epoch, one "result" row).
+void write_scenario_report(const ScenarioConfig& cfg,
+                           const ScenarioResult& result,
+                           const std::string& path);
+
+/// Builds the dataset named by cfg ("image" / "event" / "gesture").
+/// `train` picks the train or test split (sizes and seed differ).
+std::unique_ptr<Dataset> make_scenario_dataset(const ScenarioConfig& cfg,
+                                               bool train);
+
+/// One-line human summary: accuracy, params/FLOPs, batch time, data wait.
+std::string scenario_summary(const ScenarioConfig& cfg,
+                             const ScenarioResult& result);
+
+}  // namespace ttsnn

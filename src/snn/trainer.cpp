@@ -12,13 +12,26 @@ Trainer::Trainer(Module& model, const Dataset& train, const Dataset& test,
                  TrainConfig cfg)
     : model_(model),
       train_(train),
-      test_(test),
       cfg_(cfg),
       optimizer_(model.parameters(),
                  {.lr = cfg.lr, .momentum = cfg.momentum,
                   .weight_decay = cfg.weight_decay}),
       schedule_(cfg.lr, std::max<int64_t>(cfg.epochs, 1)),
-      rng_(cfg.seed) {
+      train_loader_(train, {.batch_size = cfg.batch_size,
+                            .timesteps = cfg.timesteps,
+                            .seed = cfg.seed,
+                            .shuffle = true,
+                            .drop_last = true,
+                            .augment = cfg.augment,
+                            .augment_opts = cfg.augment_opts,
+                            .prefetch = cfg.prefetch}),
+      eval_loader_(test, {.batch_size = cfg.batch_size,
+                          .timesteps = cfg.timesteps,
+                          .seed = cfg.seed,
+                          .shuffle = false,
+                          .drop_last = false,
+                          .augment = false,
+                          .prefetch = cfg.prefetch}) {
   TTSNN_CHECK(cfg_.epochs >= 1, "Trainer: epochs must be >= 1, got " << cfg_.epochs);
   TTSNN_CHECK(cfg_.batch_size >= 1,
               "Trainer: batch_size must be >= 1, got " << cfg_.batch_size);
@@ -41,27 +54,20 @@ LossResult Trainer::compute_loss(const Tensor& logits,
 EpochStats Trainer::run_epoch(int64_t epoch) {
   // Every batch allocates the same activation/gradient/im2col shapes; the
   // arena recycles them across batches instead of round-tripping the heap.
+  // The scope lives on the consumer side; producer tasks allocating batch
+  // tensors on pool workers share it (Arena entry points are thread-safe).
   ArenaScope arena;
   if (cfg_.cosine_lr) optimizer_.set_lr(schedule_.at(epoch));
   model_.set_training(true);
-
-  std::vector<int64_t> order(static_cast<size_t>(train_.size()));
-  std::iota(order.begin(), order.end(), 0);
-  std::shuffle(order.begin(), order.end(), rng_.engine());
+  train_loader_.begin_epoch(epoch);
 
   Timer timer;
   EpochStats stats;
   int64_t batches = 0;
   int64_t correct = 0, seen = 0;
-  for (int64_t cursor = 0; cursor + cfg_.batch_size <= train_.size();
-       cursor += cfg_.batch_size) {
-    std::vector<int64_t> idx(order.begin() + cursor,
-                             order.begin() + cursor + cfg_.batch_size);
-    Batch batch = train_.get_batch(idx, cfg_.timesteps);
-    Tensor input = batch.input;
-    if (cfg_.augment) input = augment_events(input, cfg_.augment_opts, rng_);
-
-    Tensor logits = model_.forward(input);
+  Batch batch;
+  while (train_loader_.next(&batch)) {
+    Tensor logits = model_.forward(batch.input);
     LossResult loss = compute_loss(logits, batch.labels);
     optimizer_.zero_grad();
     model_.backward(loss.grad);
@@ -78,9 +84,12 @@ EpochStats Trainer::run_epoch(int64_t epoch) {
   stats.loss /= static_cast<double>(batches);
   stats.train_accuracy = static_cast<double>(correct) / static_cast<double>(seen);
   stats.seconds = timer.seconds();
+  stats.data_wait_seconds = train_loader_.wait_seconds();
+  stats.compute_seconds = std::max(0.0, stats.seconds - stats.data_wait_seconds);
   if (cfg_.verbose) {
     std::cout << "epoch " << epoch << ": loss " << stats.loss << " acc "
-              << stats.train_accuracy << " (" << stats.seconds << " s)\n";
+              << stats.train_accuracy << " (" << stats.seconds << " s, "
+              << stats.data_wait_seconds << " s data wait)\n";
   }
   return stats;
 }
@@ -88,12 +97,10 @@ EpochStats Trainer::run_epoch(int64_t epoch) {
 double Trainer::evaluate() {
   ArenaScope arena;
   model_.set_training(false);
+  eval_loader_.begin_epoch(0);
   int64_t correct = 0, seen = 0;
-  for (int64_t cursor = 0; cursor < test_.size(); cursor += cfg_.batch_size) {
-    const int64_t end = std::min<int64_t>(cursor + cfg_.batch_size, test_.size());
-    std::vector<int64_t> idx(static_cast<size_t>(end - cursor));
-    std::iota(idx.begin(), idx.end(), cursor);
-    Batch batch = test_.get_batch(idx, cfg_.timesteps);
+  Batch batch;
+  while (eval_loader_.next(&batch)) {
     Tensor logits = model_.forward(batch.input);
     correct += static_cast<int64_t>(
         std::llround(accuracy(logits, batch.labels) *

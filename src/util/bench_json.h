@@ -1,9 +1,10 @@
 #pragma once
 
 /// \file bench_json.h
-/// Shared harness for the benches: repeat-until-stable timing with p50/p99
-/// percentiles, and a machine-readable JSON report (BENCH_micro.json /
-/// BENCH_serving.json) so the perf trajectory is tracked PR-over-PR as CI
+/// Shared harness for the benches and the `ttsnn_train` scenario reports:
+/// repeat-until-stable timing with p50/p99 percentiles, and a
+/// machine-readable JSON report (BENCH_micro.json / BENCH_serving.json /
+/// training reports) so the perf trajectory is tracked PR-over-PR as CI
 /// artifacts instead of scrollback.
 ///
 /// JSON schema: {"schema": 1, "benchmarks": [{"name": ..., string and number

@@ -62,10 +62,19 @@ void ThreadPool::worker_loop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (stop_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      cv_.wait(lock, [this] {
+        return stop_ || !queue_.empty() || !submitted_.empty();
+      });
+      if (stop_ && queue_.empty() && submitted_.empty()) return;
+      // Helper chunks first: they unblock a caller already inside a compute
+      // region, while submitted tasks are latency-tolerant background work.
+      if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      } else {
+        task = std::move(submitted_.front());
+        submitted_.pop_front();
+      }
     }
     task();
   }
@@ -142,6 +151,20 @@ void ThreadPool::parallel_for(int64_t n,
   }
 
   if (region->error) std::rethrow_exception(region->error);
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  TTSNN_CHECK(workers() > 0,
+              "ThreadPool::submit requires at least one worker thread");
+  TTSNN_CHECK(task != nullptr, "ThreadPool::submit of an empty task");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    submitted_.emplace_back(std::move(task));
+  }
+  // notify_all, not notify_one: the single wake could land on a caller
+  // blocked in parallel_for (whose predicate ignores submitted_), which
+  // would re-sleep and strand the task until an unrelated notify.
+  cv_.notify_all();
 }
 
 ThreadPool& ThreadPool::instance() {

@@ -49,6 +49,17 @@ class ThreadPool {
   void parallel_for(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
                     int64_t grain = 0);
 
+  /// Enqueues a standalone fire-and-forget task (the DataLoader producer
+  /// pattern). Submitted tasks live in their own queue that only idle
+  /// workers drain — a thread blocked in parallel_for runs helper chunks,
+  /// never a whole submitted task, so batch-granularity background work
+  /// cannot sneak into a compute region's critical path. Requires at least
+  /// one worker: with none, nothing would ever execute the task, so the
+  /// caller must run its work synchronously instead. Completion signalling
+  /// is the task's own business; the pool destructor drains both queues
+  /// before joining, so a submitted task never silently disappears.
+  void submit(std::function<void()> task);
+
   /// Process-wide pool, created on first use and sized from
   /// TTSNN_POOL_THREADS if set, else hardware_concurrency() - 1 (the calling
   /// thread supplies the remaining lane).
@@ -58,11 +69,15 @@ class ThreadPool {
   struct Region;  // shared state of one parallel_for call
 
   void worker_loop();
-  /// Pops and runs one queued task; returns false if the queue was empty.
+  /// Pops and runs one parallel_for helper chunk; returns false if that
+  /// queue was empty. Deliberately never touches submitted_: this is the
+  /// work a blocked parallel_for caller may steal, and stealing a whole
+  /// submitted task there would serialize it into the compute path.
   bool run_one_task();
 
   std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<std::function<void()>> queue_;      ///< parallel_for helpers
+  std::deque<std::function<void()>> submitted_;  ///< standalone submit() tasks
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;

@@ -1,0 +1,152 @@
+// Scenario layer tests: config parsing (file + CLI precedence, loud failures
+// on typos), and the `ttsnn_train` smoke — one tiny epoch per TT mode driven
+// from the checked-in configs/*.cfg files, with report and checkpoint
+// artifacts verified.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "snn/scenario.h"
+
+namespace ttsnn {
+namespace {
+
+// Match dataloader_test: give the lazily-built pool workers so the scenarios
+// exercise the async loader path, not just the sync fallback.
+const bool kPoolSized = [] {
+  setenv("TTSNN_POOL_THREADS", "3", /*overwrite=*/0);
+  return true;
+}();
+
+std::string source_config(const std::string& name) {
+  return std::string(TTSNN_SOURCE_DIR) + "/configs/" + name;
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(ScenarioConfigTest, FileThenCliPrecedence) {
+  const std::string path = temp_path("scenario_precedence.cfg");
+  {
+    std::ofstream out(path);
+    out << "# comment line\n"
+        << "dataset = event\n"
+        << "epochs = 4   # trailing comment\n"
+        << "augment = on\n";
+  }
+  ScenarioConfig cfg = parse_scenario_cli(
+      {"--config=" + path, "--epochs=2", "--tt_mode=ptt"});
+  EXPECT_EQ(cfg.dataset, "event");  // from the file
+  EXPECT_EQ(cfg.epochs, 2);         // CLI overrides the file
+  EXPECT_EQ(cfg.tt_mode, "ptt");    // CLI on top of defaults
+  EXPECT_TRUE(cfg.augment);
+  // Options in front of --config would be silently discarded by the file
+  // load; that must be a loud error, not a quietly wrong scenario.
+  EXPECT_THROW(parse_scenario_cli({"--epochs=9", "--config=" + path}), Error);
+}
+
+TEST(ScenarioConfigTest, BareFlagEnablesBoolean) {
+  ScenarioConfig cfg = parse_scenario_cli({"--vbmf", "--compile_smoke"});
+  EXPECT_TRUE(cfg.vbmf);
+  EXPECT_TRUE(cfg.compile_smoke);
+}
+
+TEST(ScenarioConfigTest, RanksParseAsList) {
+  ScenarioConfig cfg = parse_scenario_cli({"--ranks=4, 8,12"});
+  EXPECT_EQ(cfg.ranks, (std::vector<int64_t>{4, 8, 12}));
+}
+
+TEST(ScenarioConfigTest, TyposFailLoudly) {
+  EXPECT_THROW(parse_scenario_cli({"--no_such_option=1"}), Error);
+  EXPECT_THROW(parse_scenario_cli({"--epochs=three"}), Error);
+  EXPECT_THROW(parse_scenario_cli({"--augment=maybe"}), Error);
+  EXPECT_THROW(parse_scenario_cli({"epochs=3"}), Error);  // missing --
+  // Bare flags are only for booleans; a bare --checkpoint would otherwise
+  // silently write a file literally named "true".
+  EXPECT_THROW(parse_scenario_cli({"--checkpoint"}), Error);
+  EXPECT_THROW(parse_scenario_cli({"--report"}), Error);
+  EXPECT_THROW(parse_scenario_cli({"--config=/no/such/file.cfg"}), Error);
+  EXPECT_THROW(run_scenario(parse_scenario_cli({"--dataset=imagenet"})), Error);
+  EXPECT_THROW(run_scenario(parse_scenario_cli({"--model=alexnet"})), Error);
+  EXPECT_THROW(run_scenario(parse_scenario_cli({"--loss=mse"})), Error);
+}
+
+TEST(ScenarioConfigTest, HttScheduleValidated) {
+  ScenarioConfig cfg;
+  cfg.tt_mode = "htt";
+  cfg.timesteps = 4;
+  cfg.epochs = 1;
+  cfg.train_per_class = 4;
+  cfg.test_per_class = 2;
+  cfg.batch_size = 8;
+  cfg.htt_schedule = "110";  // wrong length
+  EXPECT_THROW(run_scenario(cfg), Error);
+  cfg.htt_schedule = "11x0";
+  EXPECT_THROW(run_scenario(cfg), Error);
+}
+
+TEST(ScenarioConfigTest, MakeDatasetCoversAllKinds) {
+  ScenarioConfig cfg;
+  cfg.classes = 3;
+  cfg.train_per_class = 2;
+  for (const char* kind : {"image", "event", "gesture"}) {
+    cfg.dataset = kind;
+    std::unique_ptr<Dataset> data = make_scenario_dataset(cfg, /*train=*/true);
+    ASSERT_NE(data, nullptr) << kind;
+    EXPECT_EQ(data->size(), 6) << kind;
+    EXPECT_EQ(data->channels(), std::string(kind) == "image" ? 3 : 2) << kind;
+  }
+}
+
+/// The ttsnn_train CI smoke, as a test: one tiny epoch per TT mode from the
+/// checked-in config files, producing a JSON report and a checkpoint.
+class ScenarioSmokeTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ScenarioSmokeTest, RunsOneTinyEpochFromConfigFile) {
+  const std::string name = GetParam();
+  ScenarioConfig cfg = load_scenario_file(source_config("tiny_" + name + ".cfg"));
+  EXPECT_EQ(cfg.tt_mode, name);
+  EXPECT_EQ(cfg.epochs, 1) << "CI smoke configs must stay one-epoch tiny";
+  cfg.report = temp_path("scenario_" + name + ".json");
+  cfg.checkpoint = temp_path("scenario_" + name + ".ckpt");
+
+  ScenarioResult result = run_scenario(cfg);
+  ASSERT_EQ(result.fit.epochs.size(), 1U);
+  EXPECT_GE(result.fit.test_accuracy, 0.0);
+  EXPECT_LE(result.fit.test_accuracy, 1.0);
+  EXPECT_GT(result.fit.batch_time_s, 0.0);
+  EXPECT_GT(result.factorization.replaced(), 0);
+  // The configs all request the compile smoke; exact lowering must match the
+  // module bit-for-bit.
+  EXPECT_EQ(result.compile_max_abs_diff, 0.0);
+  // Epoch wall clock decomposes into compute + data wait.
+  const EpochStats& e = result.fit.epochs[0];
+  EXPECT_NEAR(e.seconds, e.compute_seconds + e.data_wait_seconds,
+              1e-6 + 0.01 * e.seconds);
+
+  const std::string report = read_file(cfg.report);
+  EXPECT_NE(report.find("\"schema\": 1"), std::string::npos);
+  EXPECT_NE(report.find("\"name\": \"result\""), std::string::npos);
+  EXPECT_NE(report.find("data_wait_s"), std::string::npos);
+  std::ifstream ckpt(cfg.checkpoint, std::ios::binary);
+  EXPECT_TRUE(ckpt.good()) << "checkpoint not written";
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, ScenarioSmokeTest,
+                         ::testing::Values("stt", "ptt", "htt"));
+
+}  // namespace
+}  // namespace ttsnn

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Docs hygiene checker (runs in CI and as the `docs_check` ctest entry).
+
+Two passes over the repo:
+
+1. Markdown link check: every relative link in README.md, ROADMAP.md,
+   CHANGES.md and docs/**/*.md must resolve to an existing file or directory
+   (external http(s)/mailto links and pure #anchors are skipped — no network
+   in CI).
+2. Header brief check: every public header under src/ must carry a Doxygen
+   `\\file` line followed by a non-empty brief within its first lines, so the
+   API stays self-describing.
+
+Usage: check_docs.py [repo_root]   (exit 0 = clean, 1 = findings, printed
+one per line as `path: message`).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def markdown_files(root: Path):
+    for name in ("README.md", "ROADMAP.md", "CHANGES.md"):
+        path = root / name
+        if path.exists():
+            yield path
+    yield from sorted((root / "docs").glob("**/*.md"))
+
+
+def check_markdown_links(root: Path):
+    problems = []
+    for md in markdown_files(root):
+        text = md.read_text(encoding="utf-8")
+        # Strip fenced code blocks: shell snippets legitimately contain
+        # bracket-paren sequences that are not links.
+        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        for target in LINK_RE.findall(text):
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            resolved = (md.parent / rel).resolve()
+            if not resolved.exists():
+                problems.append(f"{md.relative_to(root)}: broken link -> {target}")
+    return problems
+
+
+def check_header_briefs(root: Path):
+    problems = []
+    for header in sorted((root / "src").glob("**/*.h")):
+        lines = header.read_text(encoding="utf-8").splitlines()
+        file_line = next(
+            (i for i, l in enumerate(lines[:12]) if "\\file" in l), None
+        )
+        rel = header.relative_to(root)
+        if file_line is None:
+            problems.append(f"{rel}: missing Doxygen \\file brief in header")
+            continue
+        brief = ""
+        for line in lines[file_line:file_line + 4]:
+            stripped = line.strip().lstrip("/").strip()
+            if stripped.startswith("\\file"):
+                stripped = stripped[len("\\file"):].strip()
+                # Drop the conventional "\file name.h" token itself.
+                stripped = re.sub(r"^\S+\.h\b", "", stripped).strip()
+            brief += stripped
+        if len(brief) < 10:
+            problems.append(f"{rel}: \\file present but no brief text follows")
+    return problems
+
+
+def main() -> int:
+    root = Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    problems = check_markdown_links(root) + check_header_briefs(root)
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s)")
+        return 1
+    n_md = len(list(markdown_files(root)))
+    n_h = len(list((root / "src").glob("**/*.h")))
+    print(f"check_docs: OK ({n_md} markdown files, {n_h} headers)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,76 @@
+// ttsnn_train — scenario-driven training CLI.
+//
+// Composes any paper scenario end to end from flags and/or a config file:
+// dataset (synthetic image / CIFAR-like / event-gesture), model, TT mode
+// (STT/PTT/HTT) with explicit ranks or VBMF auto-rank, loss (CE-sum / TET),
+// timesteps, augmentation, async prefetching, checkpoint save, and an
+// infer::compile smoke check. Writes a JSON training report in the
+// util/bench_json.h schema so CI tracks accuracy and the compute/data-wait
+// split the same way it tracks BENCH_micro.json.
+//
+//   ./build/ttsnn_train --config=configs/tiny_ptt.cfg --report=train.json
+//   ./build/ttsnn_train --dataset=event --model=resnet18 --tt_mode=htt …
+//       --timesteps=6 --htt_schedule=111100 --augment --epochs=5
+//
+// Precedence: defaults < --config file < later --key=value flags.
+// Run with --help for the full key list.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "snn/scenario.h"
+
+namespace {
+
+void print_help() {
+  std::printf(
+      "ttsnn_train: train a TT-SNN scenario from flags / a config file\n"
+      "\n"
+      "  --config=FILE            load 'key = value' lines ('#' comments);\n"
+      "                           must come first, later flags override it\n"
+      "  --help                   this text\n"
+      "\n"
+      "dataset:  --dataset=image|event|gesture --classes=N\n"
+      "          --train_per_class=N --test_per_class=N --image_size=N\n"
+      "          --data_seed=N\n"
+      "model:    --model=resnet18|resnet34|resnet20|vgg9|vgg11\n"
+      "          --base_width=N --bn=per_step|tdbn|tebn\n"
+      "tt:       --tt_mode=none|stt|ptt|htt --pretrain_epochs=N\n"
+      "          --ranks=R1,R2,... | --vbmf | --rank_fraction=F\n"
+      "          --htt_schedule=1100 (one '1'/'0' per timestep)\n"
+      "training: --epochs=N --batch_size=N --timesteps=N --lr=F\n"
+      "          --loss=ce|tet --tet_lambda=F --augment\n"
+      "          --augment_max_shift=N --augment_cutout=N\n"
+      "          --prefetch=N (0 = synchronous loading) --seed=N --verbose\n"
+      "outputs:  --checkpoint=PATH --compile_smoke --report=PATH.json\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (const std::string& a : args) {
+    if (a == "--help" || a == "-h") {
+      print_help();
+      return 0;
+    }
+  }
+  try {
+    const ttsnn::ScenarioConfig cfg = ttsnn::parse_scenario_cli(args);
+    const ttsnn::ScenarioResult result = ttsnn::run_scenario(cfg);
+    std::printf("%s\n", ttsnn::scenario_summary(cfg, result).c_str());
+    if (result.compile_max_abs_diff >= 0.0) {
+      std::printf("compile smoke: max |engine - module| = %.3g\n",
+                  result.compile_max_abs_diff);
+    }
+    if (!cfg.checkpoint.empty()) {
+      std::printf("checkpoint: %s\n", cfg.checkpoint.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ttsnn_train: %s\n", e.what());
+    std::fprintf(stderr, "run with --help for usage\n");
+    return 1;
+  }
+  return 0;
+}
