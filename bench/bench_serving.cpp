@@ -1,6 +1,6 @@
 // Serving bench: throughput and latency of the compiled inference stack.
 //
-// Configurations over the same factorized (PTT) MS-ResNet:
+// Single-engine configurations over the same factorized (PTT) MS-ResNet:
 //   module      — looping eval-mode Module::forward, one request at a time
 //                 (the only serving story before the train/infer split)
 //   merged/1    — Engine with merged dense kernels (Algorithm 1 lines
@@ -14,10 +14,23 @@
 //   server      — infer::Server with concurrent clients; requests are
 //                 coalesced into micro-batches under a latency deadline
 //
+// Router load sweep (the scale-out story): a closed-loop load generator —
+// configurable client count (--clients), shape-mix ratio (--mix), optional
+// per-run request budget (--requests) — drives infer::Router at shard counts
+// 1 / 2 / 4, unpaced (saturation) and paced at target QPS fractions of the
+// measured single-engine rate, so the shard count -> throughput / p99 knee
+// lands in BENCH_serving.json. Paced latencies are measured from each
+// request's *scheduled* send time, so queue build-up past the knee shows up
+// in p99 instead of being hidden by coordinated omission.
+//
 // Reports requests/s plus p50/p99 end-to-end latency per request.
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <exception>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -25,7 +38,9 @@
 #include "core/factorize.h"
 #include "core/models.h"
 #include "infer/engine.h"
+#include "infer/router.h"
 #include "infer/server.h"
+#include "tensor/ops.h"
 #include "util/common.h"
 
 namespace ttsnn {
@@ -36,7 +51,7 @@ constexpr int64_t kInputSize = 12;
 constexpr int64_t kRequests = 96;
 constexpr int64_t kBatch = 8;
 // More clients than one batch so several batches are in flight at once.
-constexpr int kClients = 16;
+constexpr int kDefaultClients = 16;
 
 struct LatencyStats {
   double throughput = 0.0;  ///< requests / s
@@ -45,22 +60,111 @@ struct LatencyStats {
 };
 
 LatencyStats summarize(std::vector<double> latencies_s, double total_s) {
-  std::sort(latencies_s.begin(), latencies_s.end());
-  const size_t n = latencies_s.size();
   LatencyStats s;
+  const size_t n = latencies_s.size();
+  if (n == 0) return s;  // an empty run reports zeros instead of faulting
+  std::sort(latencies_s.begin(), latencies_s.end());
   s.throughput = static_cast<double>(n) / total_s;
   s.p50_ms = latencies_s[n / 2] * 1e3;
-  s.p99_ms = latencies_s[std::min(n - 1, n * 99 / 100)] * 1e3;
+  s.p99_ms = latencies_s[bench::p99_index(n)] * 1e3;
   return s;
 }
 
-void report(bench::Report& out, const char* name, const LatencyStats& s) {
-  std::printf("  %-10s %10.1f req/s   p50 %7.2f ms   p99 %7.2f ms\n", name,
-              s.throughput, s.p50_ms, s.p99_ms);
-  out.add(name)
+bench::Row& report(bench::Report& out, const std::string& name,
+                   const LatencyStats& s) {
+  std::printf("  %-22s %10.1f req/s   p50 %7.2f ms   p99 %7.2f ms\n",
+              name.c_str(), s.throughput, s.p50_ms, s.p99_ms);
+  return out.add(name)
       .num("req_per_s", s.throughput)
       .num("p50_ms", s.p50_ms)
       .num("p99_ms", s.p99_ms);
+}
+
+/// bench_serving's flags: the shared --out / --quick (bench::Args) plus the
+/// load-generator knobs, hooked in through the shared parser.
+struct ServingArgs {
+  bench::Args base;
+  int clients = kDefaultClients;
+  double mix = 0.25;       ///< fraction of router requests using shape B
+  int64_t requests = 0;    ///< per-run router request budget; 0 = auto
+
+  static ServingArgs parse(int argc, char** argv) {
+    ServingArgs a;
+    a.base = bench::Args::parse(
+        argc, argv, "BENCH_serving.json", [&a](const std::string& arg) {
+          try {
+            if (arg.rfind("--clients=", 0) == 0) {
+              a.clients = std::max(1, std::stoi(arg.substr(10)));
+            } else if (arg.rfind("--mix=", 0) == 0) {
+              a.mix = std::clamp(std::stod(arg.substr(6)), 0.0, 1.0);
+            } else if (arg.rfind("--requests=", 0) == 0) {
+              // 0 keeps the auto budget (see the field comment above).
+              a.requests = std::max<int64_t>(0, std::stoll(arg.substr(11)));
+            } else {
+              return false;
+            }
+          } catch (const std::exception&) {
+            std::printf("bad value in %s, keeping the default\n", arg.c_str());
+          }
+          return true;
+        });
+    return a;
+  }
+};
+
+/// Closed-loop load generator over a two-shape mix. Each client owns a
+/// session key (so one client's same-shaped requests coalesce on one shard
+/// while different clients spread across replicas) and submits its next
+/// request as soon as the previous future resolves; with target_qps > 0 the
+/// sends are additionally paced onto a fixed schedule and latency is counted
+/// from the scheduled send time.
+LatencyStats run_router_load(infer::Router& router, const Tensor& shape_a,
+                             const Tensor& shape_b, int clients,
+                             int64_t per_client, double mix, double target_qps,
+                             double* total_s_out) {
+  std::vector<std::vector<double>> lat(static_cast<size_t>(clients));
+  const auto start = std::chrono::steady_clock::now();
+  Timer total;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<double>& my = lat[static_cast<size_t>(c)];
+      my.reserve(static_cast<size_t>(per_client));
+      for (int64_t i = 0; i < per_client; ++i) {
+        // Deterministic shape mix, spread evenly through the stream
+        // (Bresenham-style: the B share crosses an integer boundary every
+        // 1/mix requests, so any prefix of the stream carries ~mix B's).
+        const int64_t idx = i * clients + c;
+        const bool use_b =
+            std::fmod(static_cast<double>(idx + 1) * mix, 1.0) < mix;
+        auto sent = std::chrono::steady_clock::now();
+        if (target_qps > 0.0) {
+          const double interval_s = static_cast<double>(clients) / target_qps;
+          const auto scheduled =
+              start + std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(
+                              (static_cast<double>(i) +
+                               static_cast<double>(c) / clients) *
+                              interval_s));
+          std::this_thread::sleep_until(scheduled);
+          sent = scheduled;  // count schedule lag as latency (no omission)
+        }
+        router.infer(use_b ? shape_b : shape_a,
+                     /*session=*/static_cast<uint64_t>(c));
+        my.push_back(std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - sent)
+                         .count());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double total_s = total.seconds();
+  if (total_s_out != nullptr) *total_s_out = total_s;
+  std::vector<double> all;
+  for (const auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  return summarize(std::move(all), total_s);
 }
 
 }  // namespace
@@ -68,7 +172,7 @@ void report(bench::Report& out, const char* name, const LatencyStats& s) {
 
 int main(int argc, char** argv) {
   using namespace ttsnn;
-  bench::Args args = bench::Args::parse(argc, argv, "BENCH_serving.json");
+  ServingArgs args = ServingArgs::parse(argc, argv);
   bench::Report json;
 
   Rng rng(7);
@@ -144,6 +248,7 @@ int main(int argc, char** argv) {
   }
 
   // --- engine/1: compiled exact plan, still one request per run ------------
+  LatencyStats engine1;
   {
     std::vector<double> lat;
     lat.reserve(kRequests);
@@ -153,7 +258,8 @@ int main(int argc, char** argv) {
       engine.run(as_batch1(r));
       lat.push_back(t.seconds());
     }
-    report(json, "engine/1", summarize(std::move(lat), total.seconds()));
+    engine1 = summarize(std::move(lat), total.seconds());
+    report(json, "engine/1", engine1);
   }
 
   // --- engine/B: ideal pre-batched runs (micro-batching upper bound) -------
@@ -186,9 +292,9 @@ int main(int argc, char** argv) {
     std::vector<double> lat(kRequests, 0.0);
     std::vector<std::thread> clients;
     Timer total;
-    for (int c = 0; c < kClients; ++c) {
+    for (int c = 0; c < kDefaultClients; ++c) {
       clients.emplace_back([&, c] {
-        for (int64_t i = c; i < kRequests; i += kClients) {
+        for (int64_t i = c; i < kRequests; i += kDefaultClients) {
           Timer t;
           server.infer(requests[static_cast<size_t>(i)]);
           lat[static_cast<size_t>(i)] = t.seconds();
@@ -209,6 +315,88 @@ int main(int argc, char** argv) {
         .num("batches", static_cast<double>(stats.batches))
         .num("mean_batch", stats.mean_batch());
   }
-  json.write(args.out);
+
+  // --- router shard sweep: closed-loop load generator over a shape mix -----
+  // Shape A is the image-pipeline size, shape B a smaller mixed-scenario
+  // shape (what used to head-of-line block on the single-queue server). One
+  // sample per shape rides every request: serving latency here is batching +
+  // dispatch, and the fixed content lets the sweep pin bit-identity against
+  // direct Engine::run below.
+  {
+    Rng load_rng(17);
+    Tensor shape_a =
+        Tensor::uniform({kTimesteps, 3, kInputSize, kInputSize}, load_rng);
+    Tensor shape_b = Tensor::uniform({kTimesteps, 3, 8, 8}, load_rng);
+    Tensor ref_a = engine.run(as_batch1(shape_a));
+    Tensor ref_b = engine.run(as_batch1(shape_b));
+
+    // Paced points bracket the measured single-engine rate so the knee
+    // (queueing p99 blow-up) is visible on whatever machine runs this.
+    std::vector<double> qps_factors;
+    if (!args.base.quick) qps_factors = {0.5, 1.5, 3.0};
+    const int64_t auto_budget = args.base.quick ? 48 : 128;
+    const int64_t budget = args.requests > 0 ? args.requests : auto_budget;
+    // Budgets divide evenly over the clients; `issued` is what actually runs
+    // (and what the /load rows record), not the pre-rounding ask.
+    const int64_t per_client = std::max<int64_t>(1, budget / args.clients);
+    const int64_t issued = per_client * args.clients;
+    double bitwise_max_diff = 0.0;
+
+    for (int shards : {1, 2, 4}) {
+      infer::Router router(engine, {.num_shards = shards,
+                                    .max_batch = kBatch,
+                                    .max_delay_ms = 2.0,
+                                    .dispatchers_per_shard = 2});
+      // Bit-identity of the routed path vs direct Engine::run, per shard
+      // count (covers every replica-selection code path the sweep uses).
+      bitwise_max_diff = std::max(
+          bitwise_max_diff,
+          max_abs_diff(router.infer(shape_a, 1).reshape({kTimesteps, -1}),
+                       ref_a.reshape({kTimesteps, -1})));
+      bitwise_max_diff = std::max(
+          bitwise_max_diff,
+          max_abs_diff(router.infer(shape_b, 2).reshape({kTimesteps, -1}),
+                       ref_b.reshape({kTimesteps, -1})));
+
+      const std::string base = "router/shards=" + std::to_string(shards);
+      double total_s = 0.0;
+      LatencyStats closed =
+          run_router_load(router, shape_a, shape_b, args.clients, per_client,
+                          args.mix, /*target_qps=*/0.0, &total_s);
+      report(json, base, closed);
+      json.add(base + "/load")
+          .num("clients", args.clients)
+          .num("mix", args.mix)
+          .num("requests", static_cast<double>(issued))
+          .num("total_s", total_s);
+
+      for (double f : qps_factors) {
+        const double qps = f * engine1.throughput;
+        // Size each paced run to ~1.5 s of offered load (bounded), so slow
+        // points do not dominate bench wall clock.
+        const int64_t paced_budget =
+            std::clamp<int64_t>(static_cast<int64_t>(qps * 1.5), 32, 256);
+        const int64_t paced_per_client =
+            std::max<int64_t>(1, paced_budget / args.clients);
+        char suffix[32];
+        std::snprintf(suffix, sizeof(suffix), "/qps=%.1fx", f);
+        LatencyStats paced =
+            run_router_load(router, shape_a, shape_b, args.clients,
+                            paced_per_client, args.mix, qps, nullptr);
+        report(json, base + suffix, paced).num("offered_qps", qps);
+      }
+      infer::RouterStats rstats = router.stats();
+      std::printf("  %s: %lld requests, %lld batches (mean %.1f)\n",
+                  base.c_str(), static_cast<long long>(rstats.requests),
+                  static_cast<long long>(rstats.batches), rstats.mean_batch());
+    }
+    std::printf("  router bitwise max |diff| vs Engine::run: %g\n",
+                bitwise_max_diff);
+    json.add("router/bitwise").num("max_abs_diff", bitwise_max_diff);
+    TTSNN_CHECK(bitwise_max_diff == 0.0,
+                "routed outputs diverged from direct Engine::run");
+  }
+
+  json.write(args.base.out);
   return 0;
 }

@@ -1,5 +1,5 @@
 // Quickstart for the inference stack: train-side model -> checkpoint ->
-// compiled engine -> micro-batching server.
+// compiled engine -> sharded serving router.
 //
 //   1. Build and factorize a model with the training API (here: a scaled
 //      MS-ResNet18 in PTT mode; a real run would Trainer::fit() it first).
@@ -7,7 +7,10 @@
 //   3. A serving process reconstructs the architecture, then
 //      compile_checkpoint() loads the checkpoint and lowers the module tree
 //      into an immutable, thread-safe infer::Engine.
-//   4. infer::Server coalesces single-sample requests into micro-batches.
+//   4. infer::Router clones the plan across shard replicas and coalesces
+//      single-sample requests into same-shape micro-batches per shard —
+//      mixed request shapes never block each other. (infer::Server is the
+//      same machinery pinned to one shard.)
 
 #include <cstdio>
 #include <future>
@@ -16,7 +19,7 @@
 #include "core/factorize.h"
 #include "core/models.h"
 #include "infer/engine.h"
-#include "infer/server.h"
+#include "infer/router.h"
 #include "snn/serialize.h"
 #include "tensor/ops.h"
 
@@ -70,11 +73,20 @@ int main() {
   std::printf("compiled plan (%zu ops):\n%s", engine.num_ops(),
               engine.summary().c_str());
 
-  infer::Server server(engine, {.max_batch = 4, .max_delay_ms = 2.0});
+  // Two engine replicas (cloned plans over shared weights), each with its
+  // own per-shape queues; the session key routes a client's traffic to a
+  // stable shard. Mixed shapes — here the image size and a smaller
+  // event-style clip — coalesce independently instead of queueing behind
+  // each other.
+  infer::Router router(engine, {.num_shards = 2, .max_batch = 4,
+                                .max_delay_ms = 2.0});
   Rng rng(42);
   std::vector<std::future<Tensor>> futures;
   for (int i = 0; i < 8; ++i) {
-    futures.push_back(server.submit(Tensor::uniform({4, 3, 12, 12}, rng)));
+    Tensor sample = (i % 4 == 3) ? Tensor::uniform({4, 3, 8, 8}, rng)
+                                 : Tensor::uniform({4, 3, 12, 12}, rng);
+    futures.push_back(
+        router.submit(std::move(sample), /*session=*/static_cast<uint64_t>(i)));
   }
   for (size_t i = 0; i < futures.size(); ++i) {
     Tensor logits_t = futures[i].get();  // [T, classes]
@@ -89,10 +101,15 @@ int main() {
     std::printf("request %zu -> class %lld\n", i,
                 static_cast<long long>(scores.argmax()));
   }
-  infer::ServerStats stats = server.stats();
+  infer::RouterStats stats = router.stats();
   std::printf("served %lld requests in %lld batches (mean batch %.1f)\n",
               static_cast<long long>(stats.requests),
               static_cast<long long>(stats.batches), stats.mean_batch());
+  for (size_t s = 0; s < stats.shard_requests.size(); ++s) {
+    std::printf("  shard %zu: %lld requests in %lld batches\n", s,
+                static_cast<long long>(stats.shard_requests[s]),
+                static_cast<long long>(stats.shard_batches[s]));
+  }
   std::remove(ckpt.c_str());
   return 0;
 }

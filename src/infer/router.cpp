@@ -1,0 +1,263 @@
+#include "infer/router.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace ttsnn::infer {
+
+namespace {
+
+using TimePoint = std::chrono::steady_clock::time_point;
+
+TimePoint group_deadline(const TimePoint& arrival, double max_delay_ms) {
+  return arrival +
+         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+             std::chrono::duration<double, std::milli>(max_delay_ms));
+}
+
+}  // namespace
+
+Router::Router(const Engine& engine, RouterOptions opts) : opts_(opts) {
+  TTSNN_CHECK(opts_.num_shards >= 1, "Router needs >= 1 shard");
+  TTSNN_CHECK(opts_.max_batch >= 1, "Router max_batch must be >= 1");
+  TTSNN_CHECK(opts_.max_delay_ms >= 0.0, "Router max_delay_ms must be >= 0");
+  TTSNN_CHECK(opts_.dispatchers_per_shard >= 1,
+              "Router needs >= 1 dispatcher per shard");
+  shards_.reserve(static_cast<size_t>(opts_.num_shards));
+  for (int i = 0; i < opts_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(engine));
+  }
+  // Dispatchers start only after every shard exists: a dispatcher never
+  // touches any shard but its own, but shard_for must already be stable.
+  for (auto& shard : shards_) {
+    shard->dispatchers.reserve(
+        static_cast<size_t>(opts_.dispatchers_per_shard));
+    for (int d = 0; d < opts_.dispatchers_per_shard; ++d) {
+      shard->dispatchers.emplace_back(
+          [this, s = shard.get()] { dispatcher_loop(*s); });
+    }
+  }
+}
+
+Router::~Router() { shutdown(); }
+
+void Router::shutdown() {
+  // One caller does the stop + join; concurrent callers (e.g. the destructor
+  // racing an explicit shutdown) BLOCK inside call_once until that caller
+  // finishes, so everyone returning from shutdown() can rely on the
+  // documented post-condition: queues drained, dispatchers joined.
+  std::call_once(shutdown_once_, [this] {
+    for (auto& shard : shards_) {
+      {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        shard->stop = true;
+      }
+      shard->cv.notify_all();
+    }
+    for (auto& shard : shards_) {
+      for (std::thread& t : shard->dispatchers) {
+        if (t.joinable()) t.join();
+      }
+      shard->dispatchers.clear();
+    }
+  });
+}
+
+int Router::shard_for(const Shape& shape, uint64_t session) const {
+  // FNV-1a over the shape extents and the session key. Same (shape, session)
+  // always hashes alike, so a client's same-shaped requests coalesce on one
+  // shard; distinct sessions spread a hot shape across replicas.
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (int64_t d : shape) mix(static_cast<uint64_t>(d));
+  mix(session);
+  return static_cast<int>(h % static_cast<uint64_t>(shards_.size()));
+}
+
+std::future<Tensor> Router::submit(Tensor x, uint64_t session) {
+  TTSNN_CHECK(x.dim() == 4, "Router::submit expects one sample [T, C, H, W], "
+                                << "got " << shape_str(x.shape()));
+  // All extents must be positive: a zero-sized sample would reach the
+  // dispatcher's numel()/t_steps stacking arithmetic as a divide by zero and
+  // take the whole process down instead of failing one request.
+  for (int64_t d = 0; d < 4; ++d) {
+    TTSNN_CHECK(x.size(d) > 0, "Router::submit needs all dims > 0, got "
+                                   << shape_str(x.shape()));
+  }
+  Request req;
+  req.x = std::move(x);
+  req.arrival = std::chrono::steady_clock::now();
+  std::future<Tensor> fut = req.promise.get_future();
+
+  Shard& shard = *shards_[static_cast<size_t>(
+      shard_for(req.x.shape(), session))];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    TTSNN_CHECK(!shard.stop, "Router::submit after shutdown");
+    Group* group = nullptr;
+    for (Group& g : shard.groups) {
+      if (g.shape == req.x.shape()) {
+        group = &g;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      shard.groups.emplace_back();
+      group = &shard.groups.back();
+      group->shape = req.x.shape();
+    }
+    group->reqs.push_back(std::move(req));
+    ++shard.requests;
+  }
+  shard.cv.notify_one();
+  return fut;
+}
+
+Tensor Router::infer(Tensor x, uint64_t session) {
+  return submit(std::move(x), session).get();
+}
+
+RouterStats Router::stats() const {
+  RouterStats s;
+  s.shard_requests.reserve(shards_.size());
+  s.shard_batches.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    s.requests += shard->requests;
+    s.batches += shard->batches;
+    s.max_batch = std::max(s.max_batch, shard->max_batch);
+    s.shard_requests.push_back(shard->requests);
+    s.shard_batches.push_back(shard->batches);
+  }
+  return s;
+}
+
+std::vector<Router::Request> Router::next_batch(Shard& shard) {
+  std::unique_lock<std::mutex> lock(shard.mu);
+  for (;;) {
+    shard.cv.wait(lock, [&shard] { return shard.stop || !shard.groups.empty(); });
+    if (shard.groups.empty()) return {};  // stop with a drained shard
+
+    // Scan the live groups for ready ones: a group is ready when it is FULL
+    // (dispatches immediately regardless of age — the PR-2 server would sit
+    // on a full batch while an older, not-yet-due request held the queue
+    // front) or when its deadline — always derived from its own oldest
+    // request's arrival — has expired. Among ready groups, serve the one
+    // whose front request has waited longest: full still beats not-yet-due,
+    // but a sustained flood that keeps one group permanently full cannot
+    // starve an expired group, because the flood's front stays fresh (it
+    // keeps being consumed) while the starving group's front only ages.
+    // Groups that are neither bound the sleep below by the earliest pending
+    // deadline.
+    const auto now = std::chrono::steady_clock::now();
+    auto ready = shard.groups.end();
+    TimePoint next_deadline = TimePoint::max();
+    for (auto it = shard.groups.begin(); it != shard.groups.end(); ++it) {
+      const bool full =
+          static_cast<int64_t>(it->reqs.size()) >= opts_.max_batch;
+      const TimePoint deadline =
+          group_deadline(it->reqs.front().arrival, opts_.max_delay_ms);
+      if (full || deadline <= now) {
+        if (ready == shard.groups.end() ||
+            it->reqs.front().arrival < ready->reqs.front().arrival) {
+          ready = it;
+        }
+      } else {
+        next_deadline = std::min(next_deadline, deadline);
+      }
+    }
+    if (ready == shard.groups.end()) {
+      if (shard.stop) {
+        ready = shard.groups.begin();  // drain: flush without waiting out ages
+      } else {
+        shard.cv.wait_until(lock, next_deadline);
+        continue;  // re-scan: a fill, a new group, or the deadline passing
+      }
+    }
+
+    std::vector<Request> batch;
+    batch.reserve(static_cast<size_t>(
+        std::min<int64_t>(opts_.max_batch,
+                          static_cast<int64_t>(ready->reqs.size()))));
+    while (!ready->reqs.empty() &&
+           static_cast<int64_t>(batch.size()) < opts_.max_batch) {
+      batch.push_back(std::move(ready->reqs.front()));
+      ready->reqs.pop_front();
+    }
+    // A partially drained group keeps its remaining requests AND their
+    // arrival stamps, so the tail's deadline stays anchored to when those
+    // requests actually arrived.
+    if (ready->reqs.empty()) shard.groups.erase(ready);
+    ++shard.batches;
+    shard.max_batch = std::max<int64_t>(
+        shard.max_batch, static_cast<int64_t>(batch.size()));
+    return batch;
+  }
+}
+
+void Router::run_batch(const Shard& shard, std::vector<Request>& batch) const {
+  // Promises fulfilled so far; the catch below must only touch the rest —
+  // set_exception on an already-satisfied promise throws future_error.
+  size_t fulfilled = 0;
+  try {
+    // Stack [T, C, H, W] samples into [T, N, C, H, W]: sample n's step t
+    // lands at row (t * N + n).
+    const Shape& s0 = batch[0].x.shape();
+    const int64_t n = static_cast<int64_t>(batch.size());
+    const int64_t t_steps = s0[0];
+    const int64_t chw = batch[0].x.numel() / t_steps;
+    Shape in_shape{t_steps, n, s0[1], s0[2], s0[3]};
+    Tensor input(in_shape);
+    for (int64_t j = 0; j < n; ++j) {
+      TTSNN_CHECK(batch[static_cast<size_t>(j)].x.shape() == s0,
+                  "Router: a batch must share one shape, got "
+                      << shape_str(batch[static_cast<size_t>(j)].x.shape())
+                      << " vs " << shape_str(s0));
+      const float* src = batch[static_cast<size_t>(j)].x.data();
+      for (int64_t t = 0; t < t_steps; ++t) {
+        std::copy(src + t * chw, src + (t + 1) * chw,
+                  input.data() + (t * n + j) * chw);
+      }
+    }
+
+    Tensor out = shard.engine.run(input);
+
+    // Split [T, N, ...] back into per-sample [T, ...] tensors.
+    TTSNN_CHECK(out.dim() >= 2 && out.size(0) == t_steps && out.size(1) == n,
+                "Router: engine output shape " << shape_str(out.shape())
+                                               << " lost the batch layout");
+    const int64_t row = out.numel() / (t_steps * n);
+    Shape sample_shape;
+    sample_shape.push_back(t_steps);
+    for (int64_t d = 2; d < out.dim(); ++d) sample_shape.push_back(out.size(d));
+    for (int64_t j = 0; j < n; ++j) {
+      Tensor sample(sample_shape);
+      for (int64_t t = 0; t < t_steps; ++t) {
+        std::copy(out.data() + (t * n + j) * row,
+                  out.data() + (t * n + j + 1) * row,
+                  sample.data() + t * row);
+      }
+      batch[static_cast<size_t>(j)].promise.set_value(std::move(sample));
+      ++fulfilled;
+    }
+  } catch (...) {
+    // A failed run poisons the not-yet-fulfilled futures of its batch (all
+    // same-shaped, per next_batch), never the router itself.
+    for (size_t j = fulfilled; j < batch.size(); ++j) {
+      batch[j].promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+void Router::dispatcher_loop(Shard& shard) {
+  for (;;) {
+    std::vector<Request> batch = next_batch(shard);
+    if (batch.empty()) return;
+    run_batch(shard, batch);
+  }
+}
+
+}  // namespace ttsnn::infer

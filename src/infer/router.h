@@ -1,0 +1,159 @@
+#pragma once
+
+/// \file router.h
+/// Sharded multi-replica serving layer — the scale-out front-end over
+/// infer::Engine.
+///
+/// The PR-2 Server coalesced every request into ONE FIFO queue and popped a
+/// same-shaped *prefix*, so a single odd-shaped request at the front
+/// head-of-line-blocked every other shape group: mixed-scenario traffic
+/// (image / event / gesture clips with different [T, C, H, W]) degraded to
+/// batches of one, each paying the full `max_delay_ms` stall. The Router
+/// fixes that structurally:
+///
+///   submit(x, session)
+///        │  shard = hash(shape, session) % num_shards
+///        ▼
+///   ┌─ Shard 0 ──────────────┐  ┌─ Shard 1 ──────────────┐
+///   │ groups: shape → queue  │  │ groups: shape → queue  │ ...
+///   │ dispatcher thread(s)   │  │ dispatcher thread(s)   │
+///   │ Engine replica 0       │  │ Engine replica 1       │
+///   └───────────┬────────────┘  └───────────┬────────────┘
+///               └────────── shared ThreadPool ───────────┘
+///
+///  - Every shard keeps one queue PER SHAPE GROUP, each carrying its own
+///    oldest-arrival deadline, so shape groups never block each other and a
+///    full batch dispatches immediately even when an older, not-yet-due
+///    group sits in front of it.
+///  - Each shard owns an Engine replica — a cloned plan sharing the same
+///    read-only weight storage (Engine is copyable and run() is const +
+///    thread-safe), compiled once by the caller.
+///  - All replicas fan their GEMMs onto the one process ThreadPool;
+///    dispatcher threads block outside the pool, exactly like the Server's.
+///
+/// Server (server.h) remains as a thin `num_shards = 1` compatibility
+/// wrapper over this class.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "infer/engine.h"
+
+namespace ttsnn::infer {
+
+struct RouterOptions {
+  /// Engine replicas, each with its own request queues and dispatchers.
+  int num_shards = 2;
+  /// Coalesce at most this many same-shaped requests into one Engine::run.
+  int64_t max_batch = 8;
+  /// Dispatch a partial batch once its group's oldest request is this old.
+  double max_delay_ms = 2.0;
+  /// Dispatcher threads per shard; each carries one batch at a time.
+  int dispatchers_per_shard = 1;
+};
+
+struct RouterStats {
+  int64_t requests = 0;   ///< samples accepted by submit()/infer()
+  int64_t batches = 0;    ///< Engine::run calls issued across all shards
+  int64_t max_batch = 0;  ///< largest coalesced batch observed anywhere
+  std::vector<int64_t> shard_requests;  ///< per-shard accepted samples
+  std::vector<int64_t> shard_batches;   ///< per-shard Engine::run calls
+  double mean_batch() const {
+    return batches > 0 ? static_cast<double>(requests) /
+                             static_cast<double>(batches)
+                       : 0.0;
+  }
+};
+
+class Router {
+ public:
+  /// Clones the compiled plan into one replica per shard (weight storage is
+  /// shared, so replicas cost a plan's worth of metadata, not a model copy)
+  /// and starts the dispatchers. The engine argument itself only needs to
+  /// live through the constructor.
+  explicit Router(const Engine& engine, RouterOptions opts = {});
+  /// Drains every shard queue, then joins the dispatchers.
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Enqueues one sample [T, C, H, W] (all extents > 0) on the shard chosen
+  /// by shard_for(x.shape(), session); the future resolves to the engine
+  /// output for that sample with the batch axis removed (e.g. [T, classes]).
+  /// Requests the engine rejects fail only their own future. Throws if the
+  /// router is shutting down or the sample has a zero-sized dimension.
+  std::future<Tensor> submit(Tensor x, uint64_t session = 0);
+
+  /// Blocking convenience around submit().
+  Tensor infer(Tensor x, uint64_t session = 0);
+
+  /// Deterministic shard for a (shape, session) key. Same shape + same
+  /// session always lands on the same shard (so its requests coalesce);
+  /// distinct session keys spread one shape across replicas.
+  int shard_for(const Shape& shape, uint64_t session = 0) const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Aggregated over all shards, plus the per-shard breakdown.
+  RouterStats stats() const;
+
+  /// Stops accepting work, finishes every queued request (pending groups
+  /// flush immediately, ignoring their deadlines), joins dispatchers.
+  /// Idempotent; also called by the destructor.
+  void shutdown();
+
+ private:
+  struct Request {
+    Tensor x;
+    std::promise<Tensor> promise;
+    std::chrono::steady_clock::time_point arrival;
+  };
+
+  /// One shape group: a FIFO of same-shaped requests. The flush deadline is
+  /// always `reqs.front().arrival + max_delay_ms` — arrivals ride with the
+  /// requests, so a group that waited while another flushed (or the tail
+  /// left behind by a partial pop) keeps its original age instead of being
+  /// re-armed with a fresh delay.
+  struct Group {
+    Shape shape;
+    std::deque<Request> reqs;
+  };
+
+  struct Shard {
+    Engine engine;  ///< cloned plan; weights shared with every other replica
+    explicit Shard(const Engine& e) : engine(e) {}
+
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::list<Group> groups;  ///< insertion-ordered; one entry per live shape
+    bool stop = false;
+    int64_t requests = 0;
+    int64_t batches = 0;
+    int64_t max_batch = 0;
+    std::vector<std::thread> dispatchers;
+  };
+
+  void dispatcher_loop(Shard& shard);
+  /// Pops the next ready batch of one shard: a full group first, else the
+  /// group whose deadline expired earliest, else (on stop) the oldest group.
+  /// Blocks until something is ready. Returns empty only at shutdown with a
+  /// drained shard.
+  std::vector<Request> next_batch(Shard& shard);
+  /// Stacks a same-shaped batch into [T, N, C, H, W], runs the shard's
+  /// replica, splits the output back per sample, and settles every promise.
+  void run_batch(const Shard& shard, std::vector<Request>& batch) const;
+
+  RouterOptions opts_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::once_flag shutdown_once_;
+};
+
+}  // namespace ttsnn::infer

@@ -1,38 +1,37 @@
 #pragma once
 
 /// \file server.h
-/// Micro-batching serving front-end over a compiled infer::Engine.
+/// Micro-batching serving front-end over a compiled infer::Engine — now a
+/// thin single-shard compatibility wrapper around infer::Router.
 ///
 /// Single-sample requests ([T, C, H, W]) are queued and coalesced into
-/// batches: a dispatcher pops as soon as `max_batch` requests are waiting, or
-/// when the oldest request has aged past `max_delay_ms` — the classic
-/// throughput/latency trade of a serving system. Batched requests ride one
-/// Engine::run call, which amortizes kernel and im2col overhead across the
-/// batch; the heavy math inside run() still lands on the shared ThreadPool
-/// through the gemm fan-out.
+/// batches: a dispatcher pops as soon as `max_batch` same-shaped requests
+/// are waiting, or when a shape group's oldest request has aged past
+/// `max_delay_ms` — the classic throughput/latency trade of a serving
+/// system. Batched requests ride one Engine::run call, which amortizes
+/// kernel and im2col overhead across the batch; the heavy math inside run()
+/// still lands on the shared ThreadPool through the gemm fan-out.
 ///
-/// Dispatchers are dedicated threads rather than pool tasks on purpose: they
-/// block on a condition variable waiting for traffic, and a blocked pool
-/// worker would steal a compute lane from every gemm in the process. With
-/// `num_dispatchers > 1`, several batches are in flight at once — safe
-/// because Engine::run is const and thread-safe.
+/// The original Server kept ONE FIFO queue and popped a same-shaped prefix,
+/// so mixed-shape traffic head-of-line-blocked: one odd-shaped request at
+/// the front stalled every other shape group for a full `max_delay_ms`.
+/// Serving is now built on the sharded Router (router.h), which keeps one
+/// queue per shape group; Server simply pins `num_shards = 1`. New code that
+/// wants replica scaling should hold a Router directly.
 
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <future>
-#include <mutex>
-#include <thread>
-#include <vector>
 
 #include "infer/engine.h"
+#include "infer/router.h"
 
 namespace ttsnn::infer {
 
 struct ServerOptions {
-  /// Coalesce at most this many requests into one Engine::run call.
+  /// Coalesce at most this many same-shaped requests into one Engine::run.
   int64_t max_batch = 8;
-  /// Dispatch a partial batch once the oldest queued request is this old.
+  /// Dispatch a partial batch once its shape group's oldest request is this
+  /// old.
   double max_delay_ms = 2.0;
   /// Dispatcher threads; each carries one batch at a time.
   int num_dispatchers = 1;
@@ -51,52 +50,43 @@ struct ServerStats {
 
 class Server {
  public:
-  /// The engine must outlive the server. Dispatchers start immediately.
-  explicit Server(const Engine& engine, ServerOptions opts = {});
-  /// Drains the queue, then joins the dispatchers.
-  ~Server();
+  /// Dispatchers start immediately. The engine only needs to outlive the
+  /// constructor (the router clones the plan; weights stay shared).
+  explicit Server(const Engine& engine, ServerOptions opts = {})
+      : router_(engine, RouterOptions{.num_shards = 1,
+                                      .max_batch = opts.max_batch,
+                                      .max_delay_ms = opts.max_delay_ms,
+                                      .dispatchers_per_shard =
+                                          opts.num_dispatchers}) {}
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Enqueues one sample [T, C, H, W]; the future resolves to the engine
-  /// output for that sample with the batch axis removed (e.g. [T, classes]).
-  /// Only same-shaped samples are coalesced into one batched run, so mixed
-  /// shapes are served correctly (in separate batches) and a request the
-  /// engine rejects fails only the futures of its own shape-group. Throws
-  /// if the server is shutting down.
-  std::future<Tensor> submit(Tensor x);
+  /// Enqueues one sample [T, C, H, W] (all extents > 0); the future resolves
+  /// to the engine output for that sample with the batch axis removed (e.g.
+  /// [T, classes]). Only same-shaped samples are coalesced into one batched
+  /// run, and each shape group flushes on its own deadline, so mixed shapes
+  /// are served without blocking each other. A request the engine rejects
+  /// fails only the futures of its own batch. Throws if the server is
+  /// shutting down.
+  std::future<Tensor> submit(Tensor x) { return router_.submit(std::move(x)); }
 
   /// Blocking convenience around submit().
-  Tensor infer(Tensor x);
+  Tensor infer(Tensor x) { return router_.infer(std::move(x)); }
 
-  ServerStats stats() const;
+  ServerStats stats() const {
+    const RouterStats r = router_.stats();
+    return ServerStats{.requests = r.requests,
+                       .batches = r.batches,
+                       .max_batch = r.max_batch};
+  }
 
   /// Stops accepting work, finishes queued requests, joins dispatchers.
   /// Idempotent; also called by the destructor.
-  void shutdown();
+  void shutdown() { router_.shutdown(); }
 
  private:
-  struct Request {
-    Tensor x;
-    std::promise<Tensor> promise;
-    std::chrono::steady_clock::time_point arrival;
-  };
-
-  void dispatcher_loop();
-  /// Pops a batch according to the coalescing policy. Returns empty only at
-  /// shutdown. Called with `mu_` NOT held.
-  std::vector<Request> next_batch();
-
-  const Engine& engine_;
-  ServerOptions opts_;
-  std::vector<std::thread> dispatchers_;
-
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Request> queue_;
-  bool stop_ = false;
-  ServerStats stats_;
+  Router router_;
 };
 
 }  // namespace ttsnn::infer

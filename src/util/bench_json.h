@@ -14,6 +14,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -28,6 +29,14 @@ struct Timing {
   double mean_s = 0.0;
   int64_t iters = 0;
 };
+
+/// 0-based index of the nearest-rank p99 in a sorted sample of size n >= 1,
+/// with a ceil'd rank: a floor'd n*99/100 under-ranks small samples (n < 100
+/// would report ~p95).
+inline size_t p99_index(size_t n) {
+  const size_t rank = (n * 99 + 99) / 100;  // ceil(0.99 n), >= 1 for n >= 1
+  return std::min(n - 1, rank - 1);
+}
 
 /// Runs fn() repeatedly — at least min_iters times and until min_seconds of
 /// total measured time — and summarizes the per-iteration wall clock.
@@ -51,7 +60,7 @@ Timing time_fn(Fn&& fn, double min_seconds = 0.2, int64_t min_iters = 5,
   out.iters = static_cast<int64_t>(samples.size());
   const size_t n = samples.size();
   out.p50_s = samples[n / 2];
-  out.p99_s = samples[std::min(n - 1, n * 99 / 100)];
+  out.p99_s = samples[p99_index(n)];
   for (double s : samples) out.mean_s += s;
   out.mean_s /= static_cast<double>(n);
   return out;
@@ -119,12 +128,15 @@ class Report {
   std::vector<Row> rows_;
 };
 
-/// --out=path / --quick flags shared by the JSON benches.
+/// --out=path / --quick flags shared by the JSON benches. A bench with
+/// extra knobs passes an `extra` handler instead of growing a second parser:
+/// it sees each unrecognized flag and returns true when it consumed it.
 struct Args {
   std::string out;
   bool quick = false;
 
-  static Args parse(int argc, char** argv, const char* default_out) {
+  static Args parse(int argc, char** argv, const char* default_out,
+                    const std::function<bool(const std::string&)>& extra = {}) {
     Args a;
     a.out = default_out;
     for (int i = 1; i < argc; ++i) {
@@ -133,8 +145,8 @@ struct Args {
         a.out = arg.substr(6);
       } else if (arg == "--quick") {
         a.quick = true;
-      } else {
-        std::printf("unknown flag %s (supported: --out=PATH, --quick)\n",
+      } else if (!extra || !extra(arg)) {
+        std::printf("unknown flag %s (shared flags: --out=PATH, --quick)\n",
                     arg.c_str());
       }
     }

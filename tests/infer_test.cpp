@@ -346,6 +346,24 @@ TEST(InferServerTest, BadRequestPoisonsOnlyItsOwnFuture) {
   EXPECT_EQ(ok.size(0), 4);
 }
 
+// Regression: a zero-sized sample ([0, C, H, W] etc.) used to pass the
+// dim()==4 submit check and crash the dispatcher process with an integer
+// divide by zero while stacking (numel / t_steps). It must fail the one
+// submit call instead, and the server must keep serving.
+TEST(InferServerTest, SubmitRejectsZeroSizedSample) {
+  Rng rng(24);
+  ModulePtr net = trained_model(TTMode::kPTT, rng);
+  infer::Engine engine = infer::compile(*net);
+  infer::Server server(engine, {.max_batch = 2, .max_delay_ms = 1.0});
+
+  EXPECT_THROW(server.submit(Tensor(Shape{0, 3, 8, 8})), Error);
+  EXPECT_THROW(server.submit(Tensor(Shape{4, 3, 0, 8})), Error);
+
+  Tensor ok = server.infer(Tensor::uniform({4, 3, 8, 8}, rng));
+  EXPECT_EQ(ok.size(0), 4);
+  EXPECT_EQ(server.stats().requests, 1);
+}
+
 TEST(InferTest, CompileRejectsUnknownModules) {
   class Mystery : public Module {
    public:
