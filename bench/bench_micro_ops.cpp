@@ -10,6 +10,11 @@
 //                 at 90% spike sparsity (density 0.1) is the PR-3 target.
 //   elemwise_*  — scalar vs AVX2 tiers of the axpy/adam/lif kernels.
 //   ttconv_*    — TTConv2d forward and forward+backward per mode.
+//   infer_run/* — batch-1 Engine::run: legacy per-register executor vs the
+//                 statically planned workspace (PR-6), fresh and reused;
+//                 each row reports arena acquisitions per call alongside p50,
+//                 so "one allocation per call" is a tracked number, not a
+//                 comment.
 //   merge/svd   — TT merge contraction, TT-SVD, VBMF rank estimation.
 //   train_epoch — end-to-end epoch with the pre-PR compute path (naive gemm,
 //                 scalar elementwise) vs the current defaults, plus a
@@ -19,12 +24,15 @@
 // Flags: --out=PATH (default BENCH_micro.json), --quick (CI smoke sizing).
 
 #include <cstdio>
+#include <functional>
 
 #include "util/bench_json.h"
 #include "core/factorize.h"
 #include "core/models.h"
 #include "core/ttconv.h"
 #include "data/synthetic_image.h"
+#include "infer/analysis.h"
+#include "infer/engine.h"
 #include "nn/conv2d.h"
 #include "snn/trainer.h"
 #include "tensor/arena.h"
@@ -179,6 +187,64 @@ void bench_ttconv(bench::Report& report, bool quick) {
   }
 }
 
+/// Batch-1 serving latency + allocation traffic: the legacy executor
+/// (Tensor::empty per register) against the statically planned one (one
+/// packed workspace), with and without the caller reusing the workspace
+/// tensor across calls — the Router dispatcher's steady state.
+void bench_planned_run(bench::Report& report) {
+  Rng rng(31);
+  ModelConfig cfg;
+  cfg.in_channels = 3;
+  cfg.num_classes = 10;
+  cfg.base_width = 16;
+  cfg.timesteps = 4;
+  ModulePtr net = make_ms_resnet18(cfg, rng);
+  FactorizeOptions fopts;
+  fopts.mode = TTMode::kPTT;
+  fopts.use_vbmf = false;
+  fopts.rank_fraction = 0.4;
+  factorize_network(*net, fopts, rng);
+  net->set_training(false);
+  Tensor x = Tensor::bernoulli({4, 1, 3, 16, 16}, rng, 0.2F);
+
+  const infer::Engine legacy =
+      infer::compile(*net, {.static_plan = false});
+  const infer::Engine planned = infer::compile(*net);
+  const auto plan = planned.memory_plan(x.shape());
+  Tensor ws;
+
+  const struct {
+    const char* tag;
+    std::function<Tensor()> run;
+  } variants[] = {
+      {"legacy", [&] { return legacy.run(x); }},
+      {"planned", [&] { return planned.run(x); }},
+      {"planned_reuse", [&] { return planned.run(x, ws); }},
+  };
+  for (const auto& v : variants) {
+    v.run();  // warm-up: plan cache, arena population, ws growth
+    constexpr int kCalls = 32;
+    Arena::instance().reset_stats();
+    for (int i = 0; i < kCalls; ++i) v.run();
+    const ArenaStats calls = Arena::instance().stats();
+    const double allocs_per_call =
+        static_cast<double>(calls.hits + calls.misses) / kCalls;
+    const bench::Timing t = bench::time_fn([&] { v.run(); }, 0.1);
+    const std::string name = std::string("infer_run/") + v.tag;
+    bench::Row& row = report.add(name)
+                          .str("config", v.tag)
+                          .num("allocs_per_call", allocs_per_call)
+                          .timing(t);
+    if (std::string(v.tag) != "legacy") {
+      row.num("workspace_bytes", static_cast<double>(plan->total_floats) * 4)
+          .num("unplanned_bytes",
+               static_cast<double>(plan->unplanned_floats) * 4);
+    }
+    std::printf("  %-44s p50 %7.3f ms  %5.1f allocs/call\n", name.c_str(),
+                t.p50_s * 1e3, allocs_per_call);
+  }
+}
+
 void bench_decompositions(bench::Report& report) {
   Rng rng(6);
   Tensor dense = Tensor::randn({64, 64, 3, 3}, rng);
@@ -330,6 +396,8 @@ int main(int argc, char** argv) {
 
   std::printf("== TTConv pipelines ==\n");
   bench_ttconv(report, args.quick);
+  std::printf("== planned inference run (batch 1) ==\n");
+  bench_planned_run(report);
   if (!args.quick) {
     std::printf("== decompositions ==\n");
     bench_decompositions(report);

@@ -1,8 +1,10 @@
 #include "infer/engine.h"
 
+#include <algorithm>
 #include <limits>
 #include <sstream>
 
+#include "infer/analysis.h"
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
 #include "tensor/ops.h"
@@ -12,28 +14,101 @@ namespace ttsnn::infer {
 
 namespace {
 
-/// Per-call scratch. Registers hold live activations; `col` is one reusable
-/// im2col buffer shared by every convolution in the plan, grown to the
-/// largest lowering the plan needs and never shrunk within a call.
-struct Workspace {
-  std::vector<Tensor> regs;
-  std::vector<float> col;
+/// Memory provider behind every op kernel. The kernels below are written
+/// once against this interface; the two executors differ ONLY in where the
+/// returned tensors live. LegacyCtx allocates (the reference path, unchanged
+/// behavior); PlannedCtx hands out views of the packed workspace at the
+/// offsets the memory planner assigned. Kernel arithmetic — every gemm /
+/// simd call, argument for argument, in the same order — is shared, which is
+/// what makes the planned executor bit-identical to the legacy one.
+struct ExecCtx {
+  /// The op's output tensor (register `out`).
+  virtual Tensor out(const Shape& s) = 0;
+  /// An op-internal temporary (TT pipeline stages, HTT gather planes).
+  virtual Tensor temp(const Shape& s) = 0;
+  /// The im2col column matrix, reused by every conv lowering in the plan.
+  virtual float* col(int64_t elems) = 0;
+  /// Raw float scratch (the LIF membrane plane).
+  virtual float* raw(int64_t elems) = 0;
 
-  float* col_buffer(int64_t elems) {
-    if (static_cast<int64_t>(col.size()) < elems) {
-      col.resize(static_cast<size_t>(elems));
+ protected:
+  ~ExecCtx() = default;
+};
+
+/// Reference executor memory: a fresh tensor per output/temp, grow-only
+/// buffers for col and raw scratch — exactly the pre-planner behavior.
+struct LegacyCtx final : ExecCtx {
+  std::vector<float> col_buf;
+  std::vector<float> raw_buf;
+
+  Tensor out(const Shape& s) override { return Tensor::empty(s); }
+  Tensor temp(const Shape& s) override { return Tensor::empty(s); }
+  float* col(int64_t elems) override {
+    if (static_cast<int64_t>(col_buf.size()) < elems) {
+      col_buf.resize(static_cast<size_t>(elems));
     }
-    return col.data();
+    return col_buf.data();
+  }
+  float* raw(int64_t elems) override {
+    if (static_cast<int64_t>(raw_buf.size()) < elems) {
+      raw_buf.resize(static_cast<size_t>(elems));
+    }
+    return raw_buf.data();
+  }
+};
+
+/// Planned executor memory for ONE op: the output is a pre-computed
+/// destination (workspace view, in-place alias of the input, or the owning
+/// result tensor), temps/raw bump through the plan's scratch region, col is
+/// the plan's fixed column block. The bump cursor is checked against the
+/// scratch budget op_scratch_floats() computed — any drift between the
+/// analysis enumeration and the kernels is a hard error, not a corruption.
+struct PlannedCtx final : ExecCtx {
+  const MemoryPlan* plan = nullptr;
+  Tensor* ws = nullptr;
+  Tensor dest;
+  size_t op_index = 0;
+  int64_t cursor = 0;
+
+  Tensor out(const Shape& s) override {
+    TTSNN_CHECK(dest.defined() && s == dest.shape(),
+                "infer: planned shape drift at op " << op_index << ": kernel "
+                    << "produced " << shape_str(s) << ", plan says "
+                    << shape_str(dest.shape()));
+    return dest;
+  }
+  Tensor temp(const Shape& s) override {
+    const int64_t n = shape_numel(s);
+    Tensor t = ws->view(plan->scratch_offset + cursor, s);
+    bump(n);
+    return t;
+  }
+  float* col(int64_t elems) override {
+    TTSNN_CHECK(elems <= plan->col_floats,
+                "infer: planned col overrun at op " << op_index);
+    return ws->data() + plan->col_offset;
+  }
+  float* raw(int64_t elems) override {
+    float* p = ws->data() + plan->scratch_offset + cursor;
+    bump(elems);
+    return p;
+  }
+
+ private:
+  void bump(int64_t elems) {
+    cursor += plan_align_up(elems);
+    TTSNN_CHECK(cursor <= plan->scratch_floats,
+                "infer: planned scratch overrun at op " << op_index);
   }
 };
 
 /// Dense convolution over a folded-batch NCHW tensor. Mirrors
 /// conv2d_forward() exactly (same im2col lowering, same gemm calls in the
 /// same order) so outputs are bit-identical to the Module path; the only
-/// difference is that the column matrix lives in the workspace.
+/// difference is where the column matrix and the output live.
 Tensor run_conv(const Tensor& x, const Tensor& weight,
-                const Conv2d::Options& opts, const Tensor& bias,
-                Workspace& ws) {
+                const Conv2d::Options& opts, const Tensor& bias, ExecCtx& ctx,
+                bool is_out) {
   TTSNN_CHECK(x.dim() >= 3, "infer conv: input must be at least [C, H, W]");
   TTSNN_CHECK(x.size(-3) == opts.in_channels,
               "infer conv: channel mismatch, expected "
@@ -57,13 +132,14 @@ Tensor run_conv(const Tensor& x, const Tensor& weight,
   out_shape[out_shape.size() - 3] = opts.out_channels;
   out_shape[out_shape.size() - 2] = oh;
   out_shape[out_shape.size() - 1] = ow;
-  Tensor out = Tensor::empty(out_shape);  // gemm beta=0 writes every element
+  // gemm beta=0 writes every element of the (possibly uninitialized) output.
+  Tensor out = is_out ? ctx.out(out_shape) : ctx.temp(out_shape);
   // Pointwise stride-1 convolutions (the TT w1/w4 cores and most shortcut
   // projections) skip the im2col lowering entirely: the column matrix would
   // be an identity copy of the input plane, so gemm reads it in place. The
   // gemm call is argument-for-argument identical, keeping bit-identity.
   const bool pointwise = g.pointwise();
-  float* col = pointwise ? nullptr : ws.col_buffer(g.col_rows() * g.col_cols());
+  float* col = pointwise ? nullptr : ctx.col(g.col_rows() * g.col_cols());
   const int64_t in_stride = opts.in_channels * g.in_h * g.in_w;
   const int64_t out_stride = opts.out_channels * oh * ow;
   for (int64_t b = 0; b < batch; ++b) {
@@ -107,42 +183,55 @@ void split_schedule(const TTConv2d::Options& tt, int64_t t_steps,
   }
 }
 
+/// gather_steps into a ctx temp; undefined tensor for an empty index list
+/// (matching gather_steps), so the scratch budget only charges non-empty
+/// splits — in lockstep with op_scratch_floats().
+Tensor gather_steps_ctx(const Tensor& x, const std::vector<int64_t>& idx,
+                        ExecCtx& ctx) {
+  if (idx.empty()) return {};
+  Shape s = x.shape();
+  s[0] = static_cast<int64_t>(idx.size());
+  Tensor out = ctx.temp(s);
+  gather_steps_into(x, idx, out);
+  return out;
+}
+
 /// Unmerged TT pipeline — reproduces eval-mode TTConv2d::forward bit-for-bit
 /// (the PTT branches run sequentially here; the training path computes them
 /// into separate buffers before the same add, so the bits agree).
-Tensor run_tt_exact(const Op& op, const Tensor& x, Workspace& ws) {
+Tensor run_tt_exact(const Op& op, const Tensor& x, ExecCtx& ctx) {
   const Tensor none;
-  Tensor o1 = run_conv(x, op.w1, op.tt_w1_opts, none, ws);
-  auto ptt_path = [&](const Tensor& in) {
-    Tensor a = run_conv(in, op.w2, op.tt_w2_opts, none, ws);
-    Tensor b = run_conv(in, op.w3, op.tt_w3_opts, none, ws);
+  Tensor o1 = run_conv(x, op.w1, op.tt_w1_opts, none, ctx, false);
+  auto ptt_path = [&](const Tensor& in, bool is_out) {
+    Tensor a = run_conv(in, op.w2, op.tt_w2_opts, none, ctx, false);
+    Tensor b = run_conv(in, op.w3, op.tt_w3_opts, none, ctx, false);
     a.add_(b);  // in place: a is this call's own conv output
-    return run_conv(a, op.w4, op.tt_w4_opts, none, ws);
+    return run_conv(a, op.w4, op.tt_w4_opts, none, ctx, is_out);
   };
   switch (op.tt.mode) {
     case TTMode::kSTT: {
-      Tensor z2 = run_conv(o1, op.w2, op.tt_w2_opts, none, ws);
-      Tensor z3 = run_conv(z2, op.w3, op.tt_w3_opts, none, ws);
-      return run_conv(z3, op.w4, op.tt_w4_opts, none, ws);
+      Tensor z2 = run_conv(o1, op.w2, op.tt_w2_opts, none, ctx, false);
+      Tensor z3 = run_conv(z2, op.w3, op.tt_w3_opts, none, ctx, false);
+      return run_conv(z3, op.w4, op.tt_w4_opts, none, ctx, true);
     }
     case TTMode::kPTT:
-      return ptt_path(o1);
+      return ptt_path(o1, true);
     case TTMode::kHTT: {
       TTSNN_CHECK(o1.dim() == 5, "infer HTT expects [T, N, C, H, W]");
       std::vector<int64_t> full_idx, half_idx;
       split_schedule(op.tt, o1.size(0), full_idx, half_idx);
-      Tensor full_x = gather_steps(o1, full_idx);
-      Tensor half_x = gather_steps(o1, half_idx);
+      Tensor full_x = gather_steps_ctx(o1, full_idx, ctx);
+      Tensor half_x = gather_steps_ctx(o1, half_idx, ctx);
       Tensor y_full, y_half;
-      if (full_x.defined()) y_full = ptt_path(full_x);
+      if (full_x.defined()) y_full = ptt_path(full_x, false);
       if (half_x.defined()) {
-        y_half = run_conv(half_x, op.w4, op.tt_w4_half_opts, none, ws);
+        y_half = run_conv(half_x, op.w4, op.tt_w4_half_opts, none, ctx, false);
       }
       TTSNN_CHECK(y_full.defined() || y_half.defined(),
                   "infer HTT: empty schedule");
       Shape out_shape = (y_full.defined() ? y_full : y_half).shape();
       out_shape[0] = o1.size(0);
-      Tensor out = Tensor::empty(out_shape);  // scatter covers every step
+      Tensor out = ctx.out(out_shape);  // scatter covers every step
       if (y_full.defined()) scatter_steps(out, y_full, full_idx);
       if (y_half.defined()) scatter_steps(out, y_half, half_idx);
       return out;
@@ -155,23 +244,24 @@ Tensor run_tt_exact(const Op& op, const Tensor& x, Workspace& ws) {
 /// Merged HTT: cross kernel on full steps, merged pointwise on half steps
 /// (Algorithm 1 lines 20-22 applied per schedule entry). Both kernels use
 /// stride s, so all steps agree on the output shape.
-Tensor run_tt_htt_merged(const Op& op, const Tensor& x, Workspace& ws) {
+Tensor run_tt_htt_merged(const Op& op, const Tensor& x, ExecCtx& ctx) {
   TTSNN_CHECK(x.dim() == 5, "infer HTT expects [T, N, C, H, W]");
   std::vector<int64_t> full_idx, half_idx;
   split_schedule(op.tt, x.size(0), full_idx, half_idx);
-  Tensor full_x = gather_steps(x, full_idx);
-  Tensor half_x = gather_steps(x, half_idx);
+  Tensor full_x = gather_steps_ctx(x, full_idx, ctx);
+  Tensor half_x = gather_steps_ctx(x, half_idx, ctx);
   Tensor y_full, y_half;
   if (full_x.defined()) {
-    y_full = run_conv(full_x, op.full_kernel, op.conv, op.bias, ws);
+    y_full = run_conv(full_x, op.full_kernel, op.conv, op.bias, ctx, false);
   }
   if (half_x.defined()) {
-    y_half = run_conv(half_x, op.half_kernel, op.half_conv, op.bias, ws);
+    y_half = run_conv(half_x, op.half_kernel, op.half_conv, op.bias, ctx,
+                      false);
   }
   TTSNN_CHECK(y_full.defined() || y_half.defined(), "infer HTT: empty schedule");
   Shape out_shape = (y_full.defined() ? y_full : y_half).shape();
   out_shape[0] = x.size(0);
-  Tensor out = Tensor::empty(out_shape);  // scatter covers every step
+  Tensor out = ctx.out(out_shape);  // scatter covers every step
   if (y_full.defined()) scatter_steps(out, y_full, full_idx);
   if (y_half.defined()) scatter_steps(out, y_half, half_idx);
   return out;
@@ -179,8 +269,10 @@ Tensor run_tt_htt_merged(const Op& op, const Tensor& x, Workspace& ws) {
 
 /// Inference BatchNorm. Statistics are the stored running stats, so this is
 /// an affine per (timestep, channel) — the arithmetic matches BatchNorm's
-/// eval forward expression-for-expression for bit identity.
-Tensor run_affine(const Op& op, const Tensor& x) {
+/// eval forward expression-for-expression for bit identity. simd::affine
+/// reads each element before writing the same position, so the output may
+/// alias the input (the planned executor's in-place path).
+Tensor run_affine(const Op& op, const Tensor& x, ExecCtx& ctx) {
   TTSNN_CHECK(x.dim() == 5, "infer affine expects [T, N, C, H, W], got "
                                 << shape_str(x.shape()));
   const int64_t t_steps = x.size(0);
@@ -194,7 +286,7 @@ Tensor run_affine(const Op& op, const Tensor& x) {
                 "infer affine: TEBN configured for T=" << op.bn_timesteps
                                                        << ", got " << t_steps);
   }
-  Tensor out = Tensor::empty(x.shape());
+  Tensor out = ctx.out(x.shape());
   const float* in = x.data();
   float* y = out.data();
   const float* g_gamma = op.bn_gamma.data();
@@ -218,8 +310,20 @@ Tensor run_affine(const Op& op, const Tensor& x) {
   return out;
 }
 
+/// LIF spikes via the stateless eval kernel; the membrane plane comes from
+/// ctx scratch. lif_step_eval is read-before-write per element, so the
+/// output may alias the input.
+Tensor run_lif(const Op& op, const Tensor& x, ExecCtx& ctx) {
+  TTSNN_CHECK(x.dim() >= 2,
+              "LIF expects [T, N, ...], got " << shape_str(x.shape()));
+  Tensor out = ctx.out(x.shape());
+  float* u_post = ctx.raw(x.numel() / x.size(0));
+  lif_forward_eval_into(op.lif, x, out, u_post);
+  return out;
+}
+
 /// Non-overlapping average pool; mirrors AvgPool2d::forward.
-Tensor run_avg_pool(const Tensor& x, int64_t kernel) {
+Tensor run_avg_pool(const Tensor& x, int64_t kernel, ExecCtx& ctx) {
   TTSNN_CHECK(x.dim() >= 3, "infer pool expects [..., C, H, W]");
   const int64_t h = x.size(-2);
   const int64_t w = x.size(-1);
@@ -232,7 +336,7 @@ Tensor run_avg_pool(const Tensor& x, int64_t kernel) {
   Shape out_shape = x.shape();
   out_shape[out_shape.size() - 2] = oh;
   out_shape[out_shape.size() - 1] = ow;
-  Tensor out = Tensor::empty(out_shape);
+  Tensor out = ctx.out(out_shape);  // every output element is written below
   const float* in = x.data();
   float* o = out.data();
   const float inv = 1.0F / static_cast<float>(kernel * kernel);
@@ -254,11 +358,11 @@ Tensor run_avg_pool(const Tensor& x, int64_t kernel) {
 }
 
 /// Global average pool [T,N,C,H,W] -> [T,N,C]; mirrors GlobalAvgPool.
-Tensor run_global_pool(const Tensor& x) {
+Tensor run_global_pool(const Tensor& x, ExecCtx& ctx) {
   TTSNN_CHECK(x.dim() == 5, "infer global pool expects [T, N, C, H, W]");
   const int64_t hw = x.size(3) * x.size(4);
   const int64_t rows = x.numel() / hw;
-  Tensor out = Tensor::empty({x.size(0), x.size(1), x.size(2)});
+  Tensor out = ctx.out({x.size(0), x.size(1), x.size(2)});
   const float* in = x.data();
   float* o = out.data();
   const float inv = 1.0F / static_cast<float>(hw);
@@ -272,7 +376,7 @@ Tensor run_global_pool(const Tensor& x) {
 }
 
 /// Dense head; mirrors Linear::forward (weight [out, in]).
-Tensor run_linear(const Op& op, const Tensor& x) {
+Tensor run_linear(const Op& op, const Tensor& x, ExecCtx& ctx) {
   const int64_t out_f = op.weight.size(0);
   const int64_t in_f = op.weight.size(1);
   TTSNN_CHECK(x.size(-1) == in_f, "infer linear expected last dim "
@@ -280,7 +384,7 @@ Tensor run_linear(const Op& op, const Tensor& x) {
   const int64_t b = x.numel() / in_f;
   Shape out_shape = x.shape();
   out_shape[out_shape.size() - 1] = out_f;
-  Tensor out = Tensor::empty(out_shape);  // gemm beta=0 writes every element
+  Tensor out = ctx.out(out_shape);  // gemm beta=0 writes every element
   gemm(false, true, b, out_f, in_f, 1.0F, x.data(), op.weight.data(), 0.0F,
        out.data());
   if (op.bias.defined()) {
@@ -293,34 +397,51 @@ Tensor run_linear(const Op& op, const Tensor& x) {
   return out;
 }
 
-Tensor exec_op(const Op& op, const Tensor& x, const Tensor& x2, Workspace& ws) {
+/// Residual join: copy + axpy, the same kernel sequence as ops.h add()
+/// (clone then axpy_), so the bits agree. When the destination aliases x
+/// (the planned in-place path) the copy is skipped.
+Tensor run_add(const Tensor& x, const Tensor& x2, ExecCtx& ctx) {
+  TTSNN_CHECK(x.same_shape(x2), "elementwise shape mismatch "
+                                    << shape_str(x.shape()) << " vs "
+                                    << shape_str(x2.shape()));
+  Tensor out = ctx.out(x.shape());
+  if (out.data() != x.data()) {
+    std::copy(x.data(), x.data() + x.numel(), out.data());
+  }
+  out.axpy_(1.0F, x2);
+  return out;
+}
+
+Tensor exec_op(const Op& op, const Tensor& x, const Tensor& x2, ExecCtx& ctx) {
   switch (op.kind) {
     case Op::Kind::kConv:
-      return run_conv(x, op.weight, op.conv, op.bias, ws);
+      return run_conv(x, op.weight, op.conv, op.bias, ctx, true);
     case Op::Kind::kTTExact:
-      return run_tt_exact(op, x, ws);
+      return run_tt_exact(op, x, ctx);
     case Op::Kind::kTTHtt:
-      return run_tt_htt_merged(op, x, ws);
+      return run_tt_htt_merged(op, x, ctx);
     case Op::Kind::kAffine:
-      return run_affine(op, x);
+      return run_affine(op, x, ctx);
     case Op::Kind::kLif:
-      return lif_forward_eval(op.lif, x);
+      return run_lif(op, x, ctx);
     case Op::Kind::kAvgPool:
-      return run_avg_pool(x, op.pool_kernel);
+      return run_avg_pool(x, op.pool_kernel, ctx);
     case Op::Kind::kGlobalPool:
-      return run_global_pool(x);
+      return run_global_pool(x, ctx);
     case Op::Kind::kFlatten:
       return x.reshape({x.size(0), x.size(1), -1});
     case Op::Kind::kLinear:
-      return run_linear(op, x);
+      return run_linear(op, x, ctx);
     case Op::Kind::kAdd:
-      return add(x, x2);
+      return run_add(x, x2, ctx);
   }
   TTSNN_CHECK(false, "unreachable");
   return {};
 }
 
-const char* kind_name(Op::Kind k) {
+}  // namespace
+
+const char* op_kind_name(Op::Kind k) {
   switch (k) {
     case Op::Kind::kConv:
       return "conv";
@@ -346,60 +467,135 @@ const char* kind_name(Op::Kind k) {
   return "?";
 }
 
-}  // namespace
-
 Tensor Engine::run(const Tensor& x) const {
+  if (!opts_.static_plan) return run_legacy(x);
+  Tensor workspace;
+  return run_planned(x, workspace);
+}
+
+Tensor Engine::run(const Tensor& x, Tensor& workspace) const {
+  if (!opts_.static_plan) return run_legacy(x);
+  return run_planned(x, workspace);
+}
+
+std::shared_ptr<const MemoryPlan> Engine::memory_plan(
+    const Shape& input) const {
+  TTSNN_CHECK(analysis_ && plan_cache_,
+              "infer::Engine::memory_plan on an unsealed engine");
+  return plan_cache_->layout(ops_, *analysis_, input);
+}
+
+Tensor Engine::run_legacy(const Tensor& x) const {
   TTSNN_CHECK(!ops_.empty(), "infer::Engine::run on an empty plan");
   TTSNN_CHECK(x.dim() == 5, "infer::Engine::run expects [T, N, C, H, W], got "
                                 << shape_str(x.shape()));
-  Workspace ws;
-  ws.regs.resize(static_cast<size_t>(num_regs_));
-  ws.regs[0] = x;
+  LegacyCtx ctx;
+  std::vector<Tensor> regs(static_cast<size_t>(num_regs_));
+  regs[0] = x;
   for (size_t i = 0; i < ops_.size(); ++i) {
     const Op& op = ops_[i];
-    const Tensor& a = ws.regs[static_cast<size_t>(op.in)];
+    const Tensor& a = regs[static_cast<size_t>(op.in)];
     static const Tensor kNone;
-    const Tensor& b = op.in2 >= 0 ? ws.regs[static_cast<size_t>(op.in2)] : kNone;
+    const Tensor& b = op.in2 >= 0 ? regs[static_cast<size_t>(op.in2)] : kNone;
     TTSNN_CHECK(a.defined(), "infer: op " << i << " reads an undefined register");
-    Tensor y = exec_op(op, a, b, ws);
+    Tensor y = exec_op(op, a, b, ctx);
     // Eagerly release registers whose last reader just ran, so peak memory is
     // the widest live set (e.g. a residual input), not the whole history.
     for (int r : {op.in, op.in2}) {
       if (r >= 0 && last_use_[static_cast<size_t>(r)] == static_cast<int>(i)) {
-        ws.regs[static_cast<size_t>(r)] = Tensor();
+        regs[static_cast<size_t>(r)] = Tensor();
       }
     }
-    ws.regs[static_cast<size_t>(op.out)] = std::move(y);
+    regs[static_cast<size_t>(op.out)] = std::move(y);
   }
-  return ws.regs[static_cast<size_t>(result_reg_)];
+  return regs[static_cast<size_t>(result_reg_)];
+}
+
+Tensor Engine::run_planned(const Tensor& x, Tensor& workspace) const {
+  TTSNN_CHECK(!ops_.empty(), "infer::Engine::run on an empty plan");
+  TTSNN_CHECK(x.dim() == 5, "infer::Engine::run expects [T, N, C, H, W], got "
+                                << shape_str(x.shape()));
+  const std::shared_ptr<const MemoryPlan> plan = memory_plan(x.shape());
+  if (plan->total_floats > 0 &&
+      (!workspace.defined() || workspace.numel() < plan->total_floats)) {
+    workspace = Tensor::empty({plan->total_floats});
+  }
+  const PlanAnalysis& an = *analysis_;
+  std::vector<Tensor> regs(static_cast<size_t>(num_regs_));
+  regs[0] = x;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    const Op& op = ops_[i];
+    const size_t out = static_cast<size_t>(op.out);
+    Tensor& a = regs[static_cast<size_t>(op.in)];
+    TTSNN_CHECK(a.defined(), "infer: op " << i << " reads an undefined register");
+    if (an.is_alias[i]) {
+      // kFlatten view — no kernel, no memory: reshare the input buffer.
+      regs[out] = a.reshape({a.size(0), a.size(1), -1});
+      continue;
+    }
+    if (op.kind == Op::Kind::kFlatten) {
+      // Flatten INTO the result register: the caller must not receive a view
+      // of the recycled workspace (or of its own input), so materialize.
+      Tensor y = Tensor::empty(plan->shape[out]);
+      std::copy(a.data(), a.data() + a.numel(), y.data());
+      regs[out] = std::move(y);
+      continue;
+    }
+    PlannedCtx ctx;
+    ctx.plan = plan.get();
+    ctx.ws = &workspace;
+    ctx.op_index = i;
+    if (op.out == result_reg_) {
+      ctx.dest = Tensor::empty(plan->shape[out]);  // the caller owns this
+    } else if (an.is_inplace[i]) {
+      ctx.dest = a.reshape(plan->shape[out]);  // write over the dying input
+    } else {
+      ctx.dest = workspace.view(plan->offset[out], plan->shape[out]);
+    }
+    static const Tensor kNone;
+    const Tensor& b = op.in2 >= 0 ? regs[static_cast<size_t>(op.in2)] : kNone;
+    regs[out] = exec_op(op, a, b, ctx);
+  }
+  return regs[static_cast<size_t>(result_reg_)];
 }
 
 void Engine::seal() {
-  last_use_.assign(static_cast<size_t>(num_regs_),
-                   std::numeric_limits<int>::max());
-  for (size_t i = ops_.size(); i-- > 0;) {
-    for (int r : {ops_[i].in, ops_[i].in2}) {
-      if (r >= 0 &&
-          last_use_[static_cast<size_t>(r)] == std::numeric_limits<int>::max()) {
-        last_use_[static_cast<size_t>(r)] = static_cast<int>(i);
-      }
-    }
-  }
-  // The result must survive to the end of the plan.
-  last_use_[static_cast<size_t>(result_reg_)] = std::numeric_limits<int>::max();
+  analysis_ = std::make_shared<const PlanAnalysis>(
+      analyze_plan(ops_, num_regs_, result_reg_));
+  last_use_ = analysis_->last_use;
+  plan_cache_ = std::make_shared<PlanCache>();
 }
 
 std::string Engine::summary() const {
   std::ostringstream oss;
   for (size_t i = 0; i < ops_.size(); ++i) {
     const Op& op = ops_[i];
-    oss << i << ": " << kind_name(op.kind);
+    oss << i << ": " << op_kind_name(op.kind);
     if (!op.label.empty()) oss << " " << op.label;
     oss << " (r" << op.in;
     if (op.in2 >= 0) oss << ", r" << op.in2;
-    oss << " -> r" << op.out << ")\n";
+    oss << " -> r" << op.out << ")";
+    if (analysis_) {
+      const size_t out = static_cast<size_t>(op.out);
+      const int last = analysis_->live[out].last_use;
+      oss << " live [" << i << ", ";
+      if (op.out == result_reg_ || last < 0) {
+        oss << "end";
+      } else {
+        oss << last;
+      }
+      oss << "]";
+      if (analysis_->is_alias[i]) oss << " alias";
+      if (analysis_->is_inplace[i]) oss << " in-place";
+    }
+    oss << "\n";
   }
   return oss.str();
+}
+
+std::string Engine::summary(const Shape& input) const {
+  TTSNN_CHECK(analysis_, "infer::Engine::summary on an unsealed engine");
+  return summary() + memory_plan_report(ops_, *analysis_, input);
 }
 
 }  // namespace ttsnn::infer

@@ -8,9 +8,15 @@
 /// one model instance cannot run two requests concurrently. infer::compile()
 /// walks a trained module tree once and lowers it into an immutable Engine —
 /// a flat, register-addressed plan of ops over read-only weight tensors.
-/// Engine::run(x) const allocates a per-call workspace (registers + one
-/// reusable im2col scratch) and nothing else, so any number of threads can
-/// call run() on the same Engine simultaneously.
+///
+/// Every compile() runs the static-analysis pipeline of infer/analysis.h over
+/// the lowered plan: a verifier (malformed plans throw at compile time, not
+/// mid-run), symbolic shape inference, and liveness + alias analysis. With
+/// CompileOptions::static_plan (the default) run() executes against a single
+/// packed workspace buffer whose layout the memory planner computes once per
+/// input shape — one allocation per call (zero when the caller re-submits a
+/// workspace tensor), bit-identical outputs to the unplanned executor, which
+/// remains available as the reference path with static_plan off.
 ///
 /// Lowering follows Algorithm 1 lines 20-22: with CompileOptions::merge_tt
 /// (the default), every TTConv2d collapses into a single dense convolution —
@@ -23,6 +29,7 @@
 /// preceding convolution's weights wherever the scale is time-invariant
 /// (i.e. everything except TEBN).
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -33,6 +40,10 @@
 
 namespace ttsnn::infer {
 
+struct PlanAnalysis;
+struct MemoryPlan;
+class PlanCache;
+
 struct CompileOptions {
   /// Lower each TTConv2d to its merged dense kernel(s) (Algorithm 1 lines
   /// 20-22). Off: lower the four sub-convolutions exactly as the training
@@ -42,6 +53,11 @@ struct CompileOptions {
   /// is time-invariant (all modes except TEBN). Off: keep a standalone affine
   /// op that reproduces BatchNorm's eval forward bit-for-bit.
   bool fold_batchnorm = true;
+  /// Execute against the statically planned workspace: all registers, the
+  /// im2col buffer, and composite-op scratch live at planner-assigned offsets
+  /// of ONE buffer allocated (or reused) per call. Off: the reference
+  /// executor, one allocation per register. Outputs are bit-identical.
+  bool static_plan = true;
 };
 
 /// One instruction of the flat plan. Ops read register `in` (and `in2` for
@@ -95,36 +111,71 @@ struct Op {
   std::string label;  ///< human-readable op description for summary()
 };
 
-/// Immutable compiled plan. Copyable (ops share read-only weight storage);
-/// run() is const and thread-safe.
+/// Short lowercase mnemonic for an op kind ("conv", "htt", ...), shared by
+/// Engine::summary() and every analysis diagnostic.
+const char* op_kind_name(Op::Kind kind);
+
+/// Immutable compiled plan. Copyable (ops share read-only weight storage,
+/// copies share the analysis and the per-shape plan cache); run() is const
+/// and thread-safe.
 class Engine {
  public:
-  /// Executes the plan on x: [T, N, C, H, W]. Thread-safe; allocates only the
-  /// per-call workspace. Registers are freed eagerly after their last use, so
-  /// peak memory is the widest live set, not the whole activation history.
+  /// Executes the plan on x: [T, N, C, H, W]. Thread-safe. With static_plan
+  /// the call allocates exactly one workspace buffer plus the owning result
+  /// tensor; without it, registers are freed eagerly after their last use,
+  /// so peak memory is the widest live set, not the whole activation history.
   Tensor run(const Tensor& x) const;
 
+  /// As run(x), but places the packed workspace in `workspace`, (re)allocating
+  /// it only when too small — zero workspace allocations in steady state for
+  /// a caller (e.g. a Router dispatcher thread) that re-submits the same
+  /// tensor every call. With static_plan off this is identical to run(x).
+  Tensor run(const Tensor& x, Tensor& workspace) const;
+
   size_t num_ops() const { return ops_.size(); }
+  const std::vector<Op>& ops() const { return ops_; }
+  int num_regs() const { return num_regs_; }
+  int result_reg() const { return result_reg_; }
   const CompileOptions& options() const { return opts_; }
-  /// One line per op: kind, label, register dataflow.
+
+  /// Verifier + liveness/alias result computed at compile time. Valid for
+  /// any Engine produced by compile().
+  const PlanAnalysis& analysis() const { return *analysis_; }
+
+  /// Concrete memory layout for one input shape, memoized in the plan cache
+  /// shared by every copy of this Engine (Router replicas lay out each shape
+  /// once). Throws ttsnn::Error if the plan cannot run at this shape.
+  std::shared_ptr<const MemoryPlan> memory_plan(const Shape& input) const;
+
+  /// One line per op: kind, label, register dataflow, live range and
+  /// alias/in-place flags from the analysis.
   std::string summary() const;
+  /// summary() plus the concrete memory-plan report (byte offsets, workspace
+  /// totals, savings vs the unplanned executor) for one input shape.
+  std::string summary(const Shape& input) const;
 
  private:
   friend Engine compile(const Module& root, const CompileOptions& opts);
+
+  Tensor run_legacy(const Tensor& x) const;
+  Tensor run_planned(const Tensor& x, Tensor& workspace) const;
 
   std::vector<Op> ops_;
   int num_regs_ = 1;               ///< register 0 is the input
   int result_reg_ = 0;             ///< register holding the network output
   std::vector<int> last_use_;      ///< per register: index of last reading op
   CompileOptions opts_;
+  std::shared_ptr<const PlanAnalysis> analysis_;  ///< set by seal()
+  std::shared_ptr<PlanCache> plan_cache_;         ///< shared across copies
 
-  void seal();  ///< computes last_use_ once the op list is final
+  void seal();  ///< runs analyze_plan() once the op list is final
 };
 
 /// Lowers a trained module tree into an Engine. The tree is read through
 /// const accessors only and can keep training afterwards: all weights are
 /// cloned at compile time, so later optimizer steps do not alias the plan.
-/// Throws ttsnn::Error on module types the lowering does not know.
+/// Throws ttsnn::Error on module types the lowering does not know — and, via
+/// the verifier that seals every compile, on any malformed lowering.
 Engine compile(const Module& root, const CompileOptions& opts = {});
 
 /// Checkpoint-to-serving pipeline: loads `checkpoint_path` (written by

@@ -198,7 +198,8 @@ std::vector<Router::Request> Router::next_batch(Shard& shard) {
   }
 }
 
-void Router::run_batch(const Shard& shard, std::vector<Request>& batch) const {
+void Router::run_batch(const Shard& shard, std::vector<Request>& batch,
+                       Tensor& workspace) const {
   // Promises fulfilled so far; the catch below must only touch the rest —
   // set_exception on an already-satisfied promise throws future_error.
   size_t fulfilled = 0;
@@ -223,7 +224,7 @@ void Router::run_batch(const Shard& shard, std::vector<Request>& batch) const {
       }
     }
 
-    Tensor out = shard.engine.run(input);
+    Tensor out = shard.engine.run(input, workspace);
 
     // Split [T, N, ...] back into per-sample [T, ...] tensors.
     TTSNN_CHECK(out.dim() >= 2 && out.size(0) == t_steps && out.size(1) == n,
@@ -253,10 +254,14 @@ void Router::run_batch(const Shard& shard, std::vector<Request>& batch) const {
 }
 
 void Router::dispatcher_loop(Shard& shard) {
+  // One workspace per dispatcher thread, handed to every run: after the first
+  // batch of each shape (growing it to the largest layout seen), the planned
+  // engine makes zero workspace allocations per call.
+  Tensor workspace;
   for (;;) {
     std::vector<Request> batch = next_batch(shard);
     if (batch.empty()) return;
-    run_batch(shard, batch);
+    run_batch(shard, batch, workspace);
   }
 }
 

@@ -148,8 +148,10 @@ class Router {
   /// drained shard.
   std::vector<Request> next_batch(Shard& shard);
   /// Stacks a same-shaped batch into [T, N, C, H, W], runs the shard's
-  /// replica, splits the output back per sample, and settles every promise.
-  void run_batch(const Shard& shard, std::vector<Request>& batch) const;
+  /// replica against the dispatcher's reusable workspace, splits the output
+  /// back per sample, and settles every promise.
+  void run_batch(const Shard& shard, std::vector<Request>& batch,
+                 Tensor& workspace) const;
 
   RouterOptions opts_;
   std::vector<std::unique_ptr<Shard>> shards_;

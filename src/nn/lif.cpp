@@ -1,5 +1,6 @@
 #include "nn/lif.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
@@ -66,14 +67,24 @@ Tensor lif_forward_eval(const LIFNeuron::Options& opts, const Tensor& x) {
   const int64_t t_steps = x.size(0);
   const int64_t m = x.numel() / t_steps;
   Tensor spikes = Tensor::empty(x.shape());
+  std::vector<float> u_post(static_cast<size_t>(m), 0.0F);
+  lif_forward_eval_into(opts, x, spikes, u_post.data());
+  return spikes;
+}
+
+void lif_forward_eval_into(const LIFNeuron::Options& opts, const Tensor& x,
+                           Tensor& spikes, float* u_post) {
+  TTSNN_CHECK(x.dim() >= 2, "LIF expects [T, N, ...], got " << shape_str(x.shape()));
+  TTSNN_CHECK(spikes.numel() == x.numel(), "LIF eval output shape mismatch");
+  const int64_t t_steps = x.size(0);
+  const int64_t m = x.numel() / t_steps;
   const float* in = x.data();
   float* s_out = spikes.data();
-  std::vector<float> u_post(static_cast<size_t>(m), 0.0F);
+  std::fill(u_post, u_post + m, 0.0F);
   for (int64_t t = 0; t < t_steps; ++t) {
     simd::lif_step_eval(m, opts.tau, opts.v_th, opts.reset == ResetMode::kZero,
-                        in + t * m, u_post.data(), s_out + t * m);
+                        in + t * m, u_post, s_out + t * m);
   }
-  return spikes;
 }
 
 Tensor LIFNeuron::backward(const Tensor& grad_out) {

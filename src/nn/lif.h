@@ -75,4 +75,12 @@ class LIFNeuron : public Module {
 /// Bit-identical to the training forward's spike output.
 Tensor lif_forward_eval(const LIFNeuron::Options& opts, const Tensor& x);
 
+/// Allocation-free variant: writes spikes into `spikes` (same shape as x)
+/// using `u_post` (numel / T floats, zeroed here) as the membrane plane.
+/// `spikes` may alias x — each timestep's kernel reads its input element
+/// before writing the spike at the same position, so the inference engine
+/// runs this op in place when liveness allows.
+void lif_forward_eval_into(const LIFNeuron::Options& opts, const Tensor& x,
+                           Tensor& spikes, float* u_post);
+
 }  // namespace ttsnn

@@ -40,8 +40,8 @@ class CosineLr {
   float at(int64_t epoch) const;
 
  private:
-  float base_lr_;
-  int64_t total_epochs_;
+  float base_lr_ = 0.0F;
+  int64_t total_epochs_ = 1;
 };
 
 }  // namespace ttsnn

@@ -92,24 +92,6 @@ BatchNorm::Mode parse_bn(const std::string& name) {
   return BatchNorm::Mode::kPerStep;
 }
 
-ModulePtr build_model(const ScenarioConfig& cfg, int64_t in_channels,
-                      Rng& rng) {
-  ModelConfig mc;
-  mc.in_channels = in_channels;
-  mc.num_classes = cfg.classes;
-  mc.base_width = cfg.base_width;
-  mc.timesteps = cfg.timesteps;
-  mc.bn_mode = parse_bn(cfg.bn);
-  if (cfg.model == "resnet18") return make_ms_resnet18(mc, rng);
-  if (cfg.model == "resnet34") return make_ms_resnet34(mc, rng);
-  if (cfg.model == "resnet20") return make_resnet20(mc, rng);
-  if (cfg.model == "vgg9") return make_vgg9(mc, rng);
-  if (cfg.model == "vgg11") return make_vgg11(mc, rng);
-  TTSNN_CHECK(false, "scenario: unknown model '"
-                         << cfg.model
-                         << "' (expected resnet18|resnet34|resnet20|vgg9|vgg11)");
-  return nullptr;
-}
 
 TrainConfig make_train_config(const ScenarioConfig& cfg, int64_t epochs) {
   TrainConfig tc;
@@ -254,6 +236,56 @@ std::unique_ptr<Dataset> make_scenario_dataset(const ScenarioConfig& cfg,
   return nullptr;
 }
 
+ModulePtr build_scenario_model(const ScenarioConfig& cfg, int64_t in_channels,
+                               Rng& rng) {
+  ModelConfig mc;
+  mc.in_channels = in_channels;
+  mc.num_classes = cfg.classes;
+  mc.base_width = cfg.base_width;
+  mc.timesteps = cfg.timesteps;
+  mc.bn_mode = parse_bn(cfg.bn);
+  if (cfg.model == "resnet18") return make_ms_resnet18(mc, rng);
+  if (cfg.model == "resnet34") return make_ms_resnet34(mc, rng);
+  if (cfg.model == "resnet20") return make_resnet20(mc, rng);
+  if (cfg.model == "vgg9") return make_vgg9(mc, rng);
+  if (cfg.model == "vgg11") return make_vgg11(mc, rng);
+  TTSNN_CHECK(false, "scenario: unknown model '"
+                         << cfg.model
+                         << "' (expected resnet18|resnet34|resnet20|vgg9|vgg11)");
+  return nullptr;
+}
+
+FactorizeOptions scenario_factorize_options(const ScenarioConfig& cfg) {
+  TTSNN_CHECK(cfg.tt_mode != "none",
+              "scenario: factorize options need a TT mode, got 'none'");
+  FactorizeOptions fo;
+  fo.mode = parse_tt_mode(cfg.tt_mode);
+  fo.explicit_ranks = cfg.ranks;
+  fo.use_vbmf = cfg.vbmf;
+  fo.rank_fraction = cfg.rank_fraction;
+  if (fo.mode == TTMode::kHTT) {
+    if (!cfg.htt_schedule.empty()) {
+      TTSNN_CHECK(static_cast<int64_t>(cfg.htt_schedule.size()) ==
+                      cfg.timesteps,
+                  "scenario: htt_schedule length "
+                      << cfg.htt_schedule.size() << " != timesteps "
+                      << cfg.timesteps);
+      for (char c : cfg.htt_schedule) {
+        TTSNN_CHECK(c == '0' || c == '1',
+                    "scenario: htt_schedule wants a '1'/'0' string, got '"
+                        << cfg.htt_schedule << "'");
+        fo.htt_schedule.push_back(c == '1');
+      }
+    } else {
+      // Paper default (Sec. V-A): full sub-convolutions in the early half.
+      for (int64_t t = 0; t < cfg.timesteps; ++t) {
+        fo.htt_schedule.push_back(t < (cfg.timesteps + 1) / 2);
+      }
+    }
+  }
+  return fo;
+}
+
 ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   TTSNN_CHECK(cfg.loss == "ce" || cfg.loss == "tet",
               "scenario: unknown loss '" << cfg.loss << "' (expected ce|tet)");
@@ -267,7 +299,7 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
 
   Rng rng(cfg.seed);
   ScenarioResult result;
-  result.model = build_model(cfg, in_c, rng);
+  result.model = build_scenario_model(cfg, in_c, rng);
   Module& net = *result.model;
 
   // Algorithm 1 line 1: optional dense base-model training before the
@@ -280,32 +312,8 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
       analyze_model(net, in_c, cfg.image_size, cfg.image_size);
 
   if (cfg.tt_mode != "none") {
-    FactorizeOptions fo;
-    fo.mode = parse_tt_mode(cfg.tt_mode);
-    fo.explicit_ranks = cfg.ranks;
-    fo.use_vbmf = cfg.vbmf;
-    fo.rank_fraction = cfg.rank_fraction;
-    if (fo.mode == TTMode::kHTT) {
-      if (!cfg.htt_schedule.empty()) {
-        TTSNN_CHECK(static_cast<int64_t>(cfg.htt_schedule.size()) ==
-                        cfg.timesteps,
-                    "scenario: htt_schedule length "
-                        << cfg.htt_schedule.size() << " != timesteps "
-                        << cfg.timesteps);
-        for (char c : cfg.htt_schedule) {
-          TTSNN_CHECK(c == '0' || c == '1',
-                      "scenario: htt_schedule wants a '1'/'0' string, got '"
-                          << cfg.htt_schedule << "'");
-          fo.htt_schedule.push_back(c == '1');
-        }
-      } else {
-        // Paper default (Sec. V-A): full sub-convolutions in the early half.
-        for (int64_t t = 0; t < cfg.timesteps; ++t) {
-          fo.htt_schedule.push_back(t < (cfg.timesteps + 1) / 2);
-        }
-      }
-    }
-    result.factorization = factorize_network(net, fo, rng);
+    result.factorization =
+        factorize_network(net, scenario_factorize_options(cfg), rng);
   }
 
   Trainer trainer(net, *train, *test, make_train_config(cfg, cfg.epochs));

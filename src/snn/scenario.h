@@ -114,6 +114,18 @@ ScenarioConfig load_scenario_file(const std::string& path);
 /// quiet misconfiguration this layer refuses.
 ScenarioConfig parse_scenario_cli(const std::vector<std::string>& args);
 
+/// Builds the (untrained) model architecture named by cfg. The architecture
+/// half of run_scenario, exposed so offline tools (e.g. ttsnn_plan_lint) can
+/// reconstruct a checkpoint-compatible module tree without touching a
+/// dataset. Throws ttsnn::Error on an unknown model or bn name.
+ModulePtr build_scenario_model(const ScenarioConfig& cfg, int64_t in_channels,
+                               Rng& rng);
+
+/// Translates the scenario's TT settings (mode, rank source, HTT schedule —
+/// defaulting to full sub-convolutions in the early half) into
+/// FactorizeOptions. Must not be called with tt_mode "none".
+FactorizeOptions scenario_factorize_options(const ScenarioConfig& cfg);
+
 /// Runs the scenario end to end: build data + model, optional dense
 /// pre-training, factorize, train, then emit the requested artifacts
 /// (checkpoint / compile smoke / JSON report).

@@ -35,7 +35,7 @@ class GemmThreadsGuard {
   GemmThreadsGuard& operator=(const GemmThreadsGuard&) = delete;
 
  private:
-  int prev_;
+  int prev_ = 0;
 };
 
 /// Inner-kernel selection. kAuto dispatches per call:

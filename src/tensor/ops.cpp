@@ -224,14 +224,22 @@ Tensor cat0(const std::vector<Tensor>& parts) {
 Tensor gather_steps(const Tensor& x, const std::vector<int64_t>& idx) {
   if (idx.empty()) return {};
   Shape s = x.shape();
-  const int64_t row = x.numel() / s[0];
   s[0] = static_cast<int64_t>(idx.size());
   Tensor out = Tensor::empty(s);
+  gather_steps_into(x, idx, out);
+  return out;
+}
+
+void gather_steps_into(const Tensor& x, const std::vector<int64_t>& idx,
+                       Tensor& out) {
+  if (idx.empty()) return;
+  const int64_t row = x.numel() / x.size(0);
+  TTSNN_CHECK(out.numel() == static_cast<int64_t>(idx.size()) * row,
+              "gather_steps_into size mismatch");
   for (size_t j = 0; j < idx.size(); ++j) {
     std::copy(x.data() + idx[j] * row, x.data() + (idx[j] + 1) * row,
               out.data() + static_cast<int64_t>(j) * row);
   }
-  return out;
 }
 
 void scatter_steps(Tensor& dst, const Tensor& src,

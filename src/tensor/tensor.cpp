@@ -114,22 +114,22 @@ void Tensor::check_defined() const {
 
 float* Tensor::data() {
   check_defined();
-  return storage_->data();
+  return storage_->data() + offset_;
 }
 
 const float* Tensor::data() const {
   check_defined();
-  return storage_->data();
+  return storage_->data() + offset_;
 }
 
 float& Tensor::operator[](int64_t flat_index) {
   check_defined();
-  return storage_->data()[flat_index];
+  return storage_->data()[offset_ + flat_index];
 }
 
 float Tensor::operator[](int64_t flat_index) const {
   check_defined();
-  return storage_->data()[flat_index];
+  return storage_->data()[offset_ + flat_index];
 }
 
 namespace {
@@ -153,12 +153,12 @@ int64_t checked_flat_index(const Shape& shape, std::initializer_list<int64_t> id
 
 float& Tensor::at(std::initializer_list<int64_t> idx) {
   check_defined();
-  return storage_->data()[checked_flat_index(shape_, idx)];
+  return storage_->data()[offset_ + checked_flat_index(shape_, idx)];
 }
 
 float Tensor::at(std::initializer_list<int64_t> idx) const {
   check_defined();
-  return storage_->data()[checked_flat_index(shape_, idx)];
+  return storage_->data()[offset_ + checked_flat_index(shape_, idx)];
 }
 
 Tensor Tensor::clone() const {
@@ -192,6 +192,21 @@ Tensor Tensor::reshape(Shape shape) const {
   Tensor t;
   t.shape_ = std::move(shape);
   t.storage_ = storage_;
+  t.offset_ = offset_;
+  return t;
+}
+
+Tensor Tensor::view(int64_t offset, Shape shape) const {
+  check_defined();
+  const int64_t n = shape_numel(shape);
+  TTSNN_CHECK(offset >= 0 && offset_ + offset + n <= storage_->size(),
+              "view [" << offset << ", " << offset + n
+                       << ") out of range for storage of "
+                       << storage_->size() - offset_ << " floats");
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.storage_ = storage_;
+  t.offset_ = offset_ + offset;
   return t;
 }
 

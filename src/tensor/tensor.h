@@ -47,9 +47,9 @@ class Storage {
   int64_t size() const { return size_; }
 
  private:
-  float* data_;
-  int64_t size_;
-  int64_t cap_;  ///< size-class capacity returned to the arena on release
+  float* data_ = nullptr;
+  int64_t size_ = 0;
+  int64_t cap_ = 0;  ///< size-class capacity returned to the arena on release
 };
 
 /// Dense float32 tensor. See file comment for semantics.
@@ -105,6 +105,12 @@ class Tensor {
   /// Same storage, new shape (numel must match). One extent may be -1 and is
   /// inferred from the remaining dimensions.
   Tensor reshape(Shape shape) const;
+  /// Shared-storage window: a tensor of the given shape whose first element
+  /// sits `offset` floats after this tensor's first element. Bounds-checked
+  /// against the storage actually in use. The inference memory planner
+  /// (infer/analysis.h) uses views to place every plan register inside one
+  /// flat workspace buffer.
+  Tensor view(int64_t offset, Shape shape) const;
   /// Copying permutation of dimensions (axes is a permutation of 0..dim-1).
   Tensor permute(const std::vector<int64_t>& axes) const;
   /// 2-D transpose (dim() must be 2). Copies.
@@ -148,6 +154,7 @@ class Tensor {
 
   Shape shape_;
   std::shared_ptr<Storage> storage_;
+  int64_t offset_ = 0;  ///< float offset into storage_ (views; 0 elsewhere)
 };
 
 }  // namespace ttsnn

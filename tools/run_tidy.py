@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""clang-tidy driver over the CMake compile database.
+
+Runs the pinned .clang-tidy check set (bugprone-*, performance-*,
+modernize-use-override, all promoted to errors) over the project's own
+translation units — src/, tools/, bench/, tests/ — using the compile
+commands CMake exports, so every TU is analyzed with its real flags.
+
+    cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+    python3 tools/run_tidy.py --build=build
+
+Exit codes: 0 clean (or clang-tidy not installed, unless --require),
+1 findings, 2 usage/environment error. CI runs with --require so a broken
+install fails loudly instead of skipping the gate.
+"""
+
+import argparse
+import json
+import multiprocessing
+import os
+import shutil
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Directories whose TUs are linted; third-party and generated code has none.
+DEFAULT_SCOPES = ("src", "tools", "bench", "tests", "examples")
+
+
+def find_clang_tidy():
+    """The binary from $CLANG_TIDY, or the newest one on PATH."""
+    explicit = os.environ.get("CLANG_TIDY")
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    candidates = ["clang-tidy"] + [f"clang-tidy-{v}" for v in range(25, 13, -1)]
+    for name in candidates:
+        if shutil.which(name):
+            return name
+    return None
+
+
+def load_database(build_dir):
+    path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(path):
+        sys.stderr.write(
+            f"run_tidy: {path} not found; configure with "
+            "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON\n")
+        sys.exit(2)
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def select_files(database, scopes):
+    roots = tuple(os.path.join(REPO, scope) + os.sep for scope in scopes)
+    files = sorted(
+        {os.path.abspath(entry["file"]) for entry in database
+         if os.path.abspath(entry["file"]).startswith(roots)})
+    return files
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build", default="build",
+                        help="build dir holding compile_commands.json")
+    parser.add_argument("--scope", action="append", default=None,
+                        help="top-level dir to lint (repeatable); default: "
+                             + ", ".join(DEFAULT_SCOPES))
+    parser.add_argument("--jobs", type=int,
+                        default=max(1, multiprocessing.cpu_count() - 1))
+    parser.add_argument("--fix", action="store_true",
+                        help="apply clang-tidy's suggested fixes in place")
+    parser.add_argument("--require", action="store_true",
+                        help="fail (exit 2) when clang-tidy is not installed")
+    args = parser.parse_args()
+
+    tidy = find_clang_tidy()
+    if tidy is None:
+        msg = "run_tidy: clang-tidy not found on PATH (set $CLANG_TIDY)\n"
+        if args.require:
+            sys.stderr.write(msg)
+            return 2
+        sys.stderr.write(msg + "run_tidy: skipping lint\n")
+        return 0
+
+    database = load_database(args.build)
+    files = select_files(database, args.scope or DEFAULT_SCOPES)
+    if not files:
+        sys.stderr.write("run_tidy: no project TUs in the compile database\n")
+        return 2
+
+    cmd = [tidy, "-p", args.build, "--quiet"]
+    if args.fix:
+        cmd.append("--fix")
+    failed = []
+    # One process per TU, args.jobs at a time: clang-tidy is single-threaded
+    # per invocation, and per-file output keeps diagnostics attributable.
+    pending = list(files)
+    running = []
+    while pending or running:
+        while pending and len(running) < args.jobs:
+            f = pending.pop(0)
+            running.append((f, subprocess.Popen(
+                cmd + [f], stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                text=True)))
+        f, proc = running.pop(0)
+        out, err = proc.communicate()
+        rel = os.path.relpath(f, REPO)
+        if proc.returncode != 0:
+            failed.append(rel)
+            sys.stdout.write(f"== {rel} ==\n{out}\n")
+            if err.strip():
+                sys.stderr.write(err)
+        else:
+            sys.stdout.write(f"ok {rel}\n")
+    if failed:
+        sys.stdout.write(
+            f"\nrun_tidy: {len(failed)}/{len(files)} files have findings:\n")
+        for f in failed:
+            sys.stdout.write(f"  {f}\n")
+        return 1
+    sys.stdout.write(f"run_tidy: {len(files)} files clean\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
