@@ -23,13 +23,22 @@
 // request's *scheduled* send time, so queue build-up past the knee shows up
 // in p99 instead of being hidden by coordinated omission.
 //
+// With --mixed-resolutions, a plan-cache cold-start sweep runs as well: a
+// freshly compiled engine is flooded with many input resolutions, and the
+// router_cache/* rows separate each shape's one-time first-miss compile
+// latency from its warm p50/p99, compare mixed-warm p99 against a
+// single-shape flood on the same router, and show a never-seen shape's
+// compile not inflating concurrent warm traffic.
+//
 // Reports requests/s plus p50/p99 end-to-end latency per request.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <exception>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -87,6 +96,10 @@ struct ServingArgs {
   int clients = kDefaultClients;
   double mix = 0.25;       ///< fraction of router requests using shape B
   int64_t requests = 0;    ///< per-run router request budget; 0 = auto
+  /// Run the plan-cache cold-start sweep: a flood over many input
+  /// resolutions against a freshly compiled engine, separating each shape's
+  /// one-time compile latency from its warm p50/p99 (router_cache/* rows).
+  bool mixed_resolutions = false;
 
   static ServingArgs parse(int argc, char** argv) {
     ServingArgs a;
@@ -100,6 +113,8 @@ struct ServingArgs {
             } else if (arg.rfind("--requests=", 0) == 0) {
               // 0 keeps the auto budget (see the field comment above).
               a.requests = std::max<int64_t>(0, std::stoll(arg.substr(11)));
+            } else if (arg == "--mixed-resolutions") {
+              a.mixed_resolutions = true;
             } else {
               return false;
             }
@@ -395,6 +410,181 @@ int main(int argc, char** argv) {
     json.add("router/bitwise").num("max_abs_diff", bitwise_max_diff);
     TTSNN_CHECK(bitwise_max_diff == 0.0,
                 "routed outputs diverged from direct Engine::run");
+  }
+
+  // --- mixed-resolution flood: the plan-cache cold-start sweep -------------
+  // A freshly compiled engine (empty program cache) is flooded with many
+  // input resolutions. Per shape: the FIRST request pays its one compile
+  // (cold), every later one rides the cached program (warm). The sweep pins
+  // three properties: each cold shape pays only its own compile, mixed warm
+  // traffic stays near single-shape latency, and cache-served outputs are
+  // bitwise-equal to a separately compiled engine's direct runs.
+  if (args.mixed_resolutions) {
+    std::printf("mixed-resolution flood (program cache cold-start sweep)\n");
+    infer::Engine fresh =
+        infer::compile(*net, {.merge_tt = false, .fold_batchnorm = true});
+    const std::vector<int64_t> resolutions =
+        args.base.quick ? std::vector<int64_t>{8, 12}
+                        : std::vector<int64_t>{8, 10, 12, 14, 16};
+    const int64_t canonical = kInputSize;  // shared by both floods below
+    infer::Router router(fresh, {.num_shards = 2, .max_batch = kBatch,
+                                 .max_delay_ms = 2.0,
+                                 .dispatchers_per_shard = 2});
+
+    Rng mrng(23);
+    std::vector<Tensor> samples;
+    std::vector<Tensor> refs;  // from `engine`: same weights, separate cache
+    samples.reserve(resolutions.size());
+    for (int64_t r : resolutions) {
+      samples.push_back(Tensor::uniform({kTimesteps, 3, r, r}, mrng));
+      refs.push_back(engine.run(as_batch1(samples.back())));
+    }
+
+    double cold_total_ms = 0.0;
+    double bitwise_max_diff = 0.0;
+    std::vector<double> cold_ms(resolutions.size());
+    for (size_t i = 0; i < resolutions.size(); ++i) {
+      Timer t;
+      Tensor out = router.infer(samples[i], /*session=*/i);
+      cold_ms[i] = t.seconds() * 1e3;
+      cold_total_ms += cold_ms[i];
+      bitwise_max_diff =
+          std::max(bitwise_max_diff,
+                   max_abs_diff(out.reshape({kTimesteps, -1}),
+                                refs[i].reshape({kTimesteps, -1})));
+    }
+
+    // Warm per-shape latencies: sequential probes after the cold pass, so
+    // every number is pure cached-program serving (batching + dispatch).
+    const int64_t warm_probes = args.base.quick ? 12 : 32;
+    for (size_t i = 0; i < resolutions.size(); ++i) {
+      std::vector<double> lat;
+      lat.reserve(static_cast<size_t>(warm_probes));
+      Timer total;
+      for (int64_t k = 0; k < warm_probes; ++k) {
+        Timer t;
+        router.infer(samples[i], /*session=*/i);
+        lat.push_back(t.seconds());
+      }
+      LatencyStats warm = summarize(std::move(lat), total.seconds());
+      const std::string name = "router_cache/shape=" +
+                               std::to_string(resolutions[i]) + "x" +
+                               std::to_string(resolutions[i]);
+      std::printf("  %-22s cold %7.2f ms   warm p50 %7.2f ms   p99 %7.2f ms\n",
+                  name.c_str(), cold_ms[i], warm.p50_ms, warm.p99_ms);
+      json.add(name)
+          .num("cold_first_ms", cold_ms[i])
+          .num("warm_p50_ms", warm.p50_ms)
+          .num("warm_p99_ms", warm.p99_ms)
+          .num("warm_req_per_s", warm.throughput);
+    }
+
+    // Concurrent floods over the SAME router (cache fully warm): every
+    // resolution at once vs the canonical shape alone, same client count.
+    // Per-shape isolation means the mixed p99 should sit near the single-
+    // shape p99 instead of multiplying with the number of resident shapes.
+    auto flood_p99 = [&](const std::vector<size_t>& shape_idx) {
+      const int64_t per_client = args.base.quick ? 6 : 8;
+      const int clients = std::max<int>(args.clients,
+                                        static_cast<int>(shape_idx.size()));
+      std::vector<std::vector<double>> lat(static_cast<size_t>(clients));
+      std::vector<std::thread> threads;
+      for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+          const Tensor& x =
+              samples[shape_idx[static_cast<size_t>(c) % shape_idx.size()]];
+          for (int64_t k = 0; k < per_client; ++k) {
+            Timer t;
+            router.infer(x, /*session=*/static_cast<uint64_t>(c));
+            lat[static_cast<size_t>(c)].push_back(t.seconds());
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+      std::vector<double> all;
+      for (const auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+      return summarize(std::move(all), 1.0);  // only the percentiles matter
+    };
+    std::vector<size_t> all_idx(resolutions.size());
+    for (size_t i = 0; i < all_idx.size(); ++i) all_idx[i] = i;
+    const size_t canon_idx = static_cast<size_t>(
+        std::find(resolutions.begin(), resolutions.end(), canonical) -
+        resolutions.begin());
+    LatencyStats single = flood_p99({canon_idx % resolutions.size()});
+    LatencyStats mixed = flood_p99(all_idx);
+    const double ratio = single.p99_ms > 0.0 ? mixed.p99_ms / single.p99_ms : 0.0;
+    std::printf("  router_cache/mixed_warm p99 %.2f ms vs single-shape %.2f ms "
+                "(%.2fx)\n",
+                mixed.p99_ms, single.p99_ms, ratio);
+    json.add("router_cache/single_shape")
+        .num("p50_ms", single.p50_ms)
+        .num("p99_ms", single.p99_ms);
+    json.add("router_cache/mixed_warm")
+        .num("p50_ms", mixed.p50_ms)
+        .num("p99_ms", mixed.p99_ms)
+        .num("p99_vs_single_shape", ratio);
+
+    // Warm-during-cold: while the canonical shape floods, a NEVER-seen
+    // resolution arrives. Its compile runs outside the cache lock, so the
+    // warm stream's p99 must not absorb the cold shape's first-miss cost.
+    {
+      const int64_t cold_res = args.base.quick ? 20 : 24;
+      Tensor cold_x = Tensor::uniform({kTimesteps, 3, cold_res, cold_res}, mrng);
+      Tensor cold_ref = engine.run(as_batch1(cold_x));
+      std::atomic<bool> stop{false};
+      std::vector<double> warm_lat;
+      std::mutex warm_mu;
+      std::vector<std::thread> warm_clients;
+      for (int c = 0; c < 4; ++c) {
+        warm_clients.emplace_back([&, c] {
+          while (!stop.load(std::memory_order_relaxed)) {
+            Timer t;
+            router.infer(samples[canon_idx], static_cast<uint64_t>(c));
+            const double s = t.seconds();
+            std::lock_guard<std::mutex> lock(warm_mu);
+            warm_lat.push_back(s);
+          }
+        });
+      }
+      Timer cold_t;
+      Tensor cold_out = router.infer(cold_x, /*session=*/99);
+      const double cold_during_ms = cold_t.seconds() * 1e3;
+      stop.store(true);
+      for (std::thread& t : warm_clients) t.join();
+      bitwise_max_diff =
+          std::max(bitwise_max_diff,
+                   max_abs_diff(cold_out.reshape({kTimesteps, -1}),
+                                cold_ref.reshape({kTimesteps, -1})));
+      LatencyStats during = summarize(warm_lat, 1.0);
+      std::printf("  router_cache/warm_during_cold p99 %.2f ms while a "
+                  "%lldx%lld first-miss compiled (%.2f ms)\n",
+                  during.p99_ms, static_cast<long long>(cold_res),
+                  static_cast<long long>(cold_res), cold_during_ms);
+      json.add("router_cache/warm_during_cold")
+          .num("warm_p99_ms", during.p99_ms)
+          .num("cold_first_ms", cold_during_ms);
+    }
+
+    infer::RouterStats rstats = router.stats();
+    std::printf("  router_cache/stats: %lld shapes, %lld bytes, %lld hits, "
+                "%lld misses, %lld evictions, %lld steals, %lld shed\n",
+                static_cast<long long>(rstats.cache_shapes),
+                static_cast<long long>(rstats.cache_bytes),
+                static_cast<long long>(rstats.cache_hits),
+                static_cast<long long>(rstats.cache_misses),
+                static_cast<long long>(rstats.cache_evictions),
+                static_cast<long long>(rstats.steals),
+                static_cast<long long>(rstats.shed));
+    json.add("router_cache/stats")
+        .num("shapes", static_cast<double>(rstats.cache_shapes))
+        .num("bytes", static_cast<double>(rstats.cache_bytes))
+        .num("hits", static_cast<double>(rstats.cache_hits))
+        .num("misses", static_cast<double>(rstats.cache_misses))
+        .num("evictions", static_cast<double>(rstats.cache_evictions))
+        .num("cold_total_ms", cold_total_ms);
+    json.add("router_cache/bitwise").num("max_abs_diff", bitwise_max_diff);
+    TTSNN_CHECK(bitwise_max_diff == 0.0,
+                "cache-served outputs diverged from a fresh engine's runs");
   }
 
   json.write(args.base.out);

@@ -11,6 +11,11 @@
 //      single-sample requests into same-shape micro-batches per shard —
 //      mixed request shapes never block each other. (infer::Server is the
 //      same machinery pinned to one shard.)
+//   5. Serving is shape-general: each new input resolution compiles its
+//      program once (single-flight, LRU byte budget) and every later
+//      request of that shape is a cache hit. Requests carry a priority
+//      class, and a queue-byte budget sheds overload as AdmissionError
+//      at submit time instead of letting queues grow without bound.
 
 #include <cstdio>
 #include <future>
@@ -73,20 +78,29 @@ int main() {
   std::printf("compiled plan (%zu ops):\n%s", engine.num_ops(),
               engine.summary().c_str());
 
-  // Two engine replicas (cloned plans over shared weights), each with its
-  // own per-shape queues; the session key routes a client's traffic to a
-  // stable shard. Mixed shapes — here the image size and a smaller
-  // event-style clip — coalesce independently instead of queueing behind
-  // each other.
+  // Two engine replicas (cloned plans over shared weights AND a shared
+  // program cache), each with its own per-(shape, class) queues; the
+  // session key routes a client's traffic to a stable shard. Mixed shapes
+  // — here the image size and a smaller event-style clip — coalesce
+  // independently instead of queueing behind each other, and an idle
+  // shard steals ready batches from a loaded one. `queue_bytes` puts a
+  // per-shard budget on queued sample bytes: submits past it throw
+  // infer::AdmissionError synchronously ("overloaded, back off") instead
+  // of growing the queue without bound.
   infer::Router router(engine, {.num_shards = 2, .max_batch = 4,
-                                .max_delay_ms = 2.0});
+                                .max_delay_ms = 2.0,
+                                .queue_bytes = 64 << 20});
   Rng rng(42);
   std::vector<std::future<Tensor>> futures;
   for (int i = 0; i < 8; ++i) {
     Tensor sample = (i % 4 == 3) ? Tensor::uniform({4, 3, 8, 8}, rng)
                                  : Tensor::uniform({4, 3, 12, 12}, rng);
-    futures.push_back(
-        router.submit(std::move(sample), /*session=*/static_cast<uint64_t>(i)));
+    // Interactive requests dispatch before batch-class ones whenever both
+    // are ready on a shard; within a class, oldest group first.
+    const infer::Priority cls =
+        (i % 2 == 0) ? infer::Priority::kInteractive : infer::Priority::kBatch;
+    futures.push_back(router.submit(std::move(sample),
+                                    /*session=*/static_cast<uint64_t>(i), cls));
   }
   for (size_t i = 0; i < futures.size(); ++i) {
     Tensor logits_t = futures[i].get();  // [T, classes]
@@ -106,10 +120,18 @@ int main() {
               static_cast<long long>(stats.requests),
               static_cast<long long>(stats.batches), stats.mean_batch());
   for (size_t s = 0; s < stats.shard_requests.size(); ++s) {
-    std::printf("  shard %zu: %lld requests in %lld batches\n", s,
+    std::printf("  shard %zu: %lld requests in %lld batches, %lld stolen\n", s,
                 static_cast<long long>(stats.shard_requests[s]),
-                static_cast<long long>(stats.shard_batches[s]));
+                static_cast<long long>(stats.shard_batches[s]),
+                static_cast<long long>(stats.shard_steals[s]));
   }
+  std::printf("plan cache: %lld shape(s), %lld bytes, %lld hits / %lld "
+              "misses, %lld shed\n",
+              static_cast<long long>(stats.cache_shapes),
+              static_cast<long long>(stats.cache_bytes),
+              static_cast<long long>(stats.cache_hits),
+              static_cast<long long>(stats.cache_misses),
+              static_cast<long long>(stats.shed));
   std::remove(ckpt.c_str());
   return 0;
 }

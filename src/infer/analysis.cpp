@@ -837,26 +837,4 @@ std::string memory_plan_report(const std::vector<Op>& ops,
   return oss.str();
 }
 
-std::shared_ptr<const MemoryPlan> PlanCache::layout(
-    const std::vector<Op>& ops, const PlanAnalysis& analysis,
-    const Shape& input) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& [shape, plan] : entries_) {
-      if (shape == input) return plan;
-    }
-  }
-  // Plan outside the lock — concurrent first calls may duplicate the work,
-  // never block each other on it.
-  auto plan = std::make_shared<const MemoryPlan>(
-      plan_memory(ops, analysis, input));
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& [shape, existing] : entries_) {
-    if (shape == input) return existing;
-  }
-  if (entries_.size() >= kMaxEntries) entries_.clear();
-  entries_.emplace_back(input, plan);
-  return plan;
-}
-
 }  // namespace ttsnn::infer

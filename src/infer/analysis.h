@@ -35,11 +35,11 @@
 /// composite-op scratch region, and the im2col scratch into ONE workspace
 /// buffer, so Engine::run() performs a single workspace allocation (or none,
 /// when the caller re-submits a workspace tensor) instead of a Tensor::empty
-/// per register. Layouts are memoized per input shape in a PlanCache that
-/// Engine replicas share (see router.h).
+/// per register. Per-shape layouts are memoized inside the CompiledProgram
+/// entries of the shape-keyed ProgramCache (plan_cache.h) that Engine
+/// replicas share (see router.h).
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -157,23 +157,5 @@ int64_t op_col_floats(const Op& op, const Shape& in_shape);
 std::string memory_plan_report(const std::vector<Op>& ops,
                                const PlanAnalysis& analysis,
                                const Shape& input);
-
-/// Thread-safe shape-keyed memo of MemoryPlans. Engine replicas cloned from
-/// one compile share a single cache (shared_ptr), so N Router shards lay out
-/// each input shape once. Bounded: the cache resets if an adversarial
-/// workload floods it with distinct shapes.
-class PlanCache {
- public:
-  /// Returns the memoized layout for `input`, or lays it out via
-  /// plan_memory() and memoizes. Throws what plan_memory throws.
-  std::shared_ptr<const MemoryPlan> layout(const std::vector<Op>& ops,
-                                           const PlanAnalysis& analysis,
-                                           const Shape& input);
-
- private:
-  static constexpr size_t kMaxEntries = 64;
-  std::mutex mu_;
-  std::vector<std::pair<Shape, std::shared_ptr<const MemoryPlan>>> entries_;
-};
 
 }  // namespace ttsnn::infer

@@ -301,6 +301,30 @@ int lower(const Module& m, int in_reg, Builder& b) {
   return -1;
 }
 
+/// Bytes of read-only weight storage the plan references, counting each
+/// unique buffer once: Engine copies (Router replicas) and every cached
+/// per-shape program share these tensors by refcount, so this is the
+/// process-wide weight footprint no matter how many shapes are resident.
+int64_t unique_weight_bytes(const std::vector<Op>& ops) {
+  std::set<const float*> seen;
+  int64_t bytes = 0;
+  auto add = [&](const Tensor& t) {
+    if (!t.defined()) return;
+    if (seen.insert(t.data()).second) {
+      bytes += t.numel() * static_cast<int64_t>(sizeof(float));
+    }
+  };
+  for (const Op& op : ops) {
+    for (const Tensor* t :
+         {&op.weight, &op.bias, &op.w1, &op.w2, &op.w3, &op.w4,
+          &op.full_kernel, &op.half_kernel, &op.bn_gamma, &op.bn_beta,
+          &op.bn_mean, &op.bn_inv_std, &op.bn_step_scale}) {
+      add(*t);
+    }
+  }
+  return bytes;
+}
+
 }  // namespace
 
 Engine compile(const Module& root, const CompileOptions& opts) {
@@ -312,6 +336,7 @@ Engine compile(const Module& root, const CompileOptions& opts) {
   e.ops_ = std::move(b.ops);
   e.num_regs_ = b.num_regs;
   e.result_reg_ = result;
+  e.weight_bytes_ = unique_weight_bytes(e.ops_);
   e.seal();
   return e;
 }

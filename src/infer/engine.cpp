@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "infer/analysis.h"
+#include "infer/plan_cache.h"
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
 #include "tensor/ops.h"
@@ -30,6 +31,11 @@ struct ExecCtx {
   virtual float* col(int64_t elems) = 0;
   /// Raw float scratch (the LIF membrane plane).
   virtual float* raw(int64_t elems) = 0;
+
+  /// Compiled per-op record (set on the planned path): pre-resolved HTT
+  /// schedule split, so kernels skip per-call schedule walks. Null on the
+  /// legacy path, where kernels derive everything from the tensors.
+  const OpExec* exec = nullptr;
 
  protected:
   ~ExecCtx() = default;
@@ -168,20 +174,26 @@ Tensor run_conv(const Tensor& x, const Tensor& weight,
   return out;
 }
 
-/// Splits [0, t_steps) into full/half step index lists per the HTT schedule.
-void split_schedule(const TTConv2d::Options& tt, int64_t t_steps,
-                    std::vector<int64_t>& full_idx,
-                    std::vector<int64_t>& half_idx) {
-  for (int64_t t = 0; t < t_steps; ++t) {
-    bool full = true;
-    if (tt.mode == TTMode::kHTT && !tt.full_step.empty()) {
-      TTSNN_CHECK(t < static_cast<int64_t>(tt.full_step.size()),
-                  "infer: HTT schedule too short for timestep " << t);
-      full = tt.full_step[static_cast<size_t>(t)];
+/// HTT schedule split for one execution: the compiled program's pre-resolved
+/// index lists when this is a planned run, else (legacy path) a fresh split
+/// via the shared split_htt_schedule — the same function program compilation
+/// uses, so the two paths can never disagree.
+struct ScheduleSplit {
+  const std::vector<int64_t>* full = nullptr;
+  const std::vector<int64_t>* half = nullptr;
+  std::vector<int64_t> full_local, half_local;
+
+  ScheduleSplit(const Op& op, int64_t t_steps, const ExecCtx& ctx) {
+    if (ctx.exec != nullptr && ctx.exec->has_schedule) {
+      full = &ctx.exec->full_idx;
+      half = &ctx.exec->half_idx;
+      return;
     }
-    (full ? full_idx : half_idx).push_back(t);
+    split_htt_schedule(op.tt, t_steps, full_local, half_local);
+    full = &full_local;
+    half = &half_local;
   }
-}
+};
 
 /// gather_steps into a ctx temp; undefined tensor for an empty index list
 /// (matching gather_steps), so the scratch budget only charges non-empty
@@ -218,10 +230,9 @@ Tensor run_tt_exact(const Op& op, const Tensor& x, ExecCtx& ctx) {
       return ptt_path(o1, true);
     case TTMode::kHTT: {
       TTSNN_CHECK(o1.dim() == 5, "infer HTT expects [T, N, C, H, W]");
-      std::vector<int64_t> full_idx, half_idx;
-      split_schedule(op.tt, o1.size(0), full_idx, half_idx);
-      Tensor full_x = gather_steps_ctx(o1, full_idx, ctx);
-      Tensor half_x = gather_steps_ctx(o1, half_idx, ctx);
+      ScheduleSplit split(op, o1.size(0), ctx);
+      Tensor full_x = gather_steps_ctx(o1, *split.full, ctx);
+      Tensor half_x = gather_steps_ctx(o1, *split.half, ctx);
       Tensor y_full, y_half;
       if (full_x.defined()) y_full = ptt_path(full_x, false);
       if (half_x.defined()) {
@@ -232,8 +243,8 @@ Tensor run_tt_exact(const Op& op, const Tensor& x, ExecCtx& ctx) {
       Shape out_shape = (y_full.defined() ? y_full : y_half).shape();
       out_shape[0] = o1.size(0);
       Tensor out = ctx.out(out_shape);  // scatter covers every step
-      if (y_full.defined()) scatter_steps(out, y_full, full_idx);
-      if (y_half.defined()) scatter_steps(out, y_half, half_idx);
+      if (y_full.defined()) scatter_steps(out, y_full, *split.full);
+      if (y_half.defined()) scatter_steps(out, y_half, *split.half);
       return out;
     }
   }
@@ -246,10 +257,9 @@ Tensor run_tt_exact(const Op& op, const Tensor& x, ExecCtx& ctx) {
 /// stride s, so all steps agree on the output shape.
 Tensor run_tt_htt_merged(const Op& op, const Tensor& x, ExecCtx& ctx) {
   TTSNN_CHECK(x.dim() == 5, "infer HTT expects [T, N, C, H, W]");
-  std::vector<int64_t> full_idx, half_idx;
-  split_schedule(op.tt, x.size(0), full_idx, half_idx);
-  Tensor full_x = gather_steps_ctx(x, full_idx, ctx);
-  Tensor half_x = gather_steps_ctx(x, half_idx, ctx);
+  ScheduleSplit split(op, x.size(0), ctx);
+  Tensor full_x = gather_steps_ctx(x, *split.full, ctx);
+  Tensor half_x = gather_steps_ctx(x, *split.half, ctx);
   Tensor y_full, y_half;
   if (full_x.defined()) {
     y_full = run_conv(full_x, op.full_kernel, op.conv, op.bias, ctx, false);
@@ -262,8 +272,8 @@ Tensor run_tt_htt_merged(const Op& op, const Tensor& x, ExecCtx& ctx) {
   Shape out_shape = (y_full.defined() ? y_full : y_half).shape();
   out_shape[0] = x.size(0);
   Tensor out = ctx.out(out_shape);  // scatter covers every step
-  if (y_full.defined()) scatter_steps(out, y_full, full_idx);
-  if (y_half.defined()) scatter_steps(out, y_half, half_idx);
+  if (y_full.defined()) scatter_steps(out, y_full, *split.full);
+  if (y_half.defined()) scatter_steps(out, y_half, *split.half);
   return out;
 }
 
@@ -478,11 +488,29 @@ Tensor Engine::run(const Tensor& x, Tensor& workspace) const {
   return run_planned(x, workspace);
 }
 
+std::shared_ptr<const CompiledProgram> Engine::program(
+    const Shape& input) const {
+  TTSNN_CHECK(analysis_ && programs_,
+              "infer::Engine::program on an unsealed engine");
+  return programs_->get(ops_, *analysis_, input);
+}
+
 std::shared_ptr<const MemoryPlan> Engine::memory_plan(
     const Shape& input) const {
-  TTSNN_CHECK(analysis_ && plan_cache_,
-              "infer::Engine::memory_plan on an unsealed engine");
-  return plan_cache_->layout(ops_, *analysis_, input);
+  // The aliasing constructor keeps the whole program alive through the
+  // layout handle, so layout-only callers cannot dangle after an eviction.
+  std::shared_ptr<const CompiledProgram> prog = program(input);
+  return {prog, prog->layout.get()};
+}
+
+ProgramCacheStats Engine::cache_stats() const {
+  TTSNN_CHECK(programs_, "infer::Engine::cache_stats on an unsealed engine");
+  return programs_->stats();
+}
+
+Shape Engine::input_signature() const {
+  TTSNN_CHECK(analysis_, "infer::Engine::input_signature on an unsealed engine");
+  return analysis_->sym_shape[0];
 }
 
 Tensor Engine::run_legacy(const Tensor& x) const {
@@ -515,42 +543,51 @@ Tensor Engine::run_planned(const Tensor& x, Tensor& workspace) const {
   TTSNN_CHECK(!ops_.empty(), "infer::Engine::run on an empty plan");
   TTSNN_CHECK(x.dim() == 5, "infer::Engine::run expects [T, N, C, H, W], got "
                                 << shape_str(x.shape()));
-  const std::shared_ptr<const MemoryPlan> plan = memory_plan(x.shape());
+  // One cache lookup per call resolves EVERYTHING shape-dependent: the packed
+  // layout, each op's destination, and the HTT schedule splits. The op loop
+  // below only follows the precomputed records.
+  const std::shared_ptr<const CompiledProgram> prog = program(x.shape());
+  const MemoryPlan* plan = prog->layout.get();
   if (plan->total_floats > 0 &&
       (!workspace.defined() || workspace.numel() < plan->total_floats)) {
     workspace = Tensor::empty({plan->total_floats});
   }
-  const PlanAnalysis& an = *analysis_;
   std::vector<Tensor> regs(static_cast<size_t>(num_regs_));
   regs[0] = x;
   for (size_t i = 0; i < ops_.size(); ++i) {
     const Op& op = ops_[i];
+    const OpExec& ex = prog->exec[i];
     const size_t out = static_cast<size_t>(op.out);
     Tensor& a = regs[static_cast<size_t>(op.in)];
     TTSNN_CHECK(a.defined(), "infer: op " << i << " reads an undefined register");
-    if (an.is_alias[i]) {
+    if (ex.dest == OpExec::Dest::kAlias) {
       // kFlatten view — no kernel, no memory: reshare the input buffer.
-      regs[out] = a.reshape({a.size(0), a.size(1), -1});
+      regs[out] = a.reshape(ex.out_shape);
       continue;
     }
-    if (op.kind == Op::Kind::kFlatten) {
+    if (ex.dest == OpExec::Dest::kMaterialize) {
       // Flatten INTO the result register: the caller must not receive a view
       // of the recycled workspace (or of its own input), so materialize.
-      Tensor y = Tensor::empty(plan->shape[out]);
+      Tensor y = Tensor::empty(ex.out_shape);
       std::copy(a.data(), a.data() + a.numel(), y.data());
       regs[out] = std::move(y);
       continue;
     }
     PlannedCtx ctx;
-    ctx.plan = plan.get();
+    ctx.plan = plan;
     ctx.ws = &workspace;
     ctx.op_index = i;
-    if (op.out == result_reg_) {
-      ctx.dest = Tensor::empty(plan->shape[out]);  // the caller owns this
-    } else if (an.is_inplace[i]) {
-      ctx.dest = a.reshape(plan->shape[out]);  // write over the dying input
-    } else {
-      ctx.dest = workspace.view(plan->offset[out], plan->shape[out]);
+    ctx.exec = &ex;
+    switch (ex.dest) {
+      case OpExec::Dest::kResult:
+        ctx.dest = Tensor::empty(ex.out_shape);  // the caller owns this
+        break;
+      case OpExec::Dest::kInPlace:
+        ctx.dest = a.reshape(ex.out_shape);  // write over the dying input
+        break;
+      default:
+        ctx.dest = workspace.view(ex.offset, ex.out_shape);
+        break;
     }
     static const Tensor kNone;
     const Tensor& b = op.in2 >= 0 ? regs[static_cast<size_t>(op.in2)] : kNone;
@@ -563,7 +600,7 @@ void Engine::seal() {
   analysis_ = std::make_shared<const PlanAnalysis>(
       analyze_plan(ops_, num_regs_, result_reg_));
   last_use_ = analysis_->last_use;
-  plan_cache_ = std::make_shared<PlanCache>();
+  programs_ = std::make_shared<ProgramCache>(opts_.plan_cache_bytes);
 }
 
 std::string Engine::summary() const {
@@ -589,6 +626,19 @@ std::string Engine::summary() const {
       if (analysis_->is_inplace[i]) oss << " in-place";
     }
     oss << "\n";
+  }
+  if (programs_) {
+    const ProgramCacheStats s = programs_->stats();
+    oss << "plan cache: " << s.entries << " shape(s), " << s.bytes << " / ";
+    if (s.budget_bytes > 0) {
+      oss << s.budget_bytes;
+    } else {
+      oss << "unbounded";
+    }
+    oss << " bytes, " << s.hits << " hits, " << s.misses << " misses, "
+        << s.evictions << " evictions\n";
+    oss << "weights: " << weight_bytes_
+        << " bytes, shared across all cached shapes and engine copies\n";
   }
   return oss.str();
 }

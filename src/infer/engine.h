@@ -12,11 +12,13 @@
 /// Every compile() runs the static-analysis pipeline of infer/analysis.h over
 /// the lowered plan: a verifier (malformed plans throw at compile time, not
 /// mid-run), symbolic shape inference, and liveness + alias analysis. With
-/// CompileOptions::static_plan (the default) run() executes against a single
-/// packed workspace buffer whose layout the memory planner computes once per
-/// input shape — one allocation per call (zero when the caller re-submits a
-/// workspace tensor), bit-identical outputs to the unplanned executor, which
-/// remains available as the reference path with static_plan off.
+/// CompileOptions::static_plan (the default) run() executes a per-shape
+/// CompiledProgram — packed workspace layout plus per-op execution records —
+/// compiled on first miss and memoized in a shape-keyed, LRU-bounded
+/// ProgramCache (plan_cache.h) shared by every copy of the engine: one
+/// allocation per call (zero when the caller re-submits a workspace tensor),
+/// bit-identical outputs to the unplanned executor, which remains available
+/// as the reference path with static_plan off.
 ///
 /// Lowering follows Algorithm 1 lines 20-22: with CompileOptions::merge_tt
 /// (the default), every TTConv2d collapses into a single dense convolution —
@@ -42,7 +44,9 @@ namespace ttsnn::infer {
 
 struct PlanAnalysis;
 struct MemoryPlan;
-class PlanCache;
+struct CompiledProgram;
+struct ProgramCacheStats;
+class ProgramCache;
 
 struct CompileOptions {
   /// Lower each TTConv2d to its merged dense kernel(s) (Algorithm 1 lines
@@ -58,6 +62,10 @@ struct CompileOptions {
   /// of ONE buffer allocated (or reused) per call. Off: the reference
   /// executor, one allocation per register. Outputs are bit-identical.
   bool static_plan = true;
+  /// Byte budget of the per-shape compiled-program cache (plan_cache.h):
+  /// plan metadata only — weights are refcounted once outside the cache —
+  /// with LRU eviction past the budget. 0 disables eviction entirely.
+  int64_t plan_cache_bytes = 8LL << 20;
 };
 
 /// One instruction of the flat plan. Ops read register `in` (and `in2` for
@@ -142,13 +150,33 @@ class Engine {
   /// any Engine produced by compile().
   const PlanAnalysis& analysis() const { return *analysis_; }
 
-  /// Concrete memory layout for one input shape, memoized in the plan cache
-  /// shared by every copy of this Engine (Router replicas lay out each shape
-  /// once). Throws ttsnn::Error if the plan cannot run at this shape.
+  /// Fully compiled program for one input signature [T, N, C, H, W],
+  /// memoized (single-flight, LRU by byte budget) in the ProgramCache shared
+  /// by every copy of this Engine — Router replicas compile each shape once,
+  /// process-wide. Throws ttsnn::Error if the plan cannot run at this shape.
+  std::shared_ptr<const CompiledProgram> program(const Shape& input) const;
+
+  /// Concrete memory layout for one input shape; the layout half of
+  /// program(input). Kept for layout-only callers (reports, benches).
   std::shared_ptr<const MemoryPlan> memory_plan(const Shape& input) const;
 
+  /// Residency and hit/miss/eviction counters of the shared program cache.
+  ProgramCacheStats cache_stats() const;
+
+  /// Symbolic input signature [T, N, C, H, W] from shape inference:
+  /// concrete where the plan pins an extent (the channel count always;
+  /// T for TEBN-pinned plans), kDimUnknown where any extent serves. The
+  /// Router validates submissions against this before queueing.
+  Shape input_signature() const;
+
+  /// Bytes of read-only weight storage the plan references, counting each
+  /// shared buffer once. Engine copies and all cached programs reference
+  /// this same storage — it is never duplicated per shape or per replica.
+  int64_t weight_bytes() const { return weight_bytes_; }
+
   /// One line per op: kind, label, register dataflow, live range and
-  /// alias/in-place flags from the analysis.
+  /// alias/in-place flags from the analysis — plus the program-cache
+  /// residency (shapes cached, bytes vs budget, hit/miss/eviction counts).
   std::string summary() const;
   /// summary() plus the concrete memory-plan report (byte offsets, workspace
   /// totals, savings vs the unplanned executor) for one input shape.
@@ -164,9 +192,10 @@ class Engine {
   int num_regs_ = 1;               ///< register 0 is the input
   int result_reg_ = 0;             ///< register holding the network output
   std::vector<int> last_use_;      ///< per register: index of last reading op
+  int64_t weight_bytes_ = 0;       ///< unique read-only weight storage bytes
   CompileOptions opts_;
   std::shared_ptr<const PlanAnalysis> analysis_;  ///< set by seal()
-  std::shared_ptr<PlanCache> plan_cache_;         ///< shared across copies
+  std::shared_ptr<ProgramCache> programs_;        ///< shared across copies
 
   void seal();  ///< runs analyze_plan() once the op list is final
 };

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <sstream>
+
+#include "infer/analysis.h"
+#include "infer/plan_cache.h"
 
 namespace ttsnn::infer {
 
@@ -15,7 +19,28 @@ TimePoint group_deadline(const TimePoint& arrival, double max_delay_ms) {
              std::chrono::duration<double, std::milli>(max_delay_ms));
 }
 
+std::chrono::steady_clock::duration ms_duration(double ms) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+int64_t sample_bytes(const Tensor& x) {
+  return x.numel() * static_cast<int64_t>(sizeof(float));
+}
+
 }  // namespace
+
+const char* priority_name(Priority cls) {
+  switch (cls) {
+    case Priority::kBatch:
+      return "batch";
+    case Priority::kNormal:
+      return "normal";
+    case Priority::kInteractive:
+      return "interactive";
+  }
+  return "?";
+}
 
 Router::Router(const Engine& engine, RouterOptions opts) : opts_(opts) {
   TTSNN_CHECK(opts_.num_shards >= 1, "Router needs >= 1 shard");
@@ -23,12 +48,15 @@ Router::Router(const Engine& engine, RouterOptions opts) : opts_(opts) {
   TTSNN_CHECK(opts_.max_delay_ms >= 0.0, "Router max_delay_ms must be >= 0");
   TTSNN_CHECK(opts_.dispatchers_per_shard >= 1,
               "Router needs >= 1 dispatcher per shard");
+  TTSNN_CHECK(opts_.queue_bytes >= 0, "Router queue_bytes must be >= 0");
+  TTSNN_CHECK(opts_.steal_poll_ms > 0.0, "Router steal_poll_ms must be > 0");
+  signature_ = engine.input_signature();
   shards_.reserve(static_cast<size_t>(opts_.num_shards));
   for (int i = 0; i < opts_.num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(engine));
   }
-  // Dispatchers start only after every shard exists: a dispatcher never
-  // touches any shard but its own, but shard_for must already be stable.
+  // Dispatchers start only after every shard exists: a stealing dispatcher
+  // walks shards_ itself, and shard_for must already be stable.
   for (auto& shard : shards_) {
     shard->dispatchers.reserve(
         static_cast<size_t>(opts_.dispatchers_per_shard));
@@ -77,7 +105,7 @@ int Router::shard_for(const Shape& shape, uint64_t session) const {
   return static_cast<int>(h % static_cast<uint64_t>(shards_.size()));
 }
 
-std::future<Tensor> Router::submit(Tensor x, uint64_t session) {
+std::future<Tensor> Router::submit(Tensor x, uint64_t session, Priority cls) {
   TTSNN_CHECK(x.dim() == 4, "Router::submit expects one sample [T, C, H, W], "
                                 << "got " << shape_str(x.shape()));
   // All extents must be positive: a zero-sized sample would reach the
@@ -87,19 +115,51 @@ std::future<Tensor> Router::submit(Tensor x, uint64_t session) {
     TTSNN_CHECK(x.size(d) > 0, "Router::submit needs all dims > 0, got "
                                    << shape_str(x.shape()));
   }
+  // Validate against the model's input signature NOW, at the submit call
+  // site. A sample the compiled plan can never serve (a channel count the
+  // weights don't have, a TEBN-pinned T) used to queue, wait out its
+  // deadline, and fail deep inside a dispatcher with an engine-internal
+  // message; it now throws synchronously with the caller's stack intact.
+  // Signature layout is [T, N, C, H, W]; the sample is [T, C, H, W].
+  static constexpr int kSigAxis[4] = {0, 2, 3, 4};
+  for (int d = 0; d < 4; ++d) {
+    const int64_t want = signature_[static_cast<size_t>(kSigAxis[d])];
+    if (want != kDimUnknown && x.size(d) != want) {
+      std::ostringstream oss;
+      oss << "Router::submit: sample " << shape_str(x.shape())
+          << " does not match the model input signature [T, N, C, H, W] = "
+          << shape_str(signature_) << " (sample dim " << d << " is "
+          << x.size(d) << ", the plan requires " << want << ")";
+      throw Error(oss.str());
+    }
+  }
+  const int ci = static_cast<int>(cls);
+  TTSNN_CHECK(ci >= 0 && ci < kNumPriority,
+              "Router::submit: invalid priority class " << ci);
+
   Request req;
   req.x = std::move(x);
   req.arrival = std::chrono::steady_clock::now();
   std::future<Tensor> fut = req.promise.get_future();
+  const int64_t bytes = sample_bytes(req.x);
 
   Shard& shard = *shards_[static_cast<size_t>(
       shard_for(req.x.shape(), session))];
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     TTSNN_CHECK(!shard.stop, "Router::submit after shutdown");
+    if (opts_.queue_bytes > 0 && shard.queued_bytes + bytes > opts_.queue_bytes) {
+      ++shard.shed;
+      std::ostringstream oss;
+      oss << "Router::submit: admission control shed a " << bytes
+          << "-byte sample (" << priority_name(cls) << "): shard holds "
+          << shard.queued_bytes << " of " << opts_.queue_bytes
+          << " queued bytes";
+      throw AdmissionError(oss.str());
+    }
     Group* group = nullptr;
     for (Group& g : shard.groups) {
-      if (g.shape == req.x.shape()) {
+      if (g.cls == cls && g.shape == req.x.shape()) {
         group = &g;
         break;
       }
@@ -108,93 +168,196 @@ std::future<Tensor> Router::submit(Tensor x, uint64_t session) {
       shard.groups.emplace_back();
       group = &shard.groups.back();
       group->shape = req.x.shape();
+      group->cls = cls;
     }
     group->reqs.push_back(std::move(req));
     ++shard.requests;
+    shard.queued_bytes += bytes;
+    ++shard.class_depth[static_cast<size_t>(ci)];
   }
+  total_queued_.fetch_add(1, std::memory_order_relaxed);
   shard.cv.notify_one();
   return fut;
 }
 
-Tensor Router::infer(Tensor x, uint64_t session) {
-  return submit(std::move(x), session).get();
+Tensor Router::infer(Tensor x, uint64_t session, Priority cls) {
+  return submit(std::move(x), session, cls).get();
 }
 
 RouterStats Router::stats() const {
   RouterStats s;
   s.shard_requests.reserve(shards_.size());
   s.shard_batches.reserve(shards_.size());
+  s.shard_steals.reserve(shards_.size());
+  s.class_depth.assign(kNumPriority, 0);
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     s.requests += shard->requests;
     s.batches += shard->batches;
     s.max_batch = std::max(s.max_batch, shard->max_batch);
+    s.shed += shard->shed;
+    s.steals += shard->steals;
     s.shard_requests.push_back(shard->requests);
     s.shard_batches.push_back(shard->batches);
+    s.shard_steals.push_back(shard->steals);
+    for (int c = 0; c < kNumPriority; ++c) {
+      s.class_depth[static_cast<size_t>(c)] +=
+          shard->class_depth[static_cast<size_t>(c)];
+    }
   }
+  // One cache serves every replica, so read it once (shard 0's handle).
+  const ProgramCacheStats cache = shards_[0]->engine.cache_stats();
+  s.cache_hits = cache.hits;
+  s.cache_misses = cache.misses;
+  s.cache_evictions = cache.evictions;
+  s.cache_shapes = cache.entries;
+  s.cache_bytes = cache.bytes;
   return s;
 }
 
+std::vector<Router::Request> Router::pop_ready_locked(
+    Shard& shard, TimePoint now, bool flush_any, TimePoint* next_deadline) {
+  // Scan the live groups for ready ones: a group is ready when it is FULL
+  // (dispatches immediately regardless of age — the PR-2 server would sit
+  // on a full batch while an older, not-yet-due request held the queue
+  // front) or when its deadline — always derived from its own oldest
+  // request's arrival — has expired. Among ready groups a higher priority
+  // class wins outright; within a class, serve the one whose front request
+  // has waited longest: full still beats not-yet-due, but a sustained flood
+  // that keeps one group permanently full cannot starve an expired group OF
+  // ITS CLASS, because the flood's front stays fresh (it keeps being
+  // consumed) while the starving group's front only ages. Groups that are
+  // neither feed the earliest pending deadline back to the caller's sleep.
+  *next_deadline = TimePoint::max();
+  auto ready = shard.groups.end();
+  for (auto it = shard.groups.begin(); it != shard.groups.end(); ++it) {
+    const bool full = static_cast<int64_t>(it->reqs.size()) >= opts_.max_batch;
+    const TimePoint deadline =
+        group_deadline(it->reqs.front().arrival, opts_.max_delay_ms);
+    if (full || deadline <= now) {
+      if (ready == shard.groups.end() || it->cls > ready->cls ||
+          (it->cls == ready->cls &&
+           it->reqs.front().arrival < ready->reqs.front().arrival)) {
+        ready = it;
+      }
+    } else {
+      *next_deadline = std::min(*next_deadline, deadline);
+    }
+  }
+  if (ready == shard.groups.end()) {
+    if (!flush_any || shard.groups.empty()) return {};
+    ready = shard.groups.begin();  // drain: flush without waiting out ages
+  }
+
+  std::vector<Request> batch;
+  batch.reserve(static_cast<size_t>(std::min<int64_t>(
+      opts_.max_batch, static_cast<int64_t>(ready->reqs.size()))));
+  while (!ready->reqs.empty() &&
+         static_cast<int64_t>(batch.size()) < opts_.max_batch) {
+    shard.queued_bytes -= sample_bytes(ready->reqs.front().x);
+    batch.push_back(std::move(ready->reqs.front()));
+    ready->reqs.pop_front();
+  }
+  shard.class_depth[static_cast<size_t>(ready->cls)] -=
+      static_cast<int64_t>(batch.size());
+  total_queued_.fetch_sub(static_cast<int64_t>(batch.size()),
+                          std::memory_order_relaxed);
+  // A partially drained group keeps its remaining requests AND their
+  // arrival stamps, so the tail's deadline stays anchored to when those
+  // requests actually arrived.
+  if (ready->reqs.empty()) shard.groups.erase(ready);
+  return batch;
+}
+
+std::vector<Router::Request> Router::try_steal(Shard& thief) {
+  // Snapshot the other shards' loads one lock at a time — this function
+  // NEVER holds two shard locks, so it cannot deadlock against another
+  // dispatcher stealing in the opposite direction.
+  struct Load {
+    Shard* shard;
+    int64_t queued;
+  };
+  std::vector<Load> loads;
+  loads.reserve(shards_.size());
+  for (auto& sp : shards_) {
+    Shard* s = sp.get();
+    if (s == &thief) continue;
+    int64_t queued = 0;
+    {
+      std::lock_guard<std::mutex> lock(s->mu);
+      for (const Group& g : s->groups) {
+        queued += static_cast<int64_t>(g.reqs.size());
+      }
+    }
+    if (queued > 0) loads.push_back({s, queued});
+  }
+  std::sort(loads.begin(), loads.end(),
+            [](const Load& a, const Load& b) { return a.queued > b.queued; });
+
+  const TimePoint now = std::chrono::steady_clock::now();
+  for (const Load& load : loads) {
+    std::vector<Request> batch;
+    {
+      std::lock_guard<std::mutex> lock(load.shard->mu);
+      TimePoint ignored;
+      // Only READY groups are stealable: a group still coalescing toward a
+      // full batch keeps coalescing on its home shard.
+      batch = pop_ready_locked(*load.shard, now, /*flush_any=*/false, &ignored);
+    }
+    if (!batch.empty()) {
+      std::lock_guard<std::mutex> lock(thief.mu);
+      ++thief.steals;
+      ++thief.batches;  // the batch executes HERE, on the thief's replica
+      thief.max_batch =
+          std::max(thief.max_batch, static_cast<int64_t>(batch.size()));
+      return batch;
+    }
+  }
+  return {};
+}
+
 std::vector<Router::Request> Router::next_batch(Shard& shard) {
+  const bool can_steal = opts_.work_stealing && shards_.size() > 1;
   std::unique_lock<std::mutex> lock(shard.mu);
   for (;;) {
-    shard.cv.wait(lock, [&shard] { return shard.stop || !shard.groups.empty(); });
-    if (shard.groups.empty()) return {};  // stop with a drained shard
-
-    // Scan the live groups for ready ones: a group is ready when it is FULL
-    // (dispatches immediately regardless of age — the PR-2 server would sit
-    // on a full batch while an older, not-yet-due request held the queue
-    // front) or when its deadline — always derived from its own oldest
-    // request's arrival — has expired. Among ready groups, serve the one
-    // whose front request has waited longest: full still beats not-yet-due,
-    // but a sustained flood that keeps one group permanently full cannot
-    // starve an expired group, because the flood's front stays fresh (it
-    // keeps being consumed) while the starving group's front only ages.
-    // Groups that are neither bound the sleep below by the earliest pending
-    // deadline.
-    const auto now = std::chrono::steady_clock::now();
-    auto ready = shard.groups.end();
+    if (shard.stop && shard.groups.empty()) return {};
+    const TimePoint now = std::chrono::steady_clock::now();
     TimePoint next_deadline = TimePoint::max();
-    for (auto it = shard.groups.begin(); it != shard.groups.end(); ++it) {
-      const bool full =
-          static_cast<int64_t>(it->reqs.size()) >= opts_.max_batch;
-      const TimePoint deadline =
-          group_deadline(it->reqs.front().arrival, opts_.max_delay_ms);
-      if (full || deadline <= now) {
-        if (ready == shard.groups.end() ||
-            it->reqs.front().arrival < ready->reqs.front().arrival) {
-          ready = it;
-        }
-      } else {
-        next_deadline = std::min(next_deadline, deadline);
-      }
+    std::vector<Request> batch =
+        pop_ready_locked(shard, now, /*flush_any=*/shard.stop, &next_deadline);
+    if (!batch.empty()) {
+      ++shard.batches;
+      shard.max_batch =
+          std::max(shard.max_batch, static_cast<int64_t>(batch.size()));
+      return batch;
     }
-    if (ready == shard.groups.end()) {
-      if (shard.stop) {
-        ready = shard.groups.begin();  // drain: flush without waiting out ages
-      } else {
-        shard.cv.wait_until(lock, next_deadline);
-        continue;  // re-scan: a fill, a new group, or the deadline passing
-      }
-    }
+    if (shard.stop) continue;  // re-check: drain emptied the shard
 
-    std::vector<Request> batch;
-    batch.reserve(static_cast<size_t>(
-        std::min<int64_t>(opts_.max_batch,
-                          static_cast<int64_t>(ready->reqs.size()))));
-    while (!ready->reqs.empty() &&
-           static_cast<int64_t>(batch.size()) < opts_.max_batch) {
-      batch.push_back(std::move(ready->reqs.front()));
-      ready->reqs.pop_front();
+    if (!shard.groups.empty()) {
+      // Own work pending but not yet due: sleep to the earliest deadline
+      // (a fill, a new group, or shutdown wakes us sooner).
+      shard.cv.wait_until(lock, next_deadline);
+      continue;
     }
-    // A partially drained group keeps its remaining requests AND their
-    // arrival stamps, so the tail's deadline stays anchored to when those
-    // requests actually arrived.
-    if (ready->reqs.empty()) shard.groups.erase(ready);
-    ++shard.batches;
-    shard.max_batch = std::max<int64_t>(
-        shard.max_batch, static_cast<int64_t>(batch.size()));
-    return batch;
+    if (!can_steal) {
+      shard.cv.wait(lock,
+                    [&shard] { return shard.stop || !shard.groups.empty(); });
+      continue;
+    }
+    // Empty shard, stealing enabled: poll the rest of the fleet. Fast
+    // cadence while the router holds queued work anywhere (that work may go
+    // ready any moment), 20x slower when fully idle.
+    lock.unlock();
+    std::vector<Request> stolen = try_steal(shard);
+    if (!stolen.empty()) return stolen;
+    const double poll_ms =
+        total_queued_.load(std::memory_order_relaxed) > 0
+            ? opts_.steal_poll_ms
+            : opts_.steal_poll_ms * 20.0;
+    lock.lock();
+    shard.cv.wait_for(lock, ms_duration(poll_ms), [&shard] {
+      return shard.stop || !shard.groups.empty();
+    });
   }
 }
 

@@ -2,7 +2,8 @@
 
 /// \file router.h
 /// Sharded multi-replica serving layer — the scale-out front-end over
-/// infer::Engine.
+/// infer::Engine, with QoS: priority classes, admission control and
+/// idle-shard work stealing.
 ///
 /// The PR-2 Server coalesced every request into ONE FIFO queue and popped a
 /// same-shaped *prefix*, so a single odd-shaped request at the front
@@ -11,29 +12,50 @@
 /// batches of one, each paying the full `max_delay_ms` stall. The Router
 /// fixes that structurally:
 ///
-///   submit(x, session)
+///   submit(x, session, priority)
+///        │  validate against Engine::input_signature()
+///        │  admission: shed (AdmissionError) if the shard's queued bytes
+///        │  would exceed `queue_bytes`
 ///        │  shard = hash(shape, session) % num_shards
 ///        ▼
 ///   ┌─ Shard 0 ──────────────┐  ┌─ Shard 1 ──────────────┐
-///   │ groups: shape → queue  │  │ groups: shape → queue  │ ...
-///   │ dispatcher thread(s)   │  │ dispatcher thread(s)   │
-///   │ Engine replica 0       │  │ Engine replica 1       │
+///   │ groups: (shape, class) │  │ groups: (shape, class) │ ...
+///   │ dispatcher thread(s)   │◄─┤  ← idle dispatchers    │
+///   │ Engine replica 0       │  │    steal ready groups  │
 ///   └───────────┬────────────┘  └───────────┬────────────┘
 ///               └────────── shared ThreadPool ───────────┘
+///               └──────── shared ProgramCache ───────────┘
 ///
-///  - Every shard keeps one queue PER SHAPE GROUP, each carrying its own
-///    oldest-arrival deadline, so shape groups never block each other and a
-///    full batch dispatches immediately even when an older, not-yet-due
-///    group sits in front of it.
+///  - Every shard keeps one queue PER (SHAPE, PRIORITY CLASS) GROUP, each
+///    carrying its own oldest-arrival deadline, so shape groups never block
+///    each other and a full batch dispatches immediately even when an older,
+///    not-yet-due group sits in front of it.
+///  - Among ready groups of one shard, a higher priority class always
+///    dispatches first; within a class the existing starvation-proof rule
+///    holds (oldest front wins, and a flood's front stays fresh while a
+///    starving group's front only ages). Strict cross-class priority is the
+///    point of the classes: interactive traffic preempts batch backfill.
+///  - Admission control: when `queue_bytes > 0` and a shard's queued sample
+///    bytes would exceed it, submit() sheds the request with a typed
+///    AdmissionError instead of letting the queue (and every deadline in it)
+///    grow without bound. Callers distinguish "overloaded, retry elsewhere"
+///    from a real failure by type.
+///  - Work stealing: a dispatcher whose own shard is EMPTY polls the other
+///    shards and pulls the oldest ready group from the most-loaded one, so a
+///    skewed session hash cannot idle half the fleet. Replicas share weights
+///    and the program cache, so a stolen batch is bit-identical to a
+///    home-shard run.
 ///  - Each shard owns an Engine replica — a cloned plan sharing the same
-///    read-only weight storage (Engine is copyable and run() is const +
-///    thread-safe), compiled once by the caller.
+///    read-only weight storage AND the same shape-keyed ProgramCache
+///    (plan_cache.h): a shape compiled by any shard is warm on all of them.
 ///  - All replicas fan their GEMMs onto the one process ThreadPool;
 ///    dispatcher threads block outside the pool, exactly like the Server's.
 ///
 /// Server (server.h) remains as a thin `num_shards = 1` compatibility
 /// wrapper over this class.
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -48,6 +70,26 @@
 
 namespace ttsnn::infer {
 
+/// Request priority class. Among ready groups of a shard, higher classes
+/// dispatch strictly first; within a class the oldest-front rule applies.
+enum class Priority : int {
+  kBatch = 0,        ///< offline backfill: runs when nothing else is ready
+  kNormal = 1,       ///< the default
+  kInteractive = 2,  ///< latency-sensitive: preempts everything ready
+};
+constexpr int kNumPriority = 3;
+const char* priority_name(Priority cls);
+
+/// Thrown by submit() when admission control sheds a request because the
+/// target shard's queued bytes would exceed RouterOptions::queue_bytes.
+/// Derives from ttsnn::Error so existing catch sites keep working; catching
+/// this type specifically distinguishes "overloaded, back off" from a
+/// malformed request or an engine failure.
+class AdmissionError : public Error {
+ public:
+  explicit AdmissionError(const std::string& what) : Error(what) {}
+};
+
 struct RouterOptions {
   /// Engine replicas, each with its own request queues and dispatchers.
   int num_shards = 2;
@@ -57,14 +99,38 @@ struct RouterOptions {
   double max_delay_ms = 2.0;
   /// Dispatcher threads per shard; each carries one batch at a time.
   int dispatchers_per_shard = 1;
+  /// Admission budget: maximum queued sample bytes PER SHARD before submit()
+  /// sheds with AdmissionError. 0 = unbounded (no admission control).
+  int64_t queue_bytes = 0;
+  /// Let a dispatcher whose shard is empty pull ready work from the
+  /// most-loaded other shard. Only meaningful with num_shards > 1.
+  bool work_stealing = true;
+  /// How often an empty-shard dispatcher polls for stealable work while the
+  /// router holds queued requests (it polls 20x slower when fully idle).
+  double steal_poll_ms = 1.0;
 };
 
 struct RouterStats {
   int64_t requests = 0;   ///< samples accepted by submit()/infer()
   int64_t batches = 0;    ///< Engine::run calls issued across all shards
   int64_t max_batch = 0;  ///< largest coalesced batch observed anywhere
+  int64_t shed = 0;       ///< submissions rejected by admission control
+  int64_t steals = 0;     ///< batches a dispatcher pulled from another shard
+
+  // Shared program cache (one per compiled model, all replicas).
+  int64_t cache_hits = 0;       ///< program lookups served warm
+  int64_t cache_misses = 0;     ///< first-miss compiles triggered
+  int64_t cache_evictions = 0;  ///< programs dropped by the LRU budget
+  int64_t cache_shapes = 0;     ///< input signatures currently resident
+  int64_t cache_bytes = 0;      ///< plan metadata bytes resident
+
   std::vector<int64_t> shard_requests;  ///< per-shard accepted samples
   std::vector<int64_t> shard_batches;   ///< per-shard Engine::run calls
+  std::vector<int64_t> shard_steals;    ///< per-shard batches stolen BY it
+  /// Current queued samples per priority class (index = Priority value),
+  /// summed over shards — a gauge, not a counter.
+  std::vector<int64_t> class_depth;
+
   double mean_batch() const {
     return batches > 0 ? static_cast<double>(requests) /
                              static_cast<double>(batches)
@@ -74,10 +140,10 @@ struct RouterStats {
 
 class Router {
  public:
-  /// Clones the compiled plan into one replica per shard (weight storage is
-  /// shared, so replicas cost a plan's worth of metadata, not a model copy)
-  /// and starts the dispatchers. The engine argument itself only needs to
-  /// live through the constructor.
+  /// Clones the compiled plan into one replica per shard (weight storage and
+  /// the program cache are shared, so replicas cost a plan's worth of
+  /// metadata, not a model copy) and starts the dispatchers. The engine
+  /// argument itself only needs to live through the constructor.
   explicit Router(const Engine& engine, RouterOptions opts = {});
   /// Drains every shard queue, then joins the dispatchers.
   ~Router();
@@ -88,12 +154,20 @@ class Router {
   /// Enqueues one sample [T, C, H, W] (all extents > 0) on the shard chosen
   /// by shard_for(x.shape(), session); the future resolves to the engine
   /// output for that sample with the batch axis removed (e.g. [T, classes]).
-  /// Requests the engine rejects fail only their own future. Throws if the
-  /// router is shutting down or the sample has a zero-sized dimension.
-  std::future<Tensor> submit(Tensor x, uint64_t session = 0);
+  ///
+  /// Fails fast — synchronously, with a labeled ttsnn::Error — on any sample
+  /// the compiled model can never serve (wrong rank, zero-sized or
+  /// signature-mismatched extents, e.g. a channel count the weights don't
+  /// have), instead of poisoning a future deep inside a dispatcher after the
+  /// request waited out its deadline. Throws AdmissionError when the shard's
+  /// queue is over budget. Requests the engine rejects for per-shape reasons
+  /// (pool divisibility, TEBN T) still fail only their own future.
+  std::future<Tensor> submit(Tensor x, uint64_t session = 0,
+                             Priority cls = Priority::kNormal);
 
   /// Blocking convenience around submit().
-  Tensor infer(Tensor x, uint64_t session = 0);
+  Tensor infer(Tensor x, uint64_t session = 0,
+               Priority cls = Priority::kNormal);
 
   /// Deterministic shard for a (shape, session) key. Same shape + same
   /// session always lands on the same shard (so its requests coalesce);
@@ -102,7 +176,8 @@ class Router {
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
-  /// Aggregated over all shards, plus the per-shard breakdown.
+  /// Aggregated over all shards, plus the per-shard breakdown and the shared
+  /// program cache's residency/traffic counters.
   RouterStats stats() const;
 
   /// Stops accepting work, finishes every queued request (pending groups
@@ -117,36 +192,53 @@ class Router {
     std::chrono::steady_clock::time_point arrival;
   };
 
-  /// One shape group: a FIFO of same-shaped requests. The flush deadline is
-  /// always `reqs.front().arrival + max_delay_ms` — arrivals ride with the
-  /// requests, so a group that waited while another flushed (or the tail
-  /// left behind by a partial pop) keeps its original age instead of being
-  /// re-armed with a fresh delay.
+  /// One (shape, priority) group: a FIFO of same-shaped requests. The flush
+  /// deadline is always `reqs.front().arrival + max_delay_ms` — arrivals
+  /// ride with the requests, so a group that waited while another flushed
+  /// (or the tail left behind by a partial pop) keeps its original age
+  /// instead of being re-armed with a fresh delay.
   struct Group {
     Shape shape;
+    Priority cls = Priority::kNormal;
     std::deque<Request> reqs;
   };
 
   struct Shard {
-    Engine engine;  ///< cloned plan; weights shared with every other replica
+    Engine engine;  ///< cloned plan; weights + program cache shared
     explicit Shard(const Engine& e) : engine(e) {}
 
     mutable std::mutex mu;
     std::condition_variable cv;
-    std::list<Group> groups;  ///< insertion-ordered; one entry per live shape
+    std::list<Group> groups;  ///< insertion-ordered; one per (shape, class)
     bool stop = false;
     int64_t requests = 0;
     int64_t batches = 0;
     int64_t max_batch = 0;
+    int64_t queued_bytes = 0;  ///< sample bytes currently queued (admission)
+    int64_t shed = 0;          ///< requests rejected by admission control
+    int64_t steals = 0;        ///< batches THIS shard stole from others
+    std::array<int64_t, kNumPriority> class_depth{};  ///< queued per class
     std::vector<std::thread> dispatchers;
   };
 
   void dispatcher_loop(Shard& shard);
-  /// Pops the next ready batch of one shard: a full group first, else the
-  /// group whose deadline expired earliest, else (on stop) the oldest group.
-  /// Blocks until something is ready. Returns empty only at shutdown with a
-  /// drained shard.
+  /// Blocks until this shard has a ready batch, a steal succeeds, or
+  /// shutdown drains the shard (then returns empty). Batch/steal counters
+  /// are updated on the EXECUTING shard.
   std::vector<Request> next_batch(Shard& shard);
+  /// Scans `shard`'s groups (mu held) and pops the winning ready batch:
+  /// highest priority class first, oldest front within a class; a group is
+  /// ready when full or past its deadline (or unconditionally with
+  /// `flush_any`, the shutdown drain). Returns empty when nothing is ready
+  /// and sets *next_deadline to the earliest pending flush time.
+  std::vector<Request> pop_ready_locked(
+      Shard& shard, std::chrono::steady_clock::time_point now, bool flush_any,
+      std::chrono::steady_clock::time_point* next_deadline);
+  /// Steal attempt for an empty-shard dispatcher: snapshots the other
+  /// shards' queue depths (one lock at a time — never two shard locks held),
+  /// then pops a ready batch from the most-loaded one. Returns empty when
+  /// nothing anywhere is ready.
+  std::vector<Request> try_steal(Shard& thief);
   /// Stacks a same-shaped batch into [T, N, C, H, W], runs the shard's
   /// replica against the dispatcher's reusable workspace, splits the output
   /// back per sample, and settles every promise.
@@ -154,7 +246,9 @@ class Router {
                  Tensor& workspace) const;
 
   RouterOptions opts_;
+  Shape signature_;  ///< Engine::input_signature(), validated per submit
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<int64_t> total_queued_{0};  ///< steal-poll cadence heuristic
   std::once_flag shutdown_once_;
 };
 

@@ -16,8 +16,12 @@
 /// so mixed-shape traffic head-of-line-blocked: one odd-shaped request at
 /// the front stalled every other shape group for a full `max_delay_ms`.
 /// Serving is now built on the sharded Router (router.h), which keeps one
-/// queue per shape group; Server simply pins `num_shards = 1`. New code that
-/// wants replica scaling should hold a Router directly.
+/// queue per shape group; Server simply pins `num_shards = 1` (which also
+/// disables work stealing — there is nowhere to steal from). New code that
+/// wants replica scaling, priority classes, or admission control should hold
+/// a Router directly; either front-end serves any input signature the plan
+/// admits, compiling each new shape once into the shared program cache
+/// (plan_cache.h).
 
 #include <cstdint>
 #include <future>

@@ -331,15 +331,16 @@ TEST(InferServerTest, PartitionsMixedShapesIntoSeparateBatches) {
   EXPECT_GE(server.stats().batches, 2);
 }
 
-TEST(InferServerTest, BadRequestPoisonsOnlyItsOwnFuture) {
+TEST(InferServerTest, BadRequestFailsAtSubmitAndNeverPoisonsOthers) {
   Rng rng(21);
   ModulePtr net = trained_model(TTMode::kPTT, rng);
   infer::Engine engine = infer::compile(*net);
   infer::Server server(engine, {.max_batch = 1, .max_delay_ms = 1.0});
 
-  // Wrong channel count: the engine rejects it inside the dispatcher.
-  std::future<Tensor> bad = server.submit(Tensor::uniform({4, 5, 8, 8}, rng));
-  EXPECT_THROW(bad.get(), Error);
+  // Wrong channel count: the plan can NEVER serve it, so the submit call
+  // itself rejects it against the model's input signature — synchronously,
+  // instead of queueing it and poisoning a future inside the dispatcher.
+  EXPECT_THROW(server.submit(Tensor::uniform({4, 5, 8, 8}, rng)), Error);
 
   // The server survives and keeps serving.
   Tensor ok = server.infer(Tensor::uniform({4, 3, 8, 8}, rng));

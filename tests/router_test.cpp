@@ -5,7 +5,11 @@
 // different shards); flush deadlines must ride with each group's own oldest
 // arrival rather than being re-armed by other groups' flushes; and submit
 // must reject zero-sized samples up front instead of letting the stacking
-// arithmetic divide by zero in a dispatcher.
+// arithmetic divide by zero in a dispatcher. The QoS layer rides the same
+// suite: signature-mismatched samples fail at submit (synchronously, typed),
+// admission control sheds over-budget submissions with AdmissionError,
+// higher priority classes dispatch strictly before lower ones among ready
+// groups, and an idle shard steals ready work bit-identically.
 
 #include <atomic>
 #include <chrono>
@@ -348,6 +352,160 @@ TEST(RouterTest, SessionKeysSpreadAHotShapeAcrossShards) {
   EXPECT_EQ(sum_requests, stats.requests);
   EXPECT_EQ(sum_batches, stats.batches);
   EXPECT_GE(shards_hit, 2) << "32 sessions all hashed onto one shard";
+}
+
+// Regression: a sample the compiled model can NEVER serve (here a channel
+// count the weights don't have) used to queue, wait out its deadline, and
+// fail deep inside a dispatcher with an engine-internal message. It must now
+// fail the submit call itself — synchronously, with a labeled error — and
+// the router must keep serving.
+TEST(RouterTest, SubmitRejectsSignatureMismatchSynchronously) {
+  const infer::Engine& engine = test_engine();
+  infer::Router router(engine, {.num_shards = 2});
+
+  // The model takes 3 input channels; 5 can never run.
+  try {
+    router.submit(Tensor(Shape{4, 5, 8, 8}));
+    FAIL() << "channel-mismatched sample was accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("signature"), std::string::npos)
+        << e.what();
+  }
+
+  Rng rng(50);
+  Tensor ok = router.infer(Tensor::uniform({4, 3, 8, 8}, rng));
+  EXPECT_EQ(ok.size(0), 4);
+  EXPECT_EQ(router.stats().requests, 1);  // rejected submits never counted
+}
+
+// Admission control: once a shard's queued bytes exceed the budget, submit
+// sheds with a *typed* AdmissionError (so callers can distinguish "back off"
+// from a real failure), the shed is counted, and the queued requests still
+// complete. Deterministic: a huge deadline and a large max_batch keep the
+// queued group un-ready until shutdown drains it.
+TEST(RouterTest, AdmissionControlShedsOverBudgetAndTracksClassDepth) {
+  const infer::Engine& engine = test_engine();
+  const Shape shape{4, 3, 8, 8};
+  const int64_t sample_bytes = 4 * 3 * 8 * 8 * static_cast<int64_t>(sizeof(float));
+  std::vector<std::future<Tensor>> queued;
+  {
+    infer::Router router(engine,
+                         {.num_shards = 1, .max_batch = 8,
+                          .max_delay_ms = 60000.0,
+                          .queue_bytes = 2 * sample_bytes});
+    Rng rng(51);
+    queued.push_back(router.submit(Tensor::uniform(shape, rng), 0,
+                                   infer::Priority::kInteractive));
+    queued.push_back(router.submit(Tensor::uniform(shape, rng), 0,
+                                   infer::Priority::kBatch));
+
+    // The gauge sees both queued samples, per class.
+    infer::RouterStats mid = router.stats();
+    ASSERT_EQ(mid.class_depth.size(), static_cast<size_t>(infer::kNumPriority));
+    EXPECT_EQ(mid.class_depth[static_cast<size_t>(infer::Priority::kInteractive)], 1);
+    EXPECT_EQ(mid.class_depth[static_cast<size_t>(infer::Priority::kBatch)], 1);
+    EXPECT_EQ(mid.class_depth[static_cast<size_t>(infer::Priority::kNormal)], 0);
+
+    // Third sample would exceed the budget: shed, typed, counted.
+    EXPECT_THROW(router.submit(Tensor::uniform(shape, rng)),
+                 infer::AdmissionError);
+    infer::RouterStats after = router.stats();
+    EXPECT_EQ(after.shed, 1);
+    EXPECT_EQ(after.requests, 2);  // shed submissions are not accepted
+
+    router.shutdown();  // drain flushes the un-ready groups immediately
+    infer::RouterStats drained = router.stats();
+    for (int64_t depth : drained.class_depth) EXPECT_EQ(depth, 0);
+  }
+  for (auto& f : queued) {
+    Tensor out = f.get();  // shed never poisons ACCEPTED requests
+    EXPECT_EQ(out.size(0), 4);
+  }
+}
+
+// Strict priority among ready groups: while the single dispatcher is busy
+// with a blocker batch, a kBatch and a kInteractive request queue up (both
+// instantly "ready" — max_delay 0). The dispatcher must run the interactive
+// group first, so by the time the low-priority future resolves, the
+// interactive one must ALREADY be resolved.
+TEST(RouterTest, InteractiveClassDispatchesBeforeBatchClass) {
+  const infer::Engine& engine = test_engine();
+  infer::Router router(engine, {.num_shards = 1, .max_batch = 1,
+                                .max_delay_ms = 0.0,
+                                .dispatchers_per_shard = 1});
+
+  Rng rng(52);
+  // A heavyweight blocker occupies the dispatcher; wait until it has been
+  // POPPED (batches >= 1) so the two probes below queue behind it.
+  std::future<Tensor> blocker =
+      router.submit(Tensor::uniform({4, 3, 32, 32}, rng));
+  while (router.stats().batches < 1) std::this_thread::yield();
+
+  std::future<Tensor> low = router.submit(Tensor::uniform({4, 3, 12, 12}, rng),
+                                          0, infer::Priority::kBatch);
+  std::future<Tensor> high = router.submit(
+      Tensor::uniform({4, 3, 10, 10}, rng), 0, infer::Priority::kInteractive);
+
+  low.get();
+  EXPECT_EQ(high.wait_for(std::chrono::seconds(0)), std::future_status::ready)
+      << "a kBatch group dispatched before a ready kInteractive group";
+  blocker.get();
+}
+
+// Work stealing: all traffic pins to shard 0 (by session key), saturating
+// its single dispatcher; shard 1's idle dispatcher must pull ready groups
+// over and execute them on ITS replica — bit-identically, since replicas
+// share weights and the program cache.
+TEST(RouterTest, IdleShardStealsReadyWorkBitIdentically) {
+  const infer::Engine& engine = test_engine();
+  const Shape shape{4, 3, 8, 8};
+  infer::Router router(engine, {.num_shards = 2, .max_batch = 2,
+                                .max_delay_ms = 1.0,
+                                .dispatchers_per_shard = 1,
+                                .work_stealing = true,
+                                .steal_poll_ms = 0.5});
+  const uint64_t session = session_on_shard(router, shape, 0);
+
+  Rng rng(53);
+  Tensor probe = Tensor::uniform(shape, rng);
+  Tensor ref = engine.run(probe.reshape({4, 1, shape[1], shape[2], shape[3]}));
+  // test_engine() is shared across the suite and the cache rides with the
+  // engine's copies, so its counters are cumulative — assert on deltas.
+  const int64_t misses_before = router.stats().cache_misses;
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 8; ++c) {
+    clients.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        Tensor out = router.infer(probe, session);
+        if (max_abs_diff(out.reshape({4, -1}), ref.reshape({4, -1})) != 0.0) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  // Flood until at least one steal lands (bounded; typically milliseconds).
+  const auto t0 = steady_clock::now();
+  while (router.stats().steals == 0 && ms_since(t0) < 20000.0 * kTimeScale) {
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  for (std::thread& t : clients) t.join();
+
+  infer::RouterStats stats = router.stats();
+  EXPECT_GT(stats.steals, 0) << "idle shard never stole from the loaded one";
+  ASSERT_EQ(stats.shard_requests.size(), 2U);
+  EXPECT_EQ(stats.shard_requests[1], 0) << "traffic was not pinned to shard 0";
+  EXPECT_GT(stats.shard_batches[1], 0) << "stolen batches not counted on thief";
+  EXPECT_EQ(stats.shard_steals[1], stats.steals);
+  EXPECT_EQ(mismatches.load(), 0) << "a stolen batch diverged from direct run";
+  // The whole flood touched at most two batch signatures ([4, 1, 3, 8, 8]
+  // and [4, 2, 3, 8, 8]); the shared cache compiled each once, process-wide,
+  // no matter which shard ran the batch.
+  EXPECT_GT(stats.cache_hits, 0);
+  EXPECT_LE(stats.cache_misses - misses_before, 2);
 }
 
 TEST(RouterTest, ShutdownDrainsPendingRequestsWithoutTheirDeadlines) {
