@@ -38,6 +38,7 @@
 #include <cmath>
 #include <cstdio>
 #include <exception>
+#include <future>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -51,6 +52,7 @@
 #include "infer/server.h"
 #include "tensor/ops.h"
 #include "util/common.h"
+#include "util/failpoint.h"
 
 namespace ttsnn {
 namespace {
@@ -100,6 +102,12 @@ struct ServingArgs {
   /// resolutions against a freshly compiled engine, separating each shape's
   /// one-time compile latency from its warm p50/p99 (router_cache/* rows).
   bool mixed_resolutions = false;
+  /// Run the fault-injection sweep (router_fault/* rows): a replica failing
+  /// every batch must quarantine with traffic serving bit-identically on the
+  /// survivors, deadline misses must fail fast with DeadlineError, and
+  /// admission sheds must clear under client-side capped exponential
+  /// backoff. Every drill proves every future resolves.
+  bool fault = false;
 
   static ServingArgs parse(int argc, char** argv) {
     ServingArgs a;
@@ -115,6 +123,8 @@ struct ServingArgs {
               a.requests = std::max<int64_t>(0, std::stoll(arg.substr(11)));
             } else if (arg == "--mixed-resolutions") {
               a.mixed_resolutions = true;
+            } else if (arg == "--fault") {
+              a.fault = true;
             } else {
               return false;
             }
@@ -585,6 +595,239 @@ int main(int argc, char** argv) {
     json.add("router_cache/bitwise").num("max_abs_diff", bitwise_max_diff);
     TTSNN_CHECK(bitwise_max_diff == 0.0,
                 "cache-served outputs diverged from a fresh engine's runs");
+  }
+
+  // --- fault sweep: the reliability layer under deterministic injection ----
+  // Three drills, each over the same fixed sample so served outputs can be
+  // pinned bit-identical against direct Engine::run. The invariant every
+  // drill enforces (with a bounded wait, so a hang is a failure, not a
+  // stall): EVERY submitted future resolves — with a value or a typed error.
+  if (args.fault) {
+    std::printf("fault sweep (deterministic failpoint injection)\n");
+    Rng frng(31);
+    Tensor fx = Tensor::uniform({kTimesteps, 3, kInputSize, kInputSize}, frng);
+    Tensor fref = engine.run(as_batch1(fx));
+    const auto flat = [&](Tensor t) { return t.reshape({kTimesteps, -1}); };
+
+    // (a) replica down: replica 0 fails EVERY batch (router.dispatch.0
+    // armed every:1). After at most quarantine_after failed batches it must
+    // quarantine; from then on 100% of traffic serves on the survivor,
+    // bit-identically. Disarming lets a probe re-admit it.
+    {
+      infer::Router router(engine, {.num_shards = 2,
+                                    .max_batch = 4,
+                                    .max_delay_ms = 1.0,
+                                    .dispatchers_per_shard = 1,
+                                    .quarantine_after = 2,
+                                    .probe_interval_ms = 10.0});
+      failpoint::arm("router.dispatch.0", "every:1");
+      // A session whose home is the failing replica, so the drill exercises
+      // the full path: fail -> quarantine -> re-route -> probe -> re-admit.
+      uint64_t hot_session = 0;
+      while (router.shard_for(fx.shape(), hot_session) != 0) ++hot_session;
+
+      int64_t pre_errors = 0;
+      int pre_attempts = 0;
+      while (router.stats().quarantines == 0 && pre_attempts < 32) {
+        ++pre_attempts;
+        try {
+          router.infer(fx, hot_session);
+        } catch (const Error&) {
+          ++pre_errors;
+        }
+      }
+      TTSNN_CHECK(router.stats().quarantines >= 1,
+                  "fault drill: failing replica was never quarantined");
+
+      const int64_t n = args.base.quick ? 32 : 96;
+      std::vector<std::future<Tensor>> futs;
+      futs.reserve(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) {
+        futs.push_back(router.submit(fx, hot_session));
+      }
+      int64_t served = 0;
+      double diff = 0.0;
+      for (auto& f : futs) {
+        TTSNN_CHECK(
+            f.wait_for(std::chrono::seconds(30)) == std::future_status::ready,
+            "fault drill: a future did not resolve");
+        diff = std::max(diff, max_abs_diff(flat(f.get()), flat(fref)));
+        ++served;  // post-quarantine traffic must never error
+      }
+      TTSNN_CHECK(diff == 0.0,
+                  "fault drill: survivor outputs diverged from Engine::run");
+
+      failpoint::disarm("router.dispatch.0");
+      const auto t0 = std::chrono::steady_clock::now();
+      while (router.stats().readmissions == 0 &&
+             std::chrono::steady_clock::now() - t0 < std::chrono::seconds(10)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      infer::RouterStats fs = router.stats();
+      TTSNN_CHECK(fs.readmissions >= 1,
+                  "fault drill: replica was not re-admitted after recovery");
+      diff = std::max(diff, max_abs_diff(flat(router.infer(fx, hot_session)),
+                                         flat(fref)));
+      TTSNN_CHECK(diff == 0.0, "fault drill: post-readmission output diverged");
+      std::printf("  %-22s %lld pre-errors -> quarantined, %lld served on "
+                  "survivor (diff %g), %lld probes, re-admitted\n",
+                  "router_fault/replica", static_cast<long long>(pre_errors),
+                  static_cast<long long>(served), diff,
+                  static_cast<long long>(fs.probes));
+      json.add("router_fault/replica_down")
+          .num("pre_quarantine_errors", static_cast<double>(pre_errors))
+          .num("served_on_survivor", static_cast<double>(served))
+          .num("max_abs_diff", diff)
+          .num("quarantines", static_cast<double>(fs.quarantines))
+          .num("rerouted", static_cast<double>(fs.rerouted))
+          .num("probes", static_cast<double>(fs.probes))
+          .num("readmissions", static_cast<double>(fs.readmissions))
+          .num("replica_failures", static_cast<double>(fs.replica_failures));
+    }
+
+    // (b) deadline pressure: a single slow dispatcher, a burst far larger
+    // than it can serve inside the per-request deadline. Misses must fail
+    // FAST (typed DeadlineError, resolved promptly after expiry — never
+    // hang), and whatever is served must stay bit-identical.
+    {
+      infer::Router router(engine, {.num_shards = 1,
+                                    .max_batch = 2,
+                                    .max_delay_ms = 1.0,
+                                    .dispatchers_per_shard = 1});
+      const double deadline_ms = 5.0;
+      const int64_t n = args.base.quick ? 24 : 48;
+      infer::SubmitOptions so;
+      so.session = 7;
+      so.deadline_ms = deadline_ms;
+      std::vector<std::future<Tensor>> futs;
+      std::vector<std::chrono::steady_clock::time_point> sent;
+      futs.reserve(static_cast<size_t>(n));
+      sent.reserve(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) {
+        sent.push_back(std::chrono::steady_clock::now());
+        futs.push_back(router.submit(fx, so));
+      }
+      // Poll for resolution times (0.5 ms granularity): proves no future
+      // hangs AND yields the miss-resolution latency distribution.
+      std::vector<double> resolve_ms(static_cast<size_t>(n), -1.0);
+      size_t remaining = static_cast<size_t>(n);
+      const auto t0 = std::chrono::steady_clock::now();
+      while (remaining > 0 &&
+             std::chrono::steady_clock::now() - t0 < std::chrono::seconds(30)) {
+        for (size_t i = 0; i < futs.size(); ++i) {
+          if (resolve_ms[i] < 0.0 &&
+              futs[i].wait_for(std::chrono::seconds(0)) ==
+                  std::future_status::ready) {
+            resolve_ms[i] = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - sent[i])
+                                .count();
+            --remaining;
+          }
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+      }
+      TTSNN_CHECK(remaining == 0, "deadline drill: " << remaining
+                                                     << " futures never resolved");
+      int64_t ok = 0;
+      int64_t missed = 0;
+      double diff = 0.0;
+      std::vector<double> miss_late_ms;
+      for (size_t i = 0; i < futs.size(); ++i) {
+        try {
+          diff = std::max(diff, max_abs_diff(flat(futs[i].get()), flat(fref)));
+          ++ok;
+        } catch (const infer::DeadlineError&) {
+          ++missed;
+          miss_late_ms.push_back(resolve_ms[i] - deadline_ms);
+        }
+        // Any OTHER exception type propagates and fails the bench.
+      }
+      TTSNN_CHECK(diff == 0.0, "deadline drill: served outputs diverged");
+      double late_p99 = 0.0;
+      if (!miss_late_ms.empty()) {
+        std::sort(miss_late_ms.begin(), miss_late_ms.end());
+        late_p99 = miss_late_ms[bench::p99_index(miss_late_ms.size())];
+        TTSNN_CHECK(late_p99 < 500.0,
+                    "deadline drill: misses resolved " << late_p99
+                                                       << " ms after expiry");
+      }
+      std::printf("  %-22s %lld served, %lld missed (deadline %.1f ms, "
+                  "miss resolved p99 %+.2f ms after expiry)\n",
+                  "router_fault/deadline", static_cast<long long>(ok),
+                  static_cast<long long>(missed), deadline_ms, late_p99);
+      json.add("router_fault/deadline")
+          .num("requests", static_cast<double>(n))
+          .num("deadline_ms", deadline_ms)
+          .num("served", static_cast<double>(ok))
+          .num("missed", static_cast<double>(missed))
+          .num("miss_resolve_p99_ms", late_p99)
+          .num("deadline_misses_stat",
+               static_cast<double>(router.stats().deadline_misses));
+    }
+
+    // (c) overload + backoff: a queue budget of ~2 samples against many
+    // clients. Shed requests carry a retry_after_ms hint; clients retry
+    // under capped exponential backoff seeded by that hint. Every request
+    // must eventually serve.
+    {
+      const int64_t sample_bytes =
+          fx.numel() * static_cast<int64_t>(sizeof(float));
+      infer::Router router(engine, {.num_shards = 1,
+                                    .max_batch = 2,
+                                    .max_delay_ms = 1.0,
+                                    .dispatchers_per_shard = 1,
+                                    .queue_bytes = 2 * sample_bytes});
+      const int clients = std::min(args.clients, 8);
+      const int64_t per_client = args.base.quick ? 4 : 8;
+      std::atomic<int64_t> sheds{0};
+      std::atomic<int64_t> served{0};
+      double diff = 0.0;
+      std::mutex diff_mu;
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<size_t>(clients));
+      for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+          for (int64_t i = 0; i < per_client; ++i) {
+            for (int attempt = 0;; ++attempt) {
+              try {
+                Tensor out = router.infer(fx, static_cast<uint64_t>(c));
+                const double d = max_abs_diff(flat(std::move(out)), flat(fref));
+                std::lock_guard<std::mutex> lock(diff_mu);
+                diff = std::max(diff, d);
+                ++served;
+                break;
+              } catch (const infer::AdmissionError& e) {
+                ++sheds;
+                // Capped exponential backoff seeded by the router's own
+                // queue-depth hint: hint, 2*hint, 4*hint, ... capped at
+                // 50 ms so recovery is prompt once the queue drains.
+                const double hint = std::max(e.retry_after_ms(), 0.5);
+                const double wait_ms =
+                    std::min(hint * std::pow(2.0, attempt), 50.0);
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double, std::milli>(wait_ms));
+              }
+            }
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+      const int64_t want = static_cast<int64_t>(clients) * per_client;
+      TTSNN_CHECK(served.load() == want,
+                  "backoff drill: " << served.load() << " of " << want
+                                    << " requests served");
+      TTSNN_CHECK(diff == 0.0, "backoff drill: served outputs diverged");
+      std::printf("  %-22s %lld requests served after %lld sheds "
+                  "(budget %lld bytes)\n",
+                  "router_fault/backoff", static_cast<long long>(want),
+                  static_cast<long long>(sheds.load()),
+                  static_cast<long long>(2 * sample_bytes));
+      json.add("router_fault/backoff")
+          .num("requests", static_cast<double>(want))
+          .num("sheds", static_cast<double>(sheds.load()))
+          .num("served", static_cast<double>(served.load()))
+          .num("queue_bytes", static_cast<double>(2 * sample_bytes));
+    }
   }
 
   json.write(args.base.out);

@@ -10,6 +10,7 @@
 #include "tensor/im2col.h"
 #include "tensor/ops.h"
 #include "tensor/simd.h"
+#include "util/failpoint.h"
 
 namespace ttsnn::infer {
 
@@ -478,12 +479,14 @@ const char* op_kind_name(Op::Kind k) {
 }
 
 Tensor Engine::run(const Tensor& x) const {
+  TTSNN_FAILPOINT("engine.run");
   if (!opts_.static_plan) return run_legacy(x);
   Tensor workspace;
   return run_planned(x, workspace);
 }
 
 Tensor Engine::run(const Tensor& x, Tensor& workspace) const {
+  TTSNN_FAILPOINT("engine.run");
   if (!opts_.static_plan) return run_legacy(x);
   return run_planned(x, workspace);
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/failpoint.h"
+
 namespace ttsnn::infer {
 
 namespace {
@@ -121,6 +123,9 @@ std::shared_ptr<const CompiledProgram> ProgramCache::get(
   // on the shared future above.
   std::shared_ptr<const CompiledProgram> prog;
   try {
+    // Injected cold-compile fault: propagates to every waiter joined on this
+    // shape's future and is NOT cached, like any organic compile failure.
+    TTSNN_FAILPOINT("plan_cache.compile");
     prog = std::make_shared<const CompiledProgram>(
         compile_program(ops, analysis, input));
   } catch (...) {

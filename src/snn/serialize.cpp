@@ -1,7 +1,10 @@
 #include "snn/serialize.h"
 
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
+
+#include "util/failpoint.h"
 
 namespace ttsnn {
 
@@ -41,6 +44,10 @@ std::string read_string(std::ifstream& in) {
 
 void write_tensor(std::ofstream& out, const std::string& name,
                   const Tensor& value) {
+  // Injected crash: abandons the stream mid-file, exactly where power loss
+  // would — the tmp+rename protocol in save_parameters must keep the
+  // previously published checkpoint intact.
+  TTSNN_FAILPOINT("checkpoint.write");
   write_string(out, name);
   write_u64(out, static_cast<uint64_t>(value.dim()));
   for (int64_t d = 0; d < value.dim(); ++d) {
@@ -48,6 +55,9 @@ void write_tensor(std::ofstream& out, const std::string& name,
   }
   out.write(reinterpret_cast<const char*>(value.data()),
             static_cast<std::streamsize>(value.numel() * sizeof(float)));
+  // Catch a short write (disk full, dead filesystem) at the tensor that hit
+  // it, not as an unlabeled failure after the whole file "finished".
+  TTSNN_CHECK(out.good(), "checkpoint short write in '" << name << "'");
 }
 
 /// Reads one named tensor record into `value` (name and shape must match).
@@ -58,6 +68,10 @@ void read_tensor(std::ifstream& in, const std::string& expected_name,
                                          << name << "' vs model '"
                                          << expected_name << "'");
   const uint64_t dims = read_u64(in);
+  // Sanity-cap BEFORE allocating the shape: a garbage/truncated record read
+  // as a dim count must reject as corrupt, not size a vector by it.
+  TTSNN_CHECK(dims <= 8, "checkpoint corrupt: tensor '"
+                             << name << "' claims " << dims << " dims");
   Shape shape(dims);
   for (uint64_t d = 0; d < dims; ++d) {
     shape[d] = static_cast<int64_t>(read_u64(in));
@@ -74,19 +88,39 @@ void read_tensor(std::ifstream& in, const std::string& expected_name,
 }  // namespace
 
 void save_parameters(Module& root, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  TTSNN_CHECK(out.is_open(), "cannot open " << path << " for writing");
-  std::vector<Parameter*> params = root.parameters();
-  std::vector<BufferRef> buffers = root.buffers();
-  write_u64(out, kMagicV2);
-  write_u64(out, params.size());
-  for (const Parameter* p : params) write_tensor(out, p->name, p->value);
-  write_u64(out, buffers.size());
-  for (const BufferRef& b : buffers) write_tensor(out, b.name, *b.value);
-  TTSNN_CHECK(out.good(), "write failure on " << path);
+  // Crash-safe publish: write the whole file to <path>.tmp, close, THEN
+  // rename over the destination (atomic on POSIX — rename replaces). A
+  // crash, short write, or injected fault anywhere before the rename leaves
+  // whatever was previously published at `path` untouched and loadable; the
+  // half-written tmp is removed on the failure path (a real crash leaves it
+  // behind, where the next successful save truncates it).
+  const std::string tmp = path + ".tmp";
+  try {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    TTSNN_CHECK(out.is_open(), "cannot open " << tmp << " for writing");
+    std::vector<Parameter*> params = root.parameters();
+    std::vector<BufferRef> buffers = root.buffers();
+    write_u64(out, kMagicV2);
+    write_u64(out, params.size());
+    for (const Parameter* p : params) write_tensor(out, p->name, p->value);
+    write_u64(out, buffers.size());
+    for (const BufferRef& b : buffers) write_tensor(out, b.name, *b.value);
+    out.close();
+    TTSNN_CHECK(out.good(), "checkpoint write failure on " << tmp);
+    // Injected crash in the gap between a complete tmp and its publication.
+    TTSNN_FAILPOINT("checkpoint.rename");
+    TTSNN_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+                "cannot publish checkpoint: rename " << tmp << " -> " << path);
+  } catch (...) {
+    std::remove(tmp.c_str());  // best-effort; never leave a half checkpoint
+    throw;
+  }
 }
 
 void load_parameters(Module& root, const std::string& path) {
+  // Injected read fault: a checkpoint that vanished or a filesystem that
+  // errors on open — retry/fallback logic upstream sees a labeled Error.
+  TTSNN_FAILPOINT("checkpoint.read");
   std::ifstream in(path, std::ios::binary);
   TTSNN_CHECK(in.is_open(), "cannot open " << path << " for reading");
   const uint64_t magic = read_u64(in);

@@ -1,0 +1,195 @@
+#include "util/failpoint.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+namespace ttsnn::failpoint {
+
+namespace detail {
+std::atomic<int> armed_count{0};
+}  // namespace detail
+
+namespace {
+
+enum class Mode { kOff, kOnce, kEveryN, kAfterK };
+
+struct Point {
+  Mode mode = Mode::kOff;
+  int64_t n = 0;       ///< the N of every:N / the K of after:K
+  int64_t hits = 0;    ///< evaluations observed while armed
+  int64_t fired = 0;   ///< evaluations that threw
+  std::string spec;    ///< the original spec string, for summary()
+};
+
+/// All registry state behind one mutex. The armed path is rare and cheap
+/// (map lookup + counter bump); the unarmed path never gets here.
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Point> points;
+
+  static Registry& instance() {
+    static Registry r;
+    return r;
+  }
+};
+
+Point parse_spec(const std::string& name, const std::string& spec) {
+  Point p;
+  p.spec = spec;
+  if (spec == "off") {
+    p.mode = Mode::kOff;
+    return p;
+  }
+  if (spec == "once") {
+    p.mode = Mode::kOnce;
+    return p;
+  }
+  const auto parse_n = [&](const char* prefix, Mode mode,
+                           int64_t min_n) -> bool {
+    const std::string pre(prefix);
+    if (spec.rfind(pre, 0) != 0) return false;
+    const std::string num = spec.substr(pre.size());
+    int64_t n = -1;
+    try {
+      size_t used = 0;
+      n = std::stoll(num, &used);
+      if (used != num.size()) n = -1;
+    } catch (const std::exception&) {
+      n = -1;
+    }
+    TTSNN_CHECK(n >= min_n, "failpoint '" << name << "': bad count in spec '"
+                                          << spec << "'");
+    p.mode = mode;
+    p.n = n;
+    return true;
+  };
+  if (parse_n("every:", Mode::kEveryN, 1)) return p;
+  if (parse_n("after:", Mode::kAfterK, 0)) return p;
+  TTSNN_CHECK(false, "failpoint '"
+                         << name << "': unknown spec '" << spec
+                         << "' (want off | once | every:N | after:K)");
+  return p;  // unreachable
+}
+
+/// Parses TTSNN_FAILPOINTS at static-init time, before main: env-armed
+/// failpoints fire in any binary with no code changes. Self-contained (the
+/// registry is a function-local static), so initialization order is safe.
+struct EnvLoader {
+  EnvLoader() {
+    const char* env = std::getenv("TTSNN_FAILPOINTS");
+    if (env != nullptr && *env != '\0') arm_spec_list(env);
+  }
+};
+const EnvLoader env_loader;
+
+}  // namespace
+
+namespace detail {
+
+void evaluate(const char* name) {
+  Registry& r = Registry::instance();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(name);
+  if (it == r.points.end()) return;
+  Point& p = it->second;
+  const int64_t hit = ++p.hits;
+  bool fire = false;
+  switch (p.mode) {
+    case Mode::kOff:
+      break;
+    case Mode::kOnce:
+      fire = hit == 1;
+      break;
+    case Mode::kEveryN:
+      fire = hit % p.n == 0;
+      break;
+    case Mode::kAfterK:
+      fire = hit > p.n;
+      break;
+  }
+  if (!fire) return;
+  ++p.fired;
+  std::ostringstream oss;
+  oss << "failpoint '" << name << "' fired (spec " << p.spec << ", hit " << hit
+      << "): injected fault";
+  throw FailpointError(oss.str());
+}
+
+}  // namespace detail
+
+void arm(const std::string& name, const std::string& spec) {
+  TTSNN_CHECK(!name.empty(), "failpoint: empty name");
+  Point p = parse_spec(name, spec);  // validate before touching the registry
+  Registry& r = Registry::instance();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const bool fresh = r.points.find(name) == r.points.end();
+  r.points[name] = std::move(p);  // re-arming resets hit/fired counters
+  if (fresh) detail::armed_count.fetch_add(1, std::memory_order_release);
+}
+
+bool disarm(const std::string& name) {
+  Registry& r = Registry::instance();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (r.points.erase(name) == 0) return false;
+  detail::armed_count.fetch_sub(1, std::memory_order_release);
+  return true;
+}
+
+void disarm_all() {
+  Registry& r = Registry::instance();
+  std::lock_guard<std::mutex> lock(r.mu);
+  detail::armed_count.fetch_sub(static_cast<int>(r.points.size()),
+                                std::memory_order_release);
+  r.points.clear();
+}
+
+bool armed(const std::string& name) {
+  Registry& r = Registry::instance();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.points.find(name) != r.points.end();
+}
+
+int64_t hits(const std::string& name) {
+  Registry& r = Registry::instance();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(name);
+  return it == r.points.end() ? 0 : it->second.hits;
+}
+
+int64_t fired(const std::string& name) {
+  Registry& r = Registry::instance();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(name);
+  return it == r.points.end() ? 0 : it->second.fired;
+}
+
+void arm_spec_list(const std::string& list) {
+  size_t begin = 0;
+  while (begin <= list.size()) {
+    size_t end = list.find(',', begin);
+    if (end == std::string::npos) end = list.size();
+    const std::string entry = list.substr(begin, end - begin);
+    begin = end + 1;
+    if (entry.empty()) continue;
+    // The spec itself may contain ':' (every:N), so split on the FIRST one.
+    const size_t colon = entry.find(':');
+    TTSNN_CHECK(colon != std::string::npos && colon > 0,
+                "failpoint list entry '" << entry << "' is not name:spec");
+    arm(entry.substr(0, colon), entry.substr(colon + 1));
+  }
+}
+
+std::string summary() {
+  Registry& r = Registry::instance();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::ostringstream oss;
+  for (const auto& [name, p] : r.points) {
+    oss << name << ": " << p.spec << " (hits " << p.hits << ", fired "
+        << p.fired << ")\n";
+  }
+  return oss.str();
+}
+
+}  // namespace ttsnn::failpoint

@@ -1,0 +1,109 @@
+#pragma once
+
+/// \file failpoint.h
+/// Named-failpoint registry for deterministic fault injection.
+///
+/// A failpoint is a named site in production code where a fault can be
+/// injected on demand — the serving stack's reliability machinery (replica
+/// quarantine, crash-safe checkpoints, retry paths) is proven against
+/// *injected* faults instead of waiting for real ones. Sites are spelled
+///
+///   TTSNN_FAILPOINT("router.dispatch");
+///
+/// and are ZERO-COST while nothing is armed: the macro is a single relaxed
+/// atomic load of a process-wide armed counter, no string work, no lock.
+/// Arming a failpoint attaches a firing spec to its name; when an armed
+/// site's spec fires, the site throws failpoint::FailpointError (a
+/// ttsnn::Error), which propagates exactly like the real fault it stands in
+/// for.
+///
+/// Specs (the `hit` counter is per-name, counted only while armed):
+///   "off"      never fires — counts hits, so tests can prove a site is
+///              actually reached without perturbing behavior
+///   "once"     fires on the first hit only (fail-once)
+///   "every:N"  fires on every Nth hit (hits N, 2N, 3N, ...); N=1 = always
+///   "after:K"  passes the first K hits, fires on every hit after them
+///
+/// Arming is programmatic — failpoint::arm("name", "spec") — or environmental:
+/// TTSNN_FAILPOINTS="checkpoint.write:once,router.dispatch.0:every:1" is
+/// parsed once at process start, so any binary (tests, benches, ttsnn_train)
+/// can run a fault drill with no code changes. Hit accounting is mutex-
+/// serialized, so the set of firing hits is a pure function of the spec and
+/// the total hit count — deterministic under any thread interleaving, which
+/// is what the TSan determinism test pins.
+///
+/// Known site names (kept in docs/ARCHITECTURE.md "Reliability"):
+///   engine.run           top of infer::Engine::run
+///   plan_cache.compile   program-cache first-miss compile
+///   router.dispatch      every Router batch execution (any replica)
+///   router.dispatch.<i>  batch execution on replica i specifically
+///   checkpoint.write     save_parameters, mid-file (simulated crash)
+///   checkpoint.rename    save_parameters, between write and publish
+///   checkpoint.read      load_parameters, before parsing
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/common.h"
+
+namespace ttsnn::failpoint {
+
+/// Thrown by a firing failpoint. Derives from ttsnn::Error so it propagates
+/// through every existing failure path (poisoned futures, quarantine
+/// accounting, checkpoint rollback) exactly like an organic fault — but is
+/// catchable by type where a test or bench needs to tell injected from real.
+class FailpointError : public Error {
+ public:
+  explicit FailpointError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+/// Number of currently armed failpoints; the macro's fast-path gate.
+extern std::atomic<int> armed_count;
+/// Slow path: look up `name`, count the hit, throw FailpointError if the
+/// spec fires. No-op for names that are not armed.
+void evaluate(const char* name);
+}  // namespace detail
+
+/// Arms (or re-arms, resetting counters) failpoint `name` with `spec`.
+/// Throws ttsnn::Error on a malformed spec.
+void arm(const std::string& name, const std::string& spec);
+
+/// Disarms one failpoint; returns false if it was not armed.
+bool disarm(const std::string& name);
+
+/// Disarms everything (including env-armed failpoints).
+void disarm_all();
+
+bool armed(const std::string& name);
+
+/// Hits observed while armed (every TTSNN_FAILPOINT evaluation of the name).
+int64_t hits(const std::string& name);
+
+/// Times the failpoint actually fired (threw).
+int64_t fired(const std::string& name);
+
+/// Parses a comma-separated "name:spec,name:spec" list (the TTSNN_FAILPOINTS
+/// grammar) and arms every entry. Exposed so tests cover env parsing without
+/// re-execing the process.
+void arm_spec_list(const std::string& list);
+
+/// One line per armed failpoint: name, spec, hits, fired.
+std::string summary();
+
+/// Fast-path gate used by the macro; true when any failpoint is armed.
+inline bool any_armed() {
+  return detail::armed_count.load(std::memory_order_acquire) > 0;
+}
+
+}  // namespace ttsnn::failpoint
+
+/// Failpoint site. `name` must be a null-terminated string; prefer a literal
+/// (per-instance sites precompute a std::string and pass .c_str()).
+#define TTSNN_FAILPOINT(name)                     \
+  do {                                            \
+    if (ttsnn::failpoint::any_armed()) {          \
+      ttsnn::failpoint::detail::evaluate(name);   \
+    }                                             \
+  } while (0)

@@ -247,6 +247,36 @@ TEST(DataLoaderTest, ProducerExceptionPropagatesToConsumer) {
   }
 }
 
+// A producer exception must not poison the PROCESS-WIDE pool the loader ran
+// on: after the failing epochs above, an async loader over a healthy dataset
+// still prefetches a full epoch, bit-identical to the synchronous path.
+TEST(DataLoaderTest, SharedPoolStaysHealthyAfterProducerException) {
+  {
+    ThrowingDataset bad;
+    DataLoaderOptions o;
+    o.batch_size = 6;
+    o.timesteps = 2;
+    o.shuffle = false;
+    o.prefetch = 3;
+    DataLoader loader(bad, o);
+    loader.begin_epoch(0);
+    Batch b;
+    EXPECT_THROW(
+        {
+          while (loader.next(&b)) {
+          }
+        },
+        Error);
+  }  // the failed loader is gone; only the shared pool could carry damage
+
+  SyntheticEventDataset good = event_data();
+  DataLoader sync_loader(good, loader_opts(/*prefetch=*/0));
+  DataLoader async_loader(good, loader_opts(/*prefetch=*/3));
+  ASSERT_TRUE(async_loader.async()) << "pool lost its workers";
+  expect_bitwise_equal(collect_epoch(sync_loader, 1),
+                       collect_epoch(async_loader, 1));
+}
+
 TEST(DataLoaderTest, TrainerEpochBitIdenticalSyncVsAsync) {
   // End-to-end hinge: identical models trained for one epoch through the
   // sync and async loaders (augmentation on) must produce the same loss to

@@ -1,0 +1,182 @@
+// Tests for the named-failpoint registry (util/failpoint.h): spec semantics
+// (off / once / every:N / after:K), hit/fired accounting, env-list parsing,
+// re-arm counter reset, and — the property the reliability layer leans on —
+// DETERMINISM under concurrency: hit accounting is mutex-serialized, so the
+// set of firing hits is a pure function of the spec and the total hit count,
+// no matter how threads interleave (pinned under TSan by the CI tsan job).
+//
+// The EnvArmed test runs FIRST (gtest runs tests in declaration order): when
+// CI launches this binary with TTSNN_FAILPOINTS set, the env-armed "once"
+// spec must still be unconsumed when the test asserts on it. Without the env
+// var it skips.
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/failpoint.h"
+
+namespace ttsnn {
+namespace {
+
+/// Every test starts and ends with an empty registry so env- or test-armed
+/// points never leak across tests (except EnvArmed, which consumes the env
+/// arming on purpose — it runs first).
+struct FailpointTest : ::testing::Test {
+  void TearDown() override { failpoint::disarm_all(); }
+};
+
+int fired_count(const char* name, int evals) {
+  int fired = 0;
+  for (int i = 0; i < evals; ++i) {
+    try {
+      TTSNN_FAILPOINT(name);
+    } catch (const failpoint::FailpointError&) {
+      ++fired;
+    }
+  }
+  return fired;
+}
+
+// Declared OUTSIDE the fixture so gtest's declaration order puts it first in
+// this translation unit; see the file comment.
+TEST(FailpointEnvTest, EnvArmedFailpointFiresWithNoCodeChanges) {
+  if (std::getenv("TTSNN_FAILPOINTS") == nullptr) {
+    GTEST_SKIP() << "TTSNN_FAILPOINTS not set; env arming covered by CI";
+  }
+  // CI arms test.env:once (and nothing else consumes that name before this
+  // test). The site fires exactly once, then passes.
+  ASSERT_TRUE(failpoint::armed("test.env"))
+      << "TTSNN_FAILPOINTS set but test.env not armed; armed:\n"
+      << failpoint::summary();
+  EXPECT_EQ(fired_count("test.env", 3), 1);
+  EXPECT_EQ(failpoint::fired("test.env"), 1);
+  failpoint::disarm_all();
+}
+
+TEST_F(FailpointTest, UnarmedSiteIsPassThrough) {
+  EXPECT_FALSE(failpoint::any_armed());
+  EXPECT_EQ(fired_count("test.nothing", 100), 0);
+  // Unarmed evaluation does not even count hits (the macro's fast path
+  // skips the registry entirely).
+  EXPECT_EQ(failpoint::hits("test.nothing"), 0);
+}
+
+TEST_F(FailpointTest, ArmedOtherNameDoesNotFireThisSite) {
+  failpoint::arm("test.other", "every:1");
+  EXPECT_EQ(fired_count("test.this", 10), 0);
+  EXPECT_EQ(failpoint::fired("test.other"), 0);
+}
+
+TEST_F(FailpointTest, OffSpecCountsHitsWithoutFiring) {
+  failpoint::arm("test.off", "off");
+  EXPECT_EQ(fired_count("test.off", 7), 0);
+  EXPECT_EQ(failpoint::hits("test.off"), 7);  // proves the site is reached
+  EXPECT_EQ(failpoint::fired("test.off"), 0);
+}
+
+TEST_F(FailpointTest, OnceFiresOnFirstHitOnly) {
+  failpoint::arm("test.once", "once");
+  int fired = 0;
+  for (int i = 0; i < 5; ++i) {
+    try {
+      TTSNN_FAILPOINT("test.once");
+    } catch (const failpoint::FailpointError& e) {
+      ++fired;
+      EXPECT_EQ(i, 0) << "fired on a later hit";
+      EXPECT_NE(std::string(e.what()).find("test.once"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_F(FailpointTest, EveryNFiresOnExactMultiples) {
+  failpoint::arm("test.every", "every:3");
+  std::vector<int> fired_at;
+  for (int i = 1; i <= 10; ++i) {
+    try {
+      TTSNN_FAILPOINT("test.every");
+    } catch (const failpoint::FailpointError&) {
+      fired_at.push_back(i);
+    }
+  }
+  EXPECT_EQ(fired_at, (std::vector<int>{3, 6, 9}));
+}
+
+TEST_F(FailpointTest, AfterKPassesKHitsThenAlwaysFires) {
+  failpoint::arm("test.after", "after:4");
+  EXPECT_EQ(fired_count("test.after", 4), 0);  // the free pass
+  EXPECT_EQ(fired_count("test.after", 5), 5);  // everything after fires
+}
+
+TEST_F(FailpointTest, RearmResetsCounters) {
+  failpoint::arm("test.rearm", "once");
+  EXPECT_EQ(fired_count("test.rearm", 3), 1);
+  failpoint::arm("test.rearm", "once");  // re-arm: counters reset
+  EXPECT_EQ(failpoint::hits("test.rearm"), 0);
+  EXPECT_EQ(fired_count("test.rearm", 3), 1);  // fires again on its new first
+}
+
+TEST_F(FailpointTest, DisarmStopsFiringAndReportsPresence) {
+  failpoint::arm("test.disarm", "every:1");
+  EXPECT_EQ(fired_count("test.disarm", 2), 2);
+  EXPECT_TRUE(failpoint::disarm("test.disarm"));
+  EXPECT_FALSE(failpoint::disarm("test.disarm"));  // second disarm: not armed
+  EXPECT_EQ(fired_count("test.disarm", 2), 0);
+}
+
+TEST_F(FailpointTest, SpecListParsesTheEnvGrammar) {
+  // The spec itself may contain ':' — the split is on the FIRST colon.
+  failpoint::arm_spec_list("test.a:once,test.b:every:2,test.c:after:1");
+  EXPECT_TRUE(failpoint::armed("test.a"));
+  EXPECT_TRUE(failpoint::armed("test.b"));
+  EXPECT_TRUE(failpoint::armed("test.c"));
+  EXPECT_EQ(fired_count("test.b", 4), 2);  // every:2 -> hits 2 and 4
+}
+
+TEST_F(FailpointTest, MalformedSpecsThrowLabeledErrors) {
+  EXPECT_THROW(failpoint::arm("test.bad", "sometimes"), Error);
+  EXPECT_THROW(failpoint::arm("test.bad", "every:0"), Error);
+  EXPECT_THROW(failpoint::arm("test.bad", "every:x"), Error);
+  EXPECT_THROW(failpoint::arm("test.bad", "after:-1"), Error);
+  EXPECT_THROW(failpoint::arm("", "once"), Error);
+  EXPECT_THROW(failpoint::arm_spec_list("no-colon-here"), Error);
+  EXPECT_FALSE(failpoint::armed("test.bad"));  // rejected before registering
+}
+
+// Determinism under concurrency: N threads hammer one every:K failpoint; the
+// total fired count must be exactly floor(total_hits / K) regardless of the
+// interleaving, because hit accounting is serialized. This is the suite's
+// TSan target: the registry must also be free of data races.
+TEST_F(FailpointTest, ConcurrentHitsFireDeterministically) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 250;
+  constexpr int kEvery = 7;
+  failpoint::arm("test.concurrent", "every:7");
+  std::atomic<int> fired{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&fired] {
+      for (int i = 0; i < kPerThread; ++i) {
+        try {
+          TTSNN_FAILPOINT("test.concurrent");
+        } catch (const failpoint::FailpointError&) {
+          fired.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  constexpr int kTotal = kThreads * kPerThread;
+  EXPECT_EQ(failpoint::hits("test.concurrent"), kTotal);
+  EXPECT_EQ(fired.load(), kTotal / kEvery);
+  EXPECT_EQ(failpoint::fired("test.concurrent"), kTotal / kEvery);
+}
+
+}  // namespace
+}  // namespace ttsnn

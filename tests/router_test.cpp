@@ -14,6 +14,7 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -26,6 +27,7 @@
 #include "infer/server.h"
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
+#include "util/failpoint.h"
 
 namespace ttsnn {
 namespace {
@@ -528,6 +530,180 @@ TEST(RouterTest, ShutdownDrainsPendingRequestsWithoutTheirDeadlines) {
     EXPECT_EQ(out.size(0), 4);
   }
   EXPECT_LT(ms_since(t0), 5000.0) << "shutdown waited out the deadline";
+}
+
+// Regression: submit after shutdown must throw a LABELED error immediately
+// (the shard queues are gone; anything else would hang a future forever).
+TEST(RouterTest, SubmitAfterShutdownThrowsLabeledError) {
+  const infer::Engine& engine = test_engine();
+  infer::Router router(engine, {.num_shards = 1});
+  router.shutdown();
+  Rng rng(50);
+  try {
+    router.submit(Tensor::uniform({4, 3, 8, 8}, rng));
+    FAIL() << "submit after shutdown did not throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("shutdown"), std::string::npos)
+        << "error is not labeled with the cause: " << e.what();
+  }
+}
+
+// cancel(session) resolves every queued future of that session with a typed
+// CancelledError, without running them — and leaves OTHER sessions' requests
+// in the same (shape, class) group untouched and servable.
+TEST(RouterTest, CancelResolvesQueuedFuturesWithoutRunning) {
+  const infer::Engine& engine = test_engine();
+  // A delay long enough that everything below is still queued when cancel
+  // lands; shutdown() then drains the survivor without riding it out.
+  infer::Router router(engine, {.num_shards = 1, .max_batch = 8,
+                                .max_delay_ms = 10000.0});
+  Rng rng(51);
+  constexpr uint64_t kDoomed = 5;
+  constexpr uint64_t kKept = 6;
+  std::vector<std::future<Tensor>> doomed;
+  for (int i = 0; i < 3; ++i) {
+    doomed.push_back(router.submit(Tensor::uniform({4, 3, 8, 8}, rng), kDoomed));
+  }
+  std::future<Tensor> kept =
+      router.submit(Tensor::uniform({4, 3, 8, 8}, rng), kKept);
+
+  EXPECT_EQ(router.cancel(kDoomed), 3);
+  for (auto& f : doomed) {
+    // Already resolved — no dispatcher ever saw these requests.
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    EXPECT_THROW(f.get(), infer::CancelledError);
+  }
+  EXPECT_EQ(router.cancel(kDoomed), 0);  // idempotent: nothing left to cancel
+  EXPECT_EQ(router.stats().cancelled, 3);
+
+  router.shutdown();  // drain flushes the survivor immediately
+  Tensor out = kept.get();
+  EXPECT_EQ(out.size(0), 4);
+}
+
+// A request whose deadline expires while queued fails fast with a typed
+// DeadlineError — pruned BEFORE batching, so the surviving batch is exactly
+// the batch that would have formed without it and its outputs stay
+// bit-identical to direct Engine::run.
+TEST(RouterTest, DeadlineExpiryFailsFastAndSurvivorsStayBitIdentical) {
+  const infer::Engine& engine = test_engine();
+  const double kFlushMs = 400.0 * kTimeScale;
+  const double kDeadlineMs = 40.0 * kTimeScale;
+  // max_batch 4 > the 3 requests below: the group only flushes on its delay,
+  // leaving a wide window in which the deadline must fire on its own.
+  infer::Router router(engine, {.num_shards = 1, .max_batch = 4,
+                                .max_delay_ms = kFlushMs});
+  Rng rng(52);
+  Tensor expiring = Tensor::uniform({4, 3, 8, 8}, rng);
+  Tensor survivor_a = Tensor::uniform({4, 3, 8, 8}, rng);
+  Tensor survivor_b = Tensor::uniform({4, 3, 8, 8}, rng);
+  Tensor ref_a = engine.run(survivor_a.reshape({4, 1, 3, 8, 8}));
+  Tensor ref_b = engine.run(survivor_b.reshape({4, 1, 3, 8, 8}));
+
+  infer::SubmitOptions with_deadline;
+  with_deadline.deadline_ms = kDeadlineMs;
+  const auto t0 = steady_clock::now();
+  std::future<Tensor> doomed = router.submit(expiring, with_deadline);
+  std::future<Tensor> fa = router.submit(survivor_a);
+  std::future<Tensor> fb = router.submit(survivor_b);
+
+  // The miss resolves promptly after ITS deadline — typed — while the
+  // survivors are still coalescing toward the (much later) flush.
+  EXPECT_THROW(doomed.get(), infer::DeadlineError);
+  const double miss_ms = ms_since(t0);
+  EXPECT_GE(miss_ms, 0.8 * kDeadlineMs);
+  EXPECT_LT(miss_ms, kFlushMs * 0.75) << "miss waited for the group flush";
+
+  EXPECT_EQ(max_abs_diff(fa.get().reshape({4, -1}), ref_a.reshape({4, -1})),
+            0.0);
+  EXPECT_EQ(max_abs_diff(fb.get().reshape({4, -1}), ref_b.reshape({4, -1})),
+            0.0);
+  EXPECT_EQ(router.stats().deadline_misses, 1);
+}
+
+// AdmissionError carries a queue-depth-derived retry hint, so shed clients
+// can back off proportionally to the actual overload.
+TEST(RouterTest, AdmissionErrorCarriesRetryAfterHint) {
+  const infer::Engine& engine = test_engine();
+  const Shape shape{4, 3, 8, 8};
+  const int64_t sample_bytes = shape_numel(shape) * sizeof(float);
+  infer::Router router(engine, {.num_shards = 1, .max_batch = 8,
+                                .max_delay_ms = 10000.0,
+                                .queue_bytes = sample_bytes});
+  Rng rng(53);
+  std::future<Tensor> accepted = router.submit(Tensor::uniform(shape, rng));
+  try {
+    router.submit(Tensor::uniform(shape, rng));
+    FAIL() << "over-budget submit was not shed";
+  } catch (const infer::AdmissionError& e) {
+    EXPECT_GT(e.retry_after_ms(), 0.0);
+    EXPECT_LE(e.retry_after_ms(), 1000.0);  // capped: never "go away forever"
+  }
+  router.shutdown();
+  EXPECT_EQ(accepted.get().size(0), 4);
+}
+
+// The full health drill, deterministic via failpoints: replica 0 fails every
+// batch -> after quarantine_after consecutive failures it is quarantined
+// (gauges flip), traffic whose home it was re-routes and serves on the
+// survivor bit-identically, and once the fault clears a probe re-admits it.
+TEST(RouterTest, QuarantineReroutesTrafficAndProbeReadmits) {
+  const infer::Engine& engine = test_engine();
+  failpoint::disarm_all();  // a clean slate no matter what ran before
+  infer::Router router(engine, {.num_shards = 2, .max_batch = 4,
+                                .max_delay_ms = 1.0 * kTimeScale,
+                                .dispatchers_per_shard = 1,
+                                .quarantine_after = 2,
+                                .probe_interval_ms = 5.0 * kTimeScale});
+  Rng rng(54);
+  Tensor x = Tensor::uniform({4, 3, 8, 8}, rng);
+  Tensor ref = engine.run(x.reshape({4, 1, 3, 8, 8}));
+  const uint64_t hot = session_on_shard(router, x.shape(), 0);
+
+  failpoint::arm("router.dispatch.0", "every:1");
+  int64_t pre_errors = 0;
+  for (int i = 0; i < 32 && router.stats().quarantines == 0; ++i) {
+    try {
+      router.infer(x, hot);
+    } catch (const Error&) {
+      ++pre_errors;
+    }
+  }
+  infer::RouterStats down = router.stats();
+  ASSERT_GE(down.quarantines, 1) << "failing replica never quarantined";
+  EXPECT_EQ(pre_errors, 2);  // exactly quarantine_after batches failed
+  ASSERT_EQ(down.shard_quarantined.size(), 2U);
+  EXPECT_EQ(down.shard_quarantined[0], 1);
+  EXPECT_EQ(down.shard_quarantined[1], 0);
+  EXPECT_EQ(down.healthy_shards, 1);
+
+  // 100% of post-quarantine traffic — including traffic HOMED on the dead
+  // replica — serves on the survivor, bit-identically.
+  std::vector<std::future<Tensor>> futs;
+  for (int i = 0; i < 12; ++i) futs.push_back(router.submit(x, hot));
+  for (auto& f : futs) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(60)), std::future_status::ready)
+        << "a future did not resolve";
+    EXPECT_EQ(max_abs_diff(f.get().reshape({4, -1}), ref.reshape({4, -1})),
+              0.0);
+  }
+  EXPECT_GT(router.stats().rerouted, 0);
+
+  // Fault clears -> a probe (synthetic run on the failed shape, no client
+  // future attached) re-admits the replica.
+  failpoint::disarm("router.dispatch.0");
+  const auto t0 = steady_clock::now();
+  while (router.stats().readmissions == 0 &&
+         ms_since(t0) < 20000.0 * kTimeScale) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  infer::RouterStats up = router.stats();
+  ASSERT_GE(up.readmissions, 1) << "probe never re-admitted the replica";
+  EXPECT_GT(up.probes, 0);
+  EXPECT_EQ(up.healthy_shards, 2);
+  EXPECT_EQ(max_abs_diff(router.infer(x, hot).reshape({4, -1}),
+                         ref.reshape({4, -1})),
+            0.0);
 }
 
 }  // namespace

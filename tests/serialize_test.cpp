@@ -1,5 +1,8 @@
 // Checkpointing tests: save/load round-trips for dense and factorized
-// models, and rejection of mismatched architectures and corrupt files.
+// models, rejection of mismatched architectures and corrupt files, and
+// crash safety — save_parameters publishes via tmp + atomic rename, so a
+// crash (injected with failpoints) at ANY point of a save leaves the
+// previously published checkpoint intact and loadable.
 
 #include <cstdio>
 #include <fstream>
@@ -10,6 +13,7 @@
 #include "core/models.h"
 #include "snn/serialize.h"
 #include "tensor/ops.h"
+#include "util/failpoint.h"
 
 namespace ttsnn {
 namespace {
@@ -17,7 +21,11 @@ namespace {
 class SerializeTest : public ::testing::Test {
  protected:
   std::string path_ = ::testing::TempDir() + "/ttsnn_ckpt.bin";
-  void TearDown() override { std::remove(path_.c_str()); }
+  void TearDown() override {
+    failpoint::disarm_all();
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
 };
 
 TEST_F(SerializeTest, DenseRoundTripPreservesOutputs) {
@@ -138,6 +146,107 @@ TEST_F(SerializeTest, MissingFileThrows) {
   ModelConfig cfg{.num_classes = 4, .base_width = 8, .timesteps = 2};
   ModulePtr net = make_ms_resnet18(cfg, rng);
   EXPECT_THROW(load_parameters(*net, "/nonexistent/path.bin"), Error);
+}
+
+// A dim count no real tensor has (from a garbage or bit-flipped record) must
+// reject as corrupt BEFORE the loader sizes a shape allocation by it.
+TEST_F(SerializeTest, GarbageDimCountRejectedBeforeAllocation) {
+  Rng rng(11);
+  ModelConfig cfg{.num_classes = 4, .base_width = 8, .timesteps = 2};
+  ModulePtr net = make_ms_resnet18(cfg, rng);
+  save_parameters(*net, path_);
+  // Overwrite the first tensor's dim-count word with garbage. Layout:
+  // magic u64, count u64, name-len u64, name bytes, dims u64 <- here.
+  std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekg(16);
+  uint64_t name_len = 0;
+  f.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+  f.seekp(static_cast<std::streamoff>(24 + name_len));
+  const uint64_t garbage = ~0ULL;
+  f.write(reinterpret_cast<const char*>(&garbage), sizeof(garbage));
+  f.close();
+  try {
+    load_parameters(*net, path_);
+    FAIL() << "garbage dim count was accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("dims"), std::string::npos)
+        << "rejection not labeled as a dim-count problem: " << e.what();
+  }
+}
+
+// Crash mid-write (injected: checkpoint.write fires once, i.e. on the first
+// tensor of the SECOND save): the previously published checkpoint must stay
+// intact and loadable, and no half-written file may take its place.
+TEST_F(SerializeTest, CrashMidWriteKeepsPreviousCheckpointLoadable) {
+  Rng rng(12);
+  ModelConfig cfg{.num_classes = 4, .base_width = 8, .timesteps = 2};
+  ModulePtr a = make_ms_resnet18(cfg, rng);
+  a->set_training(false);
+  Tensor x = Tensor::uniform({2, 2, 3, 8, 8}, rng);
+  Tensor ya = a->forward(x);
+  save_parameters(*a, path_);  // the published good checkpoint
+
+  // Mutate the model, then crash while checkpointing the new state.
+  Rng rng2(13);
+  ModulePtr b = make_ms_resnet18(cfg, rng2);
+  failpoint::arm("checkpoint.write", "once");
+  EXPECT_THROW(save_parameters(*b, path_), failpoint::FailpointError);
+  failpoint::disarm("checkpoint.write");
+
+  // The OLD checkpoint still loads and reproduces the old outputs; the
+  // aborted save left no tmp litter behind.
+  std::ifstream tmp(path_ + ".tmp");
+  EXPECT_FALSE(tmp.good()) << "aborted save left a half-written tmp file";
+  ModulePtr c = make_ms_resnet18(cfg, rng2);
+  load_parameters(*c, path_);
+  c->set_training(false);
+  EXPECT_EQ(max_abs_diff(ya, c->forward(x)), 0.0);
+}
+
+// Crash in the gap between a COMPLETE tmp write and the rename: same
+// guarantee — the destination is untouched until the atomic publish.
+TEST_F(SerializeTest, CrashBeforeRenameKeepsPreviousCheckpointLoadable) {
+  Rng rng(14);
+  ModelConfig cfg{.num_classes = 4, .base_width = 8, .timesteps = 2};
+  ModulePtr a = make_ms_resnet18(cfg, rng);
+  a->set_training(false);
+  Tensor x = Tensor::uniform({2, 2, 3, 8, 8}, rng);
+  Tensor ya = a->forward(x);
+  save_parameters(*a, path_);
+
+  Rng rng2(15);
+  ModulePtr b = make_ms_resnet18(cfg, rng2);
+  failpoint::arm("checkpoint.rename", "once");
+  EXPECT_THROW(save_parameters(*b, path_), failpoint::FailpointError);
+  failpoint::disarm("checkpoint.rename");
+
+  ModulePtr c = make_ms_resnet18(cfg, rng2);
+  load_parameters(*c, path_);
+  c->set_training(false);
+  EXPECT_EQ(max_abs_diff(ya, c->forward(x)), 0.0);
+
+  // And with no fault armed, the same save publishes cleanly over the old
+  // file (rename replaces): the recovery path needs no manual cleanup.
+  b->set_training(false);
+  Tensor yb = b->forward(x);
+  save_parameters(*b, path_);
+  ModulePtr d = make_ms_resnet18(cfg, rng);
+  load_parameters(*d, path_);
+  d->set_training(false);
+  EXPECT_EQ(max_abs_diff(yb, d->forward(x)), 0.0);
+}
+
+// checkpoint.read stands in for a vanished file / dead filesystem at load
+// time: upstream retry logic sees a labeled, typed error.
+TEST_F(SerializeTest, InjectedReadFaultSurfacesAsTypedError) {
+  Rng rng(16);
+  ModelConfig cfg{.num_classes = 4, .base_width = 8, .timesteps = 2};
+  ModulePtr net = make_ms_resnet18(cfg, rng);
+  save_parameters(*net, path_);
+  failpoint::arm("checkpoint.read", "once");
+  EXPECT_THROW(load_parameters(*net, path_), failpoint::FailpointError);
+  // The fault was transient (once): the very next load succeeds.
+  load_parameters(*net, path_);
 }
 
 }  // namespace

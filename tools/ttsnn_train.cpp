@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "snn/scenario.h"
+#include "util/failpoint.h"
 
 namespace {
 
@@ -57,6 +58,12 @@ int main(int argc, char** argv) {
     }
   }
   try {
+    // A fault drill armed via TTSNN_FAILPOINTS announces itself up front, so
+    // an injected failure in the logs below is never mistaken for a real one.
+    if (ttsnn::failpoint::any_armed()) {
+      std::printf("failpoints armed (TTSNN_FAILPOINTS):\n%s",
+                  ttsnn::failpoint::summary().c_str());
+    }
     const ttsnn::ScenarioConfig cfg = ttsnn::parse_scenario_cli(args);
     const ttsnn::ScenarioResult result = ttsnn::run_scenario(cfg);
     std::printf("%s\n", ttsnn::scenario_summary(cfg, result).c_str());
