@@ -135,6 +135,8 @@ void bench_elemwise(bench::Report& report, const char* name, int64_t n,
                           .str("op", name)
                           .str("level", simd::level_name(level))
                           .num("numel", static_cast<double>(n))
+                          .num("ns_per_elem", t.p50_s * 1e9 /
+                                                  static_cast<double>(n))
                           .timing(t);
     if (scalar_ms > 0.0) {
       row.num("speedup_vs_scalar", scalar_ms / (t.p50_s * 1e3));
@@ -191,8 +193,7 @@ void bench_ttconv(bench::Report& report, bool quick) {
 /// (Tensor::empty per register) against the statically planned one (one
 /// packed workspace), with and without the caller reusing the workspace
 /// tensor across calls — the Router dispatcher's steady state.
-void bench_planned_run(bench::Report& report) {
-  Rng rng(31);
+ModulePtr make_serving_model(Rng& rng) {
   ModelConfig cfg;
   cfg.in_channels = 3;
   cfg.num_classes = 10;
@@ -205,6 +206,12 @@ void bench_planned_run(bench::Report& report) {
   fopts.rank_fraction = 0.4;
   factorize_network(*net, fopts, rng);
   net->set_training(false);
+  return net;
+}
+
+void bench_planned_run(bench::Report& report) {
+  Rng rng(31);
+  ModulePtr net = make_serving_model(rng);
   Tensor x = Tensor::bernoulli({4, 1, 3, 16, 16}, rng, 0.2F);
 
   const infer::Engine legacy =
@@ -242,6 +249,65 @@ void bench_planned_run(bench::Report& report) {
     }
     std::printf("  %-44s p50 %7.3f ms  %5.1f allocs/call\n", name.c_str(),
                 t.p50_s * 1e3, allocs_per_call);
+  }
+}
+
+/// Elementwise fusion on vs off at the serving entry point: the same planned
+/// executor and reused workspace, the only variable being whether the LIF /
+/// residual epilogues run as fused single-pass plan ops (intermediates never
+/// leave registers/L1) or as separate kConv/kAffine/kAdd/kLif ops.
+void bench_fused_run(bench::Report& report) {
+  Rng rng(31);
+  ModulePtr net = make_serving_model(rng);
+  Tensor x = Tensor::bernoulli({4, 1, 3, 16, 16}, rng, 0.2F);
+
+  const infer::Engine fused = infer::compile(*net);
+  const infer::Engine unfused =
+      infer::compile(*net, {.fuse_elementwise = false});
+  int fused_ops = 0;
+  for (const infer::Op& op : fused.ops()) {
+    switch (op.kind) {
+      case infer::Op::Kind::kConvLif:
+      case infer::Op::Kind::kAffineLif:
+      case infer::Op::Kind::kAddLif:
+      case infer::Op::Kind::kAffineAdd:
+        ++fused_ops;
+        break;
+      default:
+        break;
+    }
+  }
+  Tensor ws_on;
+  Tensor ws_off;
+  const struct {
+    const char* tag;
+    const infer::Engine* engine;
+    Tensor* ws;
+    int fused;
+  } variants[] = {
+      {"on", &fused, &ws_on, fused_ops},
+      {"off", &unfused, &ws_off, 0},
+  };
+  for (const auto& v : variants) {
+    v.engine->run(x, *v.ws);  // warm-up: plan cache + workspace growth
+    constexpr int kCalls = 32;
+    Arena::instance().reset_stats();
+    for (int i = 0; i < kCalls; ++i) v.engine->run(x, *v.ws);
+    const ArenaStats calls = Arena::instance().stats();
+    const double allocs_per_call =
+        static_cast<double>(calls.hits + calls.misses) / kCalls;
+    const bench::Timing t =
+        bench::time_fn([&] { v.engine->run(x, *v.ws); }, 0.1);
+    const std::string name = std::string("infer_fused/") + v.tag;
+    report.add(name)
+        .str("config", v.tag)
+        .num("fused_ops", static_cast<double>(v.fused))
+        .num("num_ops", static_cast<double>(v.engine->num_ops()))
+        .num("allocs_per_call", allocs_per_call)
+        .timing(t);
+    std::printf("  %-44s p50 %7.3f ms  %5.1f allocs/call  %zu ops\n",
+                name.c_str(), t.p50_s * 1e3, allocs_per_call,
+                v.engine->num_ops());
   }
 }
 
@@ -392,12 +458,29 @@ int main(int argc, char** argv) {
     bench_elemwise(report, "lif_step", n, [&] {
       simd::lif_step_eval(n, 0.5F, 1.0F, true, in.data(), u.data(), s.data());
     });
+    // Fused inference epilogues: the same LIF step with its producer folded
+    // into one pass (what kAffineLif / kAddLif execute per plane). Compare
+    // ns_per_elem against lif_step + the producer's own row to see what the
+    // fusion pass saves per element.
+    Tensor u2 = Tensor::zeros({n});
+    bench_elemwise(report, "affine_lif_step", n, [&] {
+      simd::affine_lif_step(n, 0.1F, 1.1F, 0.9F, 0.02F, 0.5F, 1.0F, true,
+                            in.data(), u2.data(), s.data());
+    });
+    Tensor other = Tensor::randn({n}, rng);
+    Tensor u3 = Tensor::zeros({n});
+    bench_elemwise(report, "add_lif_step", n, [&] {
+      simd::add_lif_step(n, 0.5F, 1.0F, true, in.data(), other.data(),
+                         u3.data(), s.data());
+    });
   }
 
   std::printf("== TTConv pipelines ==\n");
   bench_ttconv(report, args.quick);
   std::printf("== planned inference run (batch 1) ==\n");
   bench_planned_run(report);
+  std::printf("== elementwise fusion on/off (batch 1) ==\n");
+  bench_fused_run(report);
   if (!args.quick) {
     std::printf("== decompositions ==\n");
     bench_decompositions(report);

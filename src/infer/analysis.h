@@ -76,6 +76,10 @@ struct PlanAnalysis {
 
   /// Per register.
   std::vector<LiveRange> live;
+  /// Per register: number of operand slots reading it across the whole plan
+  /// (an op reading the same register through in and in2 counts twice). The
+  /// fusion pass derives its single-consumer facts from this.
+  std::vector<int> reads;
   /// Per register: representative of its storage group. Registers created by
   /// kFlatten aliases or in-place ops share their input's group; everyone
   /// else roots itself. root[r] always points at the group's first register.
@@ -102,6 +106,13 @@ struct PlanAnalysis {
 /// hand-built op vectors directly.
 PlanAnalysis analyze_plan(const std::vector<Op>& ops, int num_regs,
                           int result_reg);
+
+/// Fusion legality of one producer output: true when `reg` may vanish into
+/// its consumer — it is read by exactly one operand slot in the whole plan
+/// and is not the plan's result. SSA purity makes the fact positional-free:
+/// the producer's own inputs still hold their values at the consumer's index,
+/// so the fused op can re-read them there.
+bool fusion_candidate(const PlanAnalysis& analysis, int reg);
 
 /// Concrete memory layout of one (plan, input shape) pair: every storage
 /// group, the composite-op scratch region, and the im2col scratch packed

@@ -2,6 +2,7 @@
 #include <set>
 #include <sstream>
 
+#include "infer/analysis.h"
 #include "infer/engine.h"
 #include "nn/containers.h"
 #include "nn/linear.h"
@@ -301,6 +302,108 @@ int lower(const Module& m, int in_reg, Builder& b) {
   return -1;
 }
 
+/// Greedy elementwise fusion over the lowered plan, gated on
+/// CompileOptions::fuse_elementwise. Two rewrites over ONE pre-fusion
+/// analysis: (A) a kLif whose producer output has exactly one consumer
+/// collapses into kConvLif / kAffineLif / kAddLif at the LIF's index; (B) a
+/// surviving kAdd absorbs a single-consumer kAffine operand into kAffineAdd.
+/// Pass A leaves every surviving register's read count unchanged — the fused
+/// op re-reads exactly what its dead producer read — so the one analysis
+/// serves both passes. Placing the fused op at the CONSUMER's index is safe
+/// even when producer and consumer are not adjacent: the plan is SSA over
+/// pure ops, so the producer's inputs still hold their values there, and
+/// re-running analyze_plan afterwards re-derives alias/in-place facts for the
+/// rewritten plan. Dead producers are dropped and registers renumbered.
+void fuse_elementwise(std::vector<Op>& ops, int& num_regs, int& result_reg) {
+  if (ops.empty()) return;
+  const PlanAnalysis a = analyze_plan(ops, num_regs, result_reg);
+  std::vector<bool> dead(ops.size(), false);
+
+  auto producer = [&](int reg) {
+    const int d = a.live[static_cast<size_t>(reg)].def;
+    return d >= 0 && !dead[static_cast<size_t>(d)] ? d : -1;
+  };
+
+  // Pass A: LIF epilogues.
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].kind != Op::Kind::kLif) continue;
+    if (!fusion_candidate(a, ops[i].in)) continue;
+    const int d = producer(ops[i].in);
+    if (d < 0) continue;
+    Op& prod = ops[static_cast<size_t>(d)];
+    Op::Kind fused_kind = Op::Kind::kLif;
+    switch (prod.kind) {
+      case Op::Kind::kConv:
+        // The per-tile epilogue needs the [T, N, C, H, W] batch layout.
+        if (a.sym_shape[static_cast<size_t>(prod.in)].size() != 5) continue;
+        fused_kind = Op::Kind::kConvLif;
+        break;
+      case Op::Kind::kAffine:
+        fused_kind = Op::Kind::kAffineLif;
+        break;
+      case Op::Kind::kAdd:
+        fused_kind = Op::Kind::kAddLif;
+        break;
+      default:
+        continue;
+    }
+    Op fused = std::move(prod);
+    fused.kind = fused_kind;
+    fused.lif = ops[i].lif;
+    fused.out = ops[i].out;
+    ops[i] = std::move(fused);
+    dead[static_cast<size_t>(d)] = true;
+  }
+
+  // Pass B: affine operands of the residual joins pass A left plain.
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (dead[i] || ops[i].kind != Op::Kind::kAdd) continue;
+    for (int slot = 0; slot < 2; ++slot) {
+      const int reg = slot == 0 ? ops[i].in : ops[i].in2;
+      if (!fusion_candidate(a, reg)) continue;
+      const int d = producer(reg);
+      if (d < 0 || ops[static_cast<size_t>(d)].kind != Op::Kind::kAffine) {
+        continue;
+      }
+      Op fused = std::move(ops[static_cast<size_t>(d)]);
+      fused.kind = Op::Kind::kAffineAdd;
+      fused.in2 = slot == 0 ? ops[i].in2 : ops[i].in;
+      fused.fused_swap = slot == 1;
+      fused.out = ops[i].out;
+      ops[i] = std::move(fused);
+      dead[static_cast<size_t>(d)] = true;
+      break;
+    }
+  }
+
+  // Drop dead producers and renumber registers densely in first-def order.
+  std::vector<Op> kept;
+  kept.reserve(ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (!dead[i]) kept.push_back(std::move(ops[i]));
+  }
+  std::vector<int> remap(static_cast<size_t>(num_regs), -1);
+  remap[0] = 0;
+  int next = 1;
+  for (Op& op : kept) {
+    TTSNN_CHECK(remap[static_cast<size_t>(op.in)] >= 0,
+                "infer fuse: operand register lost in compaction");
+    op.in = remap[static_cast<size_t>(op.in)];
+    if (op.in2 >= 0) {
+      TTSNN_CHECK(remap[static_cast<size_t>(op.in2)] >= 0,
+                  "infer fuse: operand register lost in compaction");
+      op.in2 = remap[static_cast<size_t>(op.in2)];
+    }
+    remap[static_cast<size_t>(op.out)] = next;
+    op.out = next++;
+  }
+  TTSNN_CHECK(remap[static_cast<size_t>(result_reg)] >= 0,
+              "infer fuse: result register lost in compaction");
+  result_reg = remap[static_cast<size_t>(result_reg)];
+  num_regs = next;
+  ops = std::move(kept);
+}
+
 /// Bytes of read-only weight storage the plan references, counting each
 /// unique buffer once: Engine copies (Router replicas) and every cached
 /// per-shape program share these tensors by refcount, so this is the
@@ -329,8 +432,9 @@ int64_t unique_weight_bytes(const std::vector<Op>& ops) {
 
 Engine compile(const Module& root, const CompileOptions& opts) {
   Builder b{.opts = opts};
-  const int result = lower(root, 0, b);
+  int result = lower(root, 0, b);
   TTSNN_CHECK(!b.ops.empty(), "infer::compile: module tree lowered to no ops");
+  if (opts.fuse_elementwise) fuse_elementwise(b.ops, b.num_regs, result);
   Engine e;
   e.opts_ = opts;
   e.ops_ = std::move(b.ops);

@@ -423,6 +423,191 @@ Tensor run_add(const Tensor& x, const Tensor& x2, ExecCtx& ctx) {
   return out;
 }
 
+/// Fused conv + LIF epilogue. Each folded-batch tile b = t*N + n is lowered
+/// and multiplied exactly as run_conv (same im2col, same gemm arguments), but
+/// the LIF step — with the conv bias folded into its membrane input — runs in
+/// place on the tile straight after its gemm, while it is still cache-hot.
+/// The tile loop ascends t-major, which IS the membrane recurrence order, and
+/// lif_step_eval reads each element before writing the spike over it, so the
+/// pre-activation never reaches a second buffer.
+Tensor run_conv_lif(const Op& op, const Tensor& x, ExecCtx& ctx) {
+  const Conv2d::Options& opts = op.conv;
+  TTSNN_CHECK(x.dim() == 5, "infer conv+lif expects [T, N, C, H, W], got "
+                                << shape_str(x.shape()));
+  TTSNN_CHECK(x.size(2) == opts.in_channels,
+              "infer conv+lif: channel mismatch, expected "
+                  << opts.in_channels << " in " << shape_str(x.shape()));
+  ConvGeometry g{.in_channels = opts.in_channels,
+                 .in_h = x.size(3),
+                 .in_w = x.size(4),
+                 .kernel_h = opts.kernel_h,
+                 .kernel_w = opts.kernel_w,
+                 .stride_h = opts.resolved_stride_h(),
+                 .stride_w = opts.resolved_stride_w(),
+                 .pad_h = opts.resolved_pad_h(),
+                 .pad_w = opts.resolved_pad_w()};
+  const int64_t oh = g.out_h();
+  const int64_t ow = g.out_w();
+  TTSNN_CHECK(oh > 0 && ow > 0,
+              "infer conv+lif: output would be empty for input "
+                  << shape_str(x.shape()));
+  const int64_t t_steps = x.size(0);
+  const int64_t n = x.size(1);
+  Tensor out = ctx.out({t_steps, n, opts.out_channels, oh, ow});
+  const bool pointwise = g.pointwise();
+  float* col = pointwise ? nullptr : ctx.col(g.col_rows() * g.col_cols());
+  const int64_t in_stride = opts.in_channels * g.in_h * g.in_w;
+  const int64_t out_stride = opts.out_channels * oh * ow;
+  float* u_post = ctx.raw(n * out_stride);
+  std::fill(u_post, u_post + n * out_stride, 0.0F);
+  const int64_t hw = oh * ow;
+  const float tau = op.lif.tau;
+  const float v_th = op.lif.v_th;
+  const bool zero_reset = op.lif.reset == ResetMode::kZero;
+  for (int64_t b = 0; b < t_steps * n; ++b) {
+    const float* lowered;
+    if (pointwise) {
+      lowered = x.data() + b * in_stride;
+    } else {
+      im2col(x.data() + b * in_stride, g, col);
+      lowered = col;
+    }
+    float* tile = out.data() + b * out_stride;
+    gemm(false, false, opts.out_channels, g.col_cols(), g.col_rows(), 1.0F,
+         op.weight.data(), lowered, 0.0F, tile);
+    float* u = u_post + (b % n) * out_stride;
+    if (op.bias.defined()) {
+      // Per channel plane, so the scalar bias folds into the membrane input
+      // with the exact expression of the unfused bias pass.
+      const float* bb = op.bias.data();
+      for (int64_t c = 0; c < opts.out_channels; ++c) {
+        simd::lif_step_eval_bias(hw, tau, v_th, zero_reset, bb[c],
+                                 tile + c * hw, u + c * hw, tile + c * hw);
+      }
+    } else {
+      simd::lif_step_eval(out_stride, tau, v_th, zero_reset, tile, u, tile);
+    }
+  }
+  return out;
+}
+
+/// Fused inference-BN affine + LIF step. Same ch / t / b loop nest as
+/// run_affine; each (ch, b) plane sees t ascending — the membrane recurrence
+/// order. affine_lif_step reads x before writing the spike at the same
+/// position, so the output may alias the input (the in-place path).
+Tensor run_affine_lif(const Op& op, const Tensor& x, ExecCtx& ctx) {
+  TTSNN_CHECK(x.dim() == 5, "infer affine+lif expects [T, N, C, H, W], got "
+                                << shape_str(x.shape()));
+  const int64_t t_steps = x.size(0);
+  const int64_t n = x.size(1);
+  const int64_t c = x.size(2);
+  const int64_t hw = x.size(3) * x.size(4);
+  TTSNN_CHECK(c == op.bn_gamma.numel(),
+              "infer affine+lif channel mismatch: " << c);
+  const bool tebn = op.bn_mode == BatchNorm::Mode::kTebn;
+  if (tebn) {
+    TTSNN_CHECK(t_steps == op.bn_timesteps,
+                "infer affine+lif: TEBN configured for T="
+                    << op.bn_timesteps << ", got " << t_steps);
+  }
+  Tensor out = ctx.out(x.shape());
+  float* u_post = ctx.raw(x.numel() / t_steps);
+  std::fill(u_post, u_post + x.numel() / t_steps, 0.0F);
+  const float tau = op.lif.tau;
+  const float v_th = op.lif.v_th;
+  const bool zero_reset = op.lif.reset == ResetMode::kZero;
+  const float* in = x.data();
+  float* y = out.data();
+  const float* g_gamma = op.bn_gamma.data();
+  const float* g_beta = op.bn_beta.data();
+  const float* g_mean = op.bn_mean.data();
+  const float* g_inv_std = op.bn_inv_std.data();
+  for (int64_t ch = 0; ch < c; ++ch) {
+    const float inv_std = g_inv_std[ch];
+    const float mu = g_mean[ch];
+    for (int64_t t = 0; t < t_steps; ++t) {
+      const float step = tebn ? op.bn_step_scale[t] : 1.0F;
+      const float eff = g_gamma[ch] * op.bn_alpha_vth * step;
+      for (int64_t b = 0; b < n; ++b) {
+        const int64_t base = (((t * n + b) * c) + ch) * hw;
+        simd::affine_lif_step(hw, mu, inv_std, eff, g_beta[ch], tau, v_th,
+                              zero_reset, in + base,
+                              u_post + (b * c + ch) * hw, y + base);
+      }
+    }
+  }
+  return out;
+}
+
+/// Fused residual join + LIF step: one pass per timestep, u = tau * u_post +
+/// (x + 1*x2). The output may alias x (never x2 — the analysis keeps in2's
+/// storage group separate from the in-place group).
+Tensor run_add_lif(const Op& op, const Tensor& x, const Tensor& x2,
+                   ExecCtx& ctx) {
+  TTSNN_CHECK(x.same_shape(x2), "elementwise shape mismatch "
+                                    << shape_str(x.shape()) << " vs "
+                                    << shape_str(x2.shape()));
+  TTSNN_CHECK(x.dim() >= 2,
+              "infer add+lif expects [T, N, ...], got " << shape_str(x.shape()));
+  Tensor out = ctx.out(x.shape());
+  const int64_t t_steps = x.size(0);
+  const int64_t m = x.numel() / t_steps;
+  float* u_post = ctx.raw(m);
+  std::fill(u_post, u_post + m, 0.0F);
+  for (int64_t t = 0; t < t_steps; ++t) {
+    simd::add_lif_step(m, op.lif.tau, op.lif.v_th,
+                       op.lif.reset == ResetMode::kZero, x.data() + t * m,
+                       x2.data() + t * m, u_post, out.data() + t * m);
+  }
+  return out;
+}
+
+/// Fused inference-BN affine + residual join: x is the affine's input, x2 the
+/// other add operand, op.fused_swap the original operand order. The output
+/// may alias x (never x2).
+Tensor run_affine_add(const Op& op, const Tensor& x, const Tensor& x2,
+                      ExecCtx& ctx) {
+  TTSNN_CHECK(x.dim() == 5, "infer affine+add expects [T, N, C, H, W], got "
+                                << shape_str(x.shape()));
+  TTSNN_CHECK(x.same_shape(x2), "elementwise shape mismatch "
+                                    << shape_str(x.shape()) << " vs "
+                                    << shape_str(x2.shape()));
+  const int64_t t_steps = x.size(0);
+  const int64_t n = x.size(1);
+  const int64_t c = x.size(2);
+  const int64_t hw = x.size(3) * x.size(4);
+  TTSNN_CHECK(c == op.bn_gamma.numel(),
+              "infer affine+add channel mismatch: " << c);
+  const bool tebn = op.bn_mode == BatchNorm::Mode::kTebn;
+  if (tebn) {
+    TTSNN_CHECK(t_steps == op.bn_timesteps,
+                "infer affine+add: TEBN configured for T="
+                    << op.bn_timesteps << ", got " << t_steps);
+  }
+  Tensor out = ctx.out(x.shape());
+  const float* in = x.data();
+  const float* other = x2.data();
+  float* y = out.data();
+  const float* g_gamma = op.bn_gamma.data();
+  const float* g_beta = op.bn_beta.data();
+  const float* g_mean = op.bn_mean.data();
+  const float* g_inv_std = op.bn_inv_std.data();
+  for (int64_t ch = 0; ch < c; ++ch) {
+    const float inv_std = g_inv_std[ch];
+    const float mu = g_mean[ch];
+    for (int64_t t = 0; t < t_steps; ++t) {
+      const float step = tebn ? op.bn_step_scale[t] : 1.0F;
+      const float eff = g_gamma[ch] * op.bn_alpha_vth * step;
+      for (int64_t b = 0; b < n; ++b) {
+        const int64_t base = (((t * n + b) * c) + ch) * hw;
+        simd::affine_add(hw, mu, inv_std, eff, g_beta[ch], op.fused_swap,
+                         in + base, other + base, y + base);
+      }
+    }
+  }
+  return out;
+}
+
 Tensor exec_op(const Op& op, const Tensor& x, const Tensor& x2, ExecCtx& ctx) {
   switch (op.kind) {
     case Op::Kind::kConv:
@@ -445,6 +630,14 @@ Tensor exec_op(const Op& op, const Tensor& x, const Tensor& x2, ExecCtx& ctx) {
       return run_linear(op, x, ctx);
     case Op::Kind::kAdd:
       return run_add(x, x2, ctx);
+    case Op::Kind::kConvLif:
+      return run_conv_lif(op, x, ctx);
+    case Op::Kind::kAffineLif:
+      return run_affine_lif(op, x, ctx);
+    case Op::Kind::kAddLif:
+      return run_add_lif(op, x, x2, ctx);
+    case Op::Kind::kAffineAdd:
+      return run_affine_add(op, x, x2, ctx);
   }
   TTSNN_CHECK(false, "unreachable");
   return {};
@@ -474,6 +667,14 @@ const char* op_kind_name(Op::Kind k) {
       return "linear";
     case Op::Kind::kAdd:
       return "add";
+    case Op::Kind::kConvLif:
+      return "conv+lif";
+    case Op::Kind::kAffineLif:
+      return "affine+lif";
+    case Op::Kind::kAddLif:
+      return "add+lif";
+    case Op::Kind::kAffineAdd:
+      return "affine+add";
   }
   return "?";
 }
@@ -630,6 +831,44 @@ std::string Engine::summary() const {
     }
     oss << "\n";
   }
+  // Always printed (even at 0) so ttsnn_plan_lint can assert fusion happened.
+  int fused_total = 0;
+  int fused_counts[4] = {0, 0, 0, 0};
+  for (const Op& op : ops_) {
+    switch (op.kind) {
+      case Op::Kind::kConvLif:
+        ++fused_counts[0];
+        ++fused_total;
+        break;
+      case Op::Kind::kAffineLif:
+        ++fused_counts[1];
+        ++fused_total;
+        break;
+      case Op::Kind::kAddLif:
+        ++fused_counts[2];
+        ++fused_total;
+        break;
+      case Op::Kind::kAffineAdd:
+        ++fused_counts[3];
+        ++fused_total;
+        break;
+      default:
+        break;
+    }
+  }
+  oss << "fused ops: " << fused_total;
+  if (fused_total > 0) {
+    static const char* const kFusedNames[4] = {"conv+lif", "affine+lif",
+                                               "add+lif", "affine+add"};
+    const char* sep = " (";
+    for (int k = 0; k < 4; ++k) {
+      if (fused_counts[k] == 0) continue;
+      oss << sep << kFusedNames[k] << " x" << fused_counts[k];
+      sep = ", ";
+    }
+    oss << ")";
+  }
+  oss << "\n";
   if (programs_) {
     const ProgramCacheStats s = programs_->stats();
     oss << "plan cache: " << s.entries << " shape(s), " << s.bytes << " / ";

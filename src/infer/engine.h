@@ -66,6 +66,12 @@ struct CompileOptions {
   /// plan metadata only — weights are refcounted once outside the cache —
   /// with LRU eviction past the budget. 0 disables eviction entirely.
   int64_t plan_cache_bytes = 8LL << 20;
+  /// Greedily fuse elementwise chains (conv/affine/add feeding a LIF step,
+  /// affine feeding a residual add) into single fused ops executed by
+  /// single-pass SIMD kernels, wherever the liveness analysis proves the
+  /// intermediate has exactly one consumer. Outputs are bit-identical with
+  /// fusion on or off; off keeps the one-op-per-module reference lowering.
+  bool fuse_elementwise = true;
 };
 
 /// One instruction of the flat plan. Ops read register `in` (and `in2` for
@@ -83,6 +89,12 @@ struct Op {
     kFlatten,     ///< [T,N,...] -> [T,N,F]
     kLinear,      ///< dense classifier head
     kAdd,         ///< residual join: regs[out] = regs[in] + regs[in2]
+    // Fused elementwise chains (compile.cpp's fusion pass; never lowered
+    // directly from modules). Each reuses the field groups of its parts.
+    kConvLif,     ///< conv whose LIF epilogue runs per output tile
+    kAffineLif,   ///< inference-BN affine feeding a LIF step
+    kAddLif,      ///< residual join feeding a LIF step
+    kAffineAdd,   ///< inference-BN affine feeding a residual join
   };
 
   Kind kind = Kind::kConv;
@@ -115,6 +127,11 @@ struct Op {
 
   // kAvgPool
   int64_t pool_kernel = 2;
+
+  // kAffineAdd
+  /// True when the fused affine produced the add's SECOND operand: the add's
+  /// axpy order (first + 1*second) is preserved so the bits match unfused.
+  bool fused_swap = false;
 
   std::string label;  ///< human-readable op description for summary()
 };

@@ -14,10 +14,9 @@
 
 #include <gtest/gtest.h>
 
-#include "core/factorize.h"
-#include "core/models.h"
 #include "infer/analysis.h"
 #include "infer/engine.h"
+#include "model_gen.h"
 #include "nn/containers.h"
 #include "nn/linear.h"
 #include "tensor/arena.h"
@@ -253,7 +252,9 @@ TEST(PlanAnalysisTest, MarksLifInPlaceWhenItsInputDies) {
   net.emplace<Conv2d>(Conv2d::Options{.in_channels = 4, .out_channels = 4},
                       rng);
   net.set_training(false);
-  infer::Engine engine = infer::compile(net);
+  // Fusion off: this test pins the UNFUSED alias/in-place facts (with fusion
+  // the conv+lif pair collapses into one kConvLif op).
+  infer::Engine engine = infer::compile(net, {.fuse_elementwise = false});
   ASSERT_EQ(engine.num_ops(), 3U);
   const infer::PlanAnalysis& an = engine.analysis();
   EXPECT_FALSE(an.is_inplace[0]);  // conv is never in-place
@@ -261,6 +262,87 @@ TEST(PlanAnalysisTest, MarksLifInPlaceWhenItsInputDies) {
   // In-place output shares its input's storage group, so the group's
   // workspace region is charged once.
   EXPECT_EQ(an.root[2], an.root[1]);
+}
+
+// ---- fusion pass -------------------------------------------------------------
+
+TEST(FusionAnalysisTest, FusionCandidateRequiresASingleReader) {
+  std::vector<Op> ops;
+  ops.push_back(conv_op(0, 1, 3, 4));
+  ops.push_back(conv_op(1, 2, 4, 4));
+  ops.push_back(conv_op(2, 3, 4, 4));
+  {
+    const infer::PlanAnalysis an = infer::analyze_plan(ops, 4, 3);
+    EXPECT_TRUE(infer::fusion_candidate(an, 1));   // read once, not result
+    EXPECT_TRUE(infer::fusion_candidate(an, 2));
+    EXPECT_FALSE(infer::fusion_candidate(an, 3));  // the result never fuses
+  }
+  // A residual join reading r1 through BOTH slots makes it a two-reader
+  // register — never a fusion candidate.
+  Op add;
+  add.kind = Op::Kind::kAdd;
+  add.in = 1;
+  add.in2 = 1;
+  add.out = 2;
+  std::vector<Op> ops2;
+  ops2.push_back(conv_op(0, 1, 3, 4));
+  ops2.push_back(add);
+  const infer::PlanAnalysis an = infer::analyze_plan(ops2, 3, 2);
+  EXPECT_EQ(an.reads[1], 2);
+  EXPECT_FALSE(infer::fusion_candidate(an, 1));
+}
+
+TEST(FusionAnalysisTest, ConvLifChainCollapsesToOneOp) {
+  Rng rng(41);
+  Sequential net;
+  net.emplace<Conv2d>(Conv2d::Options{.in_channels = 3, .out_channels = 4},
+                      rng);
+  net.emplace<LIFNeuron>();
+  net.emplace<Conv2d>(Conv2d::Options{.in_channels = 4, .out_channels = 4},
+                      rng);
+  net.set_training(false);
+  infer::Engine engine = infer::compile(net);
+  ASSERT_EQ(engine.num_ops(), 2U);
+  EXPECT_EQ(engine.ops()[0].kind, Op::Kind::kConvLif);
+  EXPECT_EQ(engine.ops()[1].kind, Op::Kind::kConv);
+  // Register numbering stays dense after the dead producer is compacted out.
+  EXPECT_EQ(engine.num_regs(), 3);
+  EXPECT_EQ(engine.ops()[0].out, 1);
+  EXPECT_EQ(engine.ops()[1].in, 1);
+  // The summary advertises the fusion for plan-lint consumers.
+  EXPECT_NE(engine.summary().find("fused ops: 1 (conv+lif x1)"),
+            std::string::npos)
+      << engine.summary();
+}
+
+TEST(FusionAnalysisTest, FusedPlansVerifyAndStayBitIdentical) {
+  // Randomized sweep (replayable via TTSNN_TEST_SEED / bounded via
+  // TTSNN_FUZZ_ITERS): every generated model must compile under the verifier
+  // with fusion on AND off, never emit fused kinds when the pass is off, and
+  // the two engines must agree bit-for-bit.
+  const uint64_t base = testgen::suite_seed(0xa11a5);
+  const int iters = testgen::seed_pinned() ? 1 : testgen::iteration_budget(6);
+  for (int i = 0; i < iters; ++i) {
+    const uint64_t seed = base + static_cast<uint64_t>(i);
+    SCOPED_TRACE(testgen::seed_line(seed));
+    const testgen::GeneratedModel gm = testgen::random_model(seed);
+    SCOPED_TRACE(gm.desc);
+    infer::Engine fused = infer::compile(*gm.net);
+    infer::Engine plain = infer::compile(*gm.net, {.fuse_elementwise = false});
+    for (const Op& op : plain.ops()) {
+      EXPECT_TRUE(op.kind != Op::Kind::kConvLif &&
+                  op.kind != Op::Kind::kAffineLif &&
+                  op.kind != Op::Kind::kAddLif &&
+                  op.kind != Op::Kind::kAffineAdd)
+          << plain.summary();
+    }
+    EXPECT_LE(fused.num_ops(), plain.num_ops());
+    Rng rng(seed ^ 0x5eed);
+    Tensor x = Tensor::uniform(gm.input, rng);
+    EXPECT_EQ(max_abs_diff(fused.run(x), plain.run(x)), 0.0)
+        << fused.summary();
+    if (::testing::Test::HasFailure()) return;
+  }
 }
 
 TEST(PlanAnalysisTest, LiveRangesMatchTheDataflow) {
@@ -282,44 +364,15 @@ TEST(PlanAnalysisTest, LiveRangesMatchTheDataflow) {
 
 // ---- planned executor: bit identity + allocation behavior ------------------
 
-ModelConfig small_config() {
-  ModelConfig cfg;
-  cfg.in_channels = 3;
-  cfg.num_classes = 4;
-  cfg.base_width = 8;
-  cfg.timesteps = 4;
-  return cfg;
-}
-
-/// Factorized MS-ResNet18 with moved BN statistics (same recipe as
-/// infer_test.cpp) — exercises residuals, flatten, pooling, and every TT op.
-ModulePtr trained_model(TTMode mode, Rng& rng, int64_t timesteps = 4) {
-  ModelConfig cfg = small_config();
-  cfg.timesteps = timesteps;
-  ModulePtr net = make_ms_resnet18(cfg, rng);
-  FactorizeOptions fopts;
-  fopts.mode = mode;
-  fopts.use_vbmf = false;
-  fopts.rank_fraction = 0.5;
-  if (mode == TTMode::kHTT) {
-    fopts.htt_schedule = {true, false, true, false};
-    fopts.htt_schedule.resize(static_cast<size_t>(timesteps));
-  }
-  factorize_network(*net, fopts, rng);
-  net->set_training(true);
-  for (int i = 0; i < 2; ++i) {
-    net->forward(Tensor::uniform({timesteps, 2, 3, 8, 8}, rng));
-  }
-  net->clear_cache();
-  net->set_training(false);
-  return net;
-}
+// The hand-rolled "trained model" fixture this suite used to carry moved to
+// the shared tests/model_gen.h (testgen::trained_resnet18), which the fuzz
+// and property suites reuse.
 
 class PlannedModeTest : public ::testing::TestWithParam<TTMode> {};
 
 TEST_P(PlannedModeTest, PlannedRunBitIdenticalToLegacyExecutor) {
   Rng rng(42);
-  ModulePtr net = trained_model(GetParam(), rng);
+  ModulePtr net = testgen::trained_resnet18(GetParam(), rng);
   for (const bool merge : {true, false}) {
     infer::Engine planned = infer::compile(
         *net,
@@ -352,7 +405,11 @@ INSTANTIATE_TEST_SUITE_P(Modes, PlannedModeTest,
 // executor must run it — possibly in place — with identical bits.
 TEST(PlannedRunTest, TebnAffineBitIdentical) {
   Rng rng(43);
-  ModelConfig cfg = small_config();
+  ModelConfig cfg;
+  cfg.in_channels = 3;
+  cfg.num_classes = 4;
+  cfg.base_width = 8;
+  cfg.timesteps = 4;
   cfg.bn_mode = BatchNorm::Mode::kTebn;
   ModulePtr net = make_vgg9(cfg, rng);
   net->set_training(true);
@@ -368,7 +425,7 @@ TEST(PlannedRunTest, TebnAffineBitIdentical) {
 
 TEST(PlannedRunTest, WorkspaceReuseIsBitIdenticalAndSingleAllocation) {
   Rng rng(44);
-  ModulePtr net = trained_model(TTMode::kPTT, rng);
+  ModulePtr net = testgen::trained_resnet18(TTMode::kPTT, rng);
   infer::Engine engine = infer::compile(*net);
   Tensor x = Tensor::uniform({4, 2, 3, 8, 8}, rng);
   Tensor golden = engine.run(x);
@@ -391,7 +448,7 @@ TEST(PlannedRunTest, WorkspaceReuseIsBitIdenticalAndSingleAllocation) {
 
 TEST(PlannedRunTest, EngineCopiesShareThePlanCache) {
   Rng rng(45);
-  ModulePtr net = trained_model(TTMode::kSTT, rng);
+  ModulePtr net = testgen::trained_resnet18(TTMode::kSTT, rng);
   infer::Engine engine = infer::compile(*net);
   infer::Engine replica = engine;  // what Router shards do
   const Shape s{4, 1, 3, 8, 8};
@@ -403,7 +460,7 @@ TEST(PlannedRunTest, EngineCopiesShareThePlanCache) {
 
 TEST(PlannedRunTest, PlanPacksBelowTheUnplannedFootprint) {
   Rng rng(46);
-  ModulePtr net = trained_model(TTMode::kHTT, rng);
+  ModulePtr net = testgen::trained_resnet18(TTMode::kHTT, rng);
   infer::Engine engine = infer::compile(*net);
   const Shape s{4, 2, 3, 8, 8};
   const auto plan = engine.memory_plan(s);

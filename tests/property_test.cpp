@@ -11,6 +11,8 @@
 #include "data/synthetic_event.h"
 #include "data/synthetic_image.h"
 #include "gradcheck.h"
+#include "infer/engine.h"
+#include "model_gen.h"
 #include "nn/conv2d.h"
 #include "tensor/gemm.h"
 #include "tensor/linalg.h"
@@ -29,7 +31,9 @@ class ConvGeometrySweep : public ::testing::TestWithParam<ConvCase> {};
 
 TEST_P(ConvGeometrySweep, ForwardShapeAndGradCheck) {
   auto [kh, kw, stride, hw] = GetParam();
-  Rng rng(static_cast<uint64_t>(kh * 100 + kw * 10 + stride + hw));
+  const uint64_t seed = testgen::suite_seed(static_cast<uint64_t>(kh * 100 + kw * 10 + stride + hw));
+  SCOPED_TRACE(testgen::seed_line(seed));
+  Rng rng(seed);
   Conv2d::Options o{.in_channels = 2, .out_channels = 3, .kernel_h = kh,
                     .kernel_w = kw, .stride = stride};
   Conv2d conv(o, rng);
@@ -61,7 +65,9 @@ class GemmSweep : public ::testing::TestWithParam<GemmCase> {};
 
 TEST_P(GemmSweep, MatchesNaiveTripleLoop) {
   auto [m, n, k] = GetParam();
-  Rng rng(static_cast<uint64_t>(m * 10000 + n * 100 + k));
+  const uint64_t seed = testgen::suite_seed(static_cast<uint64_t>(m * 10000 + n * 100 + k));
+  SCOPED_TRACE(testgen::seed_line(seed));
+  Rng rng(seed);
   Tensor a = Tensor::randn({m, k}, rng);
   Tensor b = Tensor::randn({k, n}, rng);
   Tensor c = matmul(a, b);
@@ -89,7 +95,9 @@ class TTKernelSweep
 
 TEST_P(TTKernelSweep, MergeEquivalenceHoldsForLargerKernels) {
   auto [kernel, stride, mode] = GetParam();
-  Rng rng(static_cast<uint64_t>(kernel * 10 + stride));
+  const uint64_t seed = testgen::suite_seed(static_cast<uint64_t>(kernel * 10 + stride));
+  SCOPED_TRACE(testgen::seed_line(seed));
+  Rng rng(seed);
   TTConv2d::Options o{.in_channels = 4, .out_channels = 5, .kernel = kernel,
                       .stride = stride, .rank = 3, .mode = mode};
   TTConv2d tt(o, rng);
@@ -117,7 +125,9 @@ class TtSvdSweep
 
 TEST_P(TtSvdSweep, CoreShapesAndErrorBounded) {
   auto [in_c, out_c, rank] = GetParam();
-  Rng rng(static_cast<uint64_t>(in_c * 100 + out_c + rank));
+  const uint64_t seed = testgen::suite_seed(static_cast<uint64_t>(in_c * 100 + out_c + rank));
+  SCOPED_TRACE(testgen::seed_line(seed));
+  Rng rng(seed);
   Tensor dense = Tensor::randn({out_c, in_c, 3, 3}, rng);
   TTCores cores = tt_svd(dense, rank);
   const int64_t r = std::min({rank, in_c, out_c});
@@ -148,7 +158,9 @@ TEST_P(HttScheduleSweep, ForwardBackwardConsistentForAnySchedule) {
   std::vector<bool> schedule(4);
   for (int i = 0; i < 4; ++i) schedule[static_cast<size_t>(i)] = (bits >> i) & 1;
 
-  Rng rng(static_cast<uint64_t>(bits));
+  const uint64_t seed = testgen::suite_seed(static_cast<uint64_t>(bits));
+  SCOPED_TRACE(testgen::seed_line(seed));
+  Rng rng(seed);
   TTConv2d::Options o{.in_channels = 3, .out_channels = 3, .kernel = 3,
                       .stride = 1, .rank = 2, .mode = TTMode::kHTT,
                       .full_step = schedule};
@@ -203,13 +215,56 @@ TEST_P(EventDatasetSweep, AnyTimestepCountWorks) {
 INSTANTIATE_TEST_SUITE_P(Timesteps, EventDatasetSweep,
                          ::testing::Values<int64_t>(1, 2, 4, 6, 10));
 
+// ---- compiled-model properties over the generator space ----------------------
+
+// Invariants that must hold for ANY module tree the shared generator
+// (tests/model_gen.h) can produce — the replacement for this suite's old
+// habit of hand-rolling one fixture per architecture quirk. Replayable via
+// TTSNN_TEST_SEED, bounded via TTSNN_FUZZ_ITERS.
+TEST(GeneratedModelProperties, CompileInvariantsHoldForAnySample) {
+  const uint64_t base = testgen::suite_seed(0x9e0de1);
+  const int iters = testgen::seed_pinned() ? 1 : testgen::iteration_budget(6);
+  for (int i = 0; i < iters; ++i) {
+    const uint64_t seed = base + static_cast<uint64_t>(i);
+    SCOPED_TRACE(testgen::seed_line(seed));
+    const testgen::GeneratedModel gm = testgen::random_model(seed);
+    SCOPED_TRACE(gm.desc);
+
+    // The exact lowering reproduces eval Module::forward bit-for-bit (with
+    // the fusion pass on — its default).
+    Rng rng(seed ^ 0xfaceu);
+    Tensor x = Tensor::uniform(gm.input, rng);
+    Tensor want = gm.net->forward(x);
+    gm.net->clear_cache();
+    infer::Engine exact = infer::compile(
+        *gm.net, {.merge_tt = false, .fold_batchnorm = false});
+    EXPECT_EQ(max_abs_diff(exact.run(x), want), 0.0) << exact.summary();
+
+    // The default engine pins the channel count in its input signature and
+    // always reports a fused-op line for plan-lint consumers.
+    infer::Engine engine = infer::compile(*gm.net);
+    EXPECT_EQ(engine.input_signature()[2], gm.input[2]);
+    EXPECT_NE(engine.summary().find("fused ops:"), std::string::npos);
+
+    // Register numbering stays dense after fusion compaction: every operand
+    // register is written (or the input), every output is in range.
+    for (const infer::Op& op : engine.ops()) {
+      EXPECT_GE(op.in, 0);
+      EXPECT_LT(op.out, engine.num_regs());
+    }
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
 // ---- SVD robustness ----------------------------------------------------------
 
 class SvdEdgeCases : public ::testing::TestWithParam<int> {};
 
 TEST_P(SvdEdgeCases, HandlesDegenerateMatrices) {
   const int kind = GetParam();
-  Rng rng(static_cast<uint64_t>(kind));
+  const uint64_t seed = testgen::suite_seed(static_cast<uint64_t>(kind));
+  SCOPED_TRACE(testgen::seed_line(seed));
+  Rng rng(seed);
   Tensor a;
   switch (kind) {
     case 0:  // zero matrix

@@ -23,6 +23,9 @@
 //   --batch=N          batch extent of the planned input shape (default 1)
 //   --exact            lint the unmerged (bit-exact) lowering instead of the
 //                      merged one
+//   --expect-fused     fail (exit 1) when any linted lowering carries zero
+//                      fused elementwise ops — the CI guard that the fusion
+//                      pass actually fired on the scenario's architecture
 
 #include <cstdio>
 #include <string>
@@ -43,6 +46,7 @@ void print_help() {
       "  --checkpoint=PATH  lint a trained checkpoint (config's tt_mode only)\n"
       "  --batch=N          planned input batch extent (default 1)\n"
       "  --exact            lint the unmerged bit-exact lowering\n"
+      "  --expect-fused     fail when a lowering has no fused ops\n"
       "  --help             this text\n");
 }
 
@@ -51,6 +55,7 @@ struct LintFlags {
   std::string checkpoint;
   int64_t batch = 1;
   bool exact = false;
+  bool expect_fused = false;
 };
 
 LintFlags parse_flags(const std::vector<std::string>& args) {
@@ -67,6 +72,8 @@ LintFlags parse_flags(const std::vector<std::string>& args) {
       f.batch = std::stoll(value);
     } else if (key == "--exact") {
       f.exact = true;
+    } else if (key == "--expect-fused") {
+      f.expect_fused = true;
     } else {
       TTSNN_CHECK(false, "ttsnn_plan_lint: unknown flag '" << a << "'");
     }
@@ -77,9 +84,10 @@ LintFlags parse_flags(const std::vector<std::string>& args) {
 }
 
 /// Compiles one architecture variant and prints its verified plan + memory
-/// layout. Returns the engine so callers can keep composing if they want.
-void lint_one(const ttsnn::ScenarioConfig& cfg, const LintFlags& flags,
-              int64_t in_channels) {
+/// layout. Returns the lowering's fused-elementwise-op count so main can
+/// enforce --expect-fused.
+int lint_one(const ttsnn::ScenarioConfig& cfg, const LintFlags& flags,
+             int64_t in_channels) {
   ttsnn::Rng rng(cfg.seed);
   ttsnn::ModulePtr net =
       ttsnn::build_scenario_model(cfg, in_channels, rng);
@@ -106,6 +114,25 @@ void lint_one(const ttsnn::ScenarioConfig& cfg, const LintFlags& flags,
   std::printf("plan verified: %zu ops, %d registers\n", engine.num_ops(),
               engine.num_regs());
   std::printf("%s\n", engine.summary(input).c_str());
+
+  int fused = 0;
+  for (const ttsnn::infer::Op& op : engine.ops()) {
+    switch (op.kind) {
+      case ttsnn::infer::Op::Kind::kConvLif:
+      case ttsnn::infer::Op::Kind::kAffineLif:
+      case ttsnn::infer::Op::Kind::kAddLif:
+      case ttsnn::infer::Op::Kind::kAffineAdd:
+        ++fused;
+        break;
+      default:
+        break;
+    }
+  }
+  TTSNN_CHECK(!flags.expect_fused || fused > 0,
+              "ttsnn_plan_lint: --expect-fused, but the "
+                  << cfg.tt_mode << "/" << (flags.exact ? "exact" : "merged")
+                  << " lowering carries no fused elementwise ops");
+  return fused;
 }
 
 }  // namespace
