@@ -15,6 +15,11 @@
 //                 each row reports arena acquisitions per call alongside p50,
 //                 so "one allocation per call" is a tracked number, not a
 //                 comment.
+//   quant/*     — typed weight planes: bf16 dequant tiers, the int8 spike-
+//                 GEMM vs the f32 tiers at 90% sparsity, and the per-mode
+//                 weight footprint with HARD compression gates (int8 < 0.5x
+//                 f32, bf16 <= 0.55x — deterministic byte accounting, so CI
+//                 fails on them directly).
 //   merge/svd   — TT merge contraction, TT-SVD, VBMF rank estimation.
 //   train_epoch — end-to-end epoch with the pre-PR compute path (naive gemm,
 //                 scalar elementwise) vs the current defaults, plus a
@@ -311,6 +316,171 @@ void bench_fused_run(bench::Report& report) {
   }
 }
 
+/// Typed weight-plane kernels. Three row families:
+///   quant/bf16_dequant/*    — bulk bf16->f32 decode, scalar vs AVX2 tier.
+///   quant/gemm_int8/*       — the int8-weight x binary-spike GEMM at 90%
+///                             spike sparsity (u8 conversion included)
+///                             against the f32 simd and sparse tiers on the
+///                             same operands. Speedups are reported, not
+///                             hard-checked — timing gates flake on shared
+///                             CI runners.
+///   quant/weight_bytes/*    — per-mode unique weight footprint of the tiny
+///                             serving models at f32 / bf16 / int8, with the
+///                             HARD compression gates (int8 < 0.5x f32,
+///                             bf16 <= 0.55x) enforced by TTSNN_CHECK: byte
+///                             accounting is deterministic, so these are
+///                             safe to fail the CI bench job on.
+void bench_quant_kernels(bench::Report& report, bool quick) {
+  {
+    const int64_t n = 1 << 16;
+    Rng rng(61);
+    std::vector<uint16_t> src(static_cast<size_t>(n));
+    for (auto& v : src) {
+      v = bf16_from_f32(static_cast<float>(rng.index(2000) - 1000) * 0.01F);
+    }
+    std::vector<float> dst(static_cast<size_t>(n));
+    double scalar_ms = 0.0;
+    for (simd::Level level : {simd::Level::kScalar, simd::Level::kAvx2}) {
+      if (level == simd::Level::kAvx2 &&
+          simd::detected_level() != simd::Level::kAvx2) {
+        continue;
+      }
+      simd::LevelGuard guard(level);
+      const bench::Timing t = bench::time_fn(
+          [&] { simd::dequant_bf16(n, src.data(), dst.data()); }, 0.1);
+      if (level == simd::Level::kScalar) scalar_ms = t.p50_s * 1e3;
+      const std::string name =
+          std::string("quant/bf16_dequant/") + simd::level_name(level);
+      bench::Row& row =
+          report.add(name)
+              .str("level", simd::level_name(level))
+              .num("numel", static_cast<double>(n))
+              .num("ns_per_elem", t.p50_s * 1e9 / static_cast<double>(n))
+              .timing(t);
+      if (scalar_ms > 0.0) {
+        row.num("speedup_vs_scalar", scalar_ms / (t.p50_s * 1e3));
+      }
+      std::printf("  %-44s p50 %7.4f ms\n", name.c_str(), t.p50_s * 1e3);
+    }
+  }
+
+  // Conv-shaped int8 spike-GEMM: out_c x spatial x (in_c*k*k) at density
+  // 0.10 — the PR-3 90%-sparsity operating point. The int8 row times the
+  // whole replacement path (float col -> transposed u8 -> integer GEMM with
+  // per-channel rescale); the f32 rows time the gemm call the plan would
+  // otherwise make on the identical operands.
+  {
+    const int64_t m = 64;
+    const int64_t n = quick ? 256 : 1024;
+    const int64_t k = 288;
+    Rng rng(62);
+    Tensor w = Tensor::randn({m, k}, rng);
+    Tensor col = Tensor::bernoulli({k, n}, rng, 0.1F);
+    Tensor c = Tensor::zeros({m, n});
+    const WeightPlane plane = WeightPlane::int8_from(w);
+    std::vector<uint8_t> su8(static_cast<size_t>(k * n));
+    GemmThreadsGuard threads(1);
+    double f32_simd_ms = 0.0;
+    const struct {
+      const char* tag;
+      std::function<void()> run;
+    } variants[] = {
+        {"f32_simd",
+         [&] {
+           GemmKernelGuard guard(GemmKernel::kSimd);
+           gemm(false, false, m, n, k, 1.0F, w.data(), col.data(), 0.0F,
+                c.data());
+         }},
+        {"f32_sparse",
+         [&] {
+           GemmKernelGuard guard(GemmKernel::kSparse);
+           gemm(false, false, m, n, k, 1.0F, w.data(), col.data(), 0.0F,
+                c.data());
+         }},
+        {"int8",
+         [&] {
+           simd::spikes_to_u8_t(k, n, col.data(), su8.data());
+           simd::gemm_s8_wxs(m, n, k, plane.int8_data(), su8.data(),
+                             plane.scales().data(), c.data());
+         }},
+    };
+    for (const auto& v : variants) {
+      const bench::Timing t = bench::time_fn(v.run, quick ? 0.05 : 0.2);
+      if (std::string(v.tag) == "f32_simd") f32_simd_ms = t.p50_s * 1e3;
+      char name[128];
+      std::snprintf(name, sizeof(name), "quant/gemm_int8/%lldx%lldx%lld/d0.10/%s",
+                    static_cast<long long>(m), static_cast<long long>(n),
+                    static_cast<long long>(k), v.tag);
+      bench::Row& row = report.add(name)
+                            .str("kernel", v.tag)
+                            .num("m", static_cast<double>(m))
+                            .num("n", static_cast<double>(n))
+                            .num("k", static_cast<double>(k))
+                            .num("density", 0.1)
+                            .timing(t);
+      if (f32_simd_ms > 0.0) {
+        row.num("speedup_vs_f32_simd", f32_simd_ms / (t.p50_s * 1e3));
+      }
+      std::printf("  %-44s p50 %7.3f ms\n", name, t.p50_s * 1e3);
+    }
+  }
+
+  // Weight footprint of the tiny serving models per TT mode — the byte gate.
+  // Row names track the configs/tiny_<mode>.cfg serving scenarios.
+  const struct {
+    TTMode mode;
+    const char* tag;
+  } tiny_modes[] = {{TTMode::kSTT, "stt"},
+                    {TTMode::kPTT, "ptt"},
+                    {TTMode::kHTT, "htt"}};
+  for (const auto& tm : tiny_modes) {
+    const TTMode mode = tm.mode;
+    Rng rng(63);
+    ModelConfig cfg;
+    cfg.in_channels = 3;
+    cfg.num_classes = 10;
+    cfg.base_width = 8;
+    cfg.timesteps = 4;
+    ModulePtr net = make_ms_resnet18(cfg, rng);
+    FactorizeOptions fopts;
+    fopts.mode = mode;
+    fopts.htt_schedule = {true, false, true, false};
+    fopts.use_vbmf = false;
+    fopts.rank_fraction = 0.5;
+    factorize_network(*net, fopts, rng);
+    net->set_training(false);
+    const int64_t f32_b =
+        infer::compile(*net).weight_bytes();
+    const int64_t bf16_b =
+        infer::compile(*net, {.weight_dtype = WeightDtype::kBf16})
+            .weight_bytes();
+    const int64_t int8_b =
+        infer::compile(*net, {.weight_dtype = WeightDtype::kInt8})
+            .weight_bytes();
+    const double bf16_ratio =
+        static_cast<double>(bf16_b) / static_cast<double>(f32_b);
+    const double int8_ratio =
+        static_cast<double>(int8_b) / static_cast<double>(f32_b);
+    const std::string name =
+        std::string("quant/weight_bytes/tiny_") + tm.tag;
+    report.add(name)
+        .str("mode", tm.tag)
+        .num("f32_bytes", static_cast<double>(f32_b))
+        .num("bf16_bytes", static_cast<double>(bf16_b))
+        .num("int8_bytes", static_cast<double>(int8_b))
+        .num("bf16_ratio", bf16_ratio)
+        .num("int8_ratio", int8_ratio);
+    std::printf("  %-44s f32 %lld B  bf16 %.3fx  int8 %.3fx\n", name.c_str(),
+                static_cast<long long>(f32_b), bf16_ratio, int8_ratio);
+    TTSNN_CHECK(int8_ratio < 0.5,
+                "quant: int8 weight bytes must be < 0.5x f32 for "
+                    << name << ", got " << int8_ratio);
+    TTSNN_CHECK(bf16_ratio <= 0.55,
+                "quant: bf16 weight bytes must be <= 0.55x f32 for "
+                    << name << ", got " << bf16_ratio);
+  }
+}
+
 void bench_decompositions(bench::Report& report) {
   Rng rng(6);
   Tensor dense = Tensor::randn({64, 64, 3, 3}, rng);
@@ -477,6 +647,8 @@ int main(int argc, char** argv) {
 
   std::printf("== TTConv pipelines ==\n");
   bench_ttconv(report, args.quick);
+  std::printf("== typed weight planes (quant tier) ==\n");
+  bench_quant_kernels(report, args.quick);
   std::printf("== planned inference run (batch 1) ==\n");
   bench_planned_run(report);
   std::printf("== elementwise fusion on/off (batch 1) ==\n");

@@ -30,6 +30,11 @@
 // single-shape flood on the same router, and show a never-seen shape's
 // compile not inflating concurrent warm traffic.
 //
+// With --weight-dtype=bf16|int8, a serving_dtype/* section compares the
+// requested typed-weight-plane engine against the f32 merged plan on the
+// same requests: batch-1 p50/p99 plus the per-dtype unique weight bytes
+// (the compression the quantization pass actually delivered, not a model).
+//
 // Reports requests/s plus p50/p99 end-to-end latency per request.
 
 #include <algorithm>
@@ -108,6 +113,10 @@ struct ServingArgs {
   /// admission sheds must clear under client-side capped exponential
   /// backoff. Every drill proves every future resolves.
   bool fault = false;
+  /// Non-empty: run the serving_dtype/* comparison of the f32 merged plan
+  /// against this weight dtype ("bf16" or "int8"; "f32" compares the plan
+  /// against itself, a sanity baseline).
+  std::string weight_dtype;
 
   static ServingArgs parse(int argc, char** argv) {
     ServingArgs a;
@@ -125,6 +134,8 @@ struct ServingArgs {
               a.mixed_resolutions = true;
             } else if (arg == "--fault") {
               a.fault = true;
+            } else if (arg.rfind("--weight-dtype=", 0) == 0) {
+              a.weight_dtype = arg.substr(15);
             } else {
               return false;
             }
@@ -308,6 +319,46 @@ int main(int argc, char** argv) {
       for (int64_t j = 0; j < kBatch; ++j) lat.push_back(s);
     }
     report(json, "engine/8", summarize(std::move(lat), total.seconds()));
+  }
+
+  // --- serving weight-dtype comparison: typed planes on the merged plan ----
+  // Both engines run the merged lowering (the quantization-friendly one);
+  // only the weight storage differs. Latency rows are informational — the
+  // hard compression gates live in bench_micro_ops (deterministic bytes).
+  if (!args.weight_dtype.empty()) {
+    const WeightDtype dtype = parse_weight_dtype(args.weight_dtype);
+    infer::Engine quant = infer::compile(*net, {.weight_dtype = dtype});
+    std::printf("serving weight-dtype comparison (merged lowering)\n");
+    const struct {
+      const char* tag;
+      const infer::Engine* e;
+    } dtype_variants[] = {{"f32", &merged},
+                          {weight_dtype_name(dtype), &quant}};
+    for (const auto& v : dtype_variants) {
+      std::vector<double> lat;
+      lat.reserve(kRequests);
+      v.e->run(as_batch1(requests[0]));  // warm: program cache + workspace
+      Timer total;
+      for (const Tensor& r : requests) {
+        Timer t;
+        v.e->run(as_batch1(r));
+        lat.push_back(t.seconds());
+      }
+      const LatencyStats s = summarize(std::move(lat), total.seconds());
+      const infer::WeightFootprint& fp = v.e->weight_footprint();
+      report(json, std::string("serving_dtype/") + v.tag, s)
+          .str("weight_dtype", v.tag)
+          .num("weight_bytes", static_cast<double>(fp.total()))
+          .num("weight_f32_bytes", static_cast<double>(fp.f32_bytes))
+          .num("weight_bf16_bytes", static_cast<double>(fp.bf16_bytes))
+          .num("weight_int8_bytes", static_cast<double>(fp.int8_bytes));
+      std::printf("    weights: %lld bytes (f32 %lld, bf16 %lld, "
+                  "int8+scales %lld)\n",
+                  static_cast<long long>(fp.total()),
+                  static_cast<long long>(fp.f32_bytes),
+                  static_cast<long long>(fp.bf16_bytes),
+                  static_cast<long long>(fp.int8_bytes));
+    }
   }
 
   // --- server: concurrent clients, micro-batched under a deadline ----------

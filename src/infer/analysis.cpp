@@ -128,11 +128,52 @@ void check_weight4(const Tensor& w, const Conv2d::Options& o, const Op& op,
                                << ", " << o.kernel_w << "]");
 }
 
+/// Shared sanity for any quantized plane: payload present, per-channel scales
+/// sized to the output-channel dim for int8.
+void check_plane_payload(const WeightPlane& p, const Op& op, size_t index,
+                         const char* what) {
+  TTSNN_CHECK(p.numel() > 0 && p.storage_key() != nullptr,
+              "infer verify: " << op_where(op, index) << ": " << what
+                               << " plane has no payload");
+  if (p.dtype() == WeightDtype::kInt8) {
+    TTSNN_CHECK(p.scales().defined() && p.scales().numel() == p.rows(),
+                "infer verify: " << op_where(op, index) << ": " << what
+                                 << " int8 plane needs one scale per output "
+                                 << "channel (" << p.rows() << "), got "
+                                 << (p.scales().defined() ? p.scales().numel()
+                                                          : 0));
+  }
+}
+
+/// Conv-shaped weight storage: either a plain f32 tensor or a quantized
+/// plane carrying the same [O, C, kh, kw] logical shape — never both.
+void check_conv_weight(const Tensor& w, const WeightPlane& p,
+                       const Conv2d::Options& o, const Op& op, size_t index,
+                       const char* what) {
+  if (!p.quantized()) {
+    check_weight4(w, o, op, index, what);
+    return;
+  }
+  TTSNN_CHECK(!w.defined(), "infer verify: "
+                                << op_where(op, index) << ": " << what
+                                << " has both an f32 tensor and a quantized "
+                                << "plane — the pass must drop the tensor");
+  const Shape& s = p.shape();
+  TTSNN_CHECK(s.size() == 4 && s[0] == o.out_channels && s[1] == o.in_channels &&
+                  s[2] == o.kernel_h && s[3] == o.kernel_w,
+              "infer verify: " << op_where(op, index) << ": " << what
+                               << " plane shape " << shape_str(s)
+                               << " does not match geometry [" << o.out_channels
+                               << ", " << o.in_channels << ", " << o.kernel_h
+                               << ", " << o.kernel_w << "]");
+  check_plane_payload(p, op, index, what);
+}
+
 void check_op_fields(const Op& op, size_t i) {
   switch (op.kind) {
     case Op::Kind::kConv:
     case Op::Kind::kConvLif:
-      check_weight4(op.weight, op.conv, op, i, "conv weight");
+      check_conv_weight(op.weight, op.plane, op.conv, op, i, "conv weight");
       if (op.bias.defined()) {
         TTSNN_CHECK(op.bias.numel() == op.conv.out_channels,
                     "infer verify: " << op_where(op, i) << ": bias has "
@@ -151,9 +192,10 @@ void check_op_fields(const Op& op, size_t i) {
       }
       break;
     case Op::Kind::kTTHtt:
-      check_weight4(op.full_kernel, op.conv, op, i, "merged full-step kernel");
-      check_weight4(op.half_kernel, op.half_conv, op, i,
-                    "merged half-step kernel");
+      check_conv_weight(op.full_kernel, op.plane, op.conv, op, i,
+                        "merged full-step kernel");
+      check_conv_weight(op.half_kernel, op.half_plane, op.half_conv, op, i,
+                        "merged half-step kernel");
       TTSNN_CHECK(op.conv.out_channels == op.half_conv.out_channels,
                   "infer verify: " << op_where(op, i)
                                    << ": full/half kernels disagree on output "
@@ -190,15 +232,25 @@ void check_op_fields(const Op& op, size_t i) {
       break;
     }
     case Op::Kind::kLinear:
-      TTSNN_CHECK(op.weight.defined() && op.weight.dim() == 2 &&
-                      op.weight.size(0) > 0 && op.weight.size(1) > 0,
-                  "infer verify: " << op_where(op, i)
-                                   << " needs a [out, in] weight matrix");
+      if (op.plane.quantized()) {
+        TTSNN_CHECK(!op.weight.defined() && op.plane.shape().size() == 2 &&
+                        op.plane.rows() > 0 && op.plane.cols() > 0,
+                    "infer verify: " << op_where(op, i)
+                                     << " needs a [out, in] weight plane");
+        check_plane_payload(op.plane, op, i, "linear weight");
+      } else {
+        TTSNN_CHECK(op.weight.defined() && op.weight.dim() == 2 &&
+                        op.weight.size(0) > 0 && op.weight.size(1) > 0,
+                    "infer verify: " << op_where(op, i)
+                                     << " needs a [out, in] weight matrix");
+      }
       if (op.bias.defined()) {
-        TTSNN_CHECK(op.bias.numel() == op.weight.size(0),
+        const int64_t out_f =
+            op.plane.quantized() ? op.plane.rows() : op.weight.size(0);
+        TTSNN_CHECK(op.bias.numel() == out_f,
                     "infer verify: " << op_where(op, i) << ": bias has "
                                      << op.bias.numel() << " entries for "
-                                     << op.weight.size(0) << " outputs");
+                                     << out_f << " outputs");
       }
       break;
     case Op::Kind::kAvgPool:
@@ -259,11 +311,29 @@ OpFootprint op_footprint(const Op& op, size_t index, Shape& in, Shape* in2) {
     const ConvGeometry g = make_geometry(h, w, o);
     if (!g.pointwise()) f.col = std::max(f.col, g.col_rows() * g.col_cols());
   };
+  // Quantized-plane scratch of one conv branch, mirroring the executor's
+  // ctx.raw calls in run_conv: bf16 dequantizes the whole kernel into an f32
+  // buffer once per op call; int8 converts each lowered spike tile into a
+  // transposed u8 matrix (bytes packed into the float workspace).
+  auto see_plane = [&f](const WeightPlane& p, const Shape& s,
+                        const Conv2d::Options& o) {
+    if (!p.quantized()) return;
+    if (p.dtype() == WeightDtype::kBf16) {
+      f.scratch += align_up(p.numel());
+      return;
+    }
+    const int64_t h = s[s.size() - 2];
+    const int64_t w = s[s.size() - 1];
+    if (!known(h) || !known(w)) return;
+    const ConvGeometry g = make_geometry(h, w, o);
+    f.scratch += align_up((g.col_rows() * g.col_cols() + 3) / 4);
+  };
 
   switch (op.kind) {
     case Op::Kind::kConv:
       f.out = conv_out_shape(in, op.conv, op, index, "conv");
       see_col(in, op.conv);
+      see_plane(op.plane, in, op.conv);
       break;
 
     case Op::Kind::kTTExact: {
@@ -376,6 +446,7 @@ OpFootprint op_footprint(const Op& op, size_t index, Shape& in, Shape* in2) {
         y_full = conv_out_shape(full_x, op.conv, op, index,
                                 "merged full-step conv");
         see_col(full_x, op.conv);
+        see_plane(op.plane, full_x, op.conv);
         add_temp(y_full);
       }
       if (!known(t) || n_half > 0) {
@@ -383,6 +454,7 @@ OpFootprint op_footprint(const Op& op, size_t index, Shape& in, Shape* in2) {
         y_half = conv_out_shape(half_x, op.half_conv, op, index,
                                 "merged half-step conv");
         see_col(half_x, op.half_conv);
+        see_plane(op.half_plane, half_x, op.half_conv);
         add_temp(y_half);
       }
       if (!y_full.empty() && !y_half.empty()) {
@@ -435,6 +507,7 @@ OpFootprint op_footprint(const Op& op, size_t index, Shape& in, Shape* in2) {
       // Membrane plane over the conv OUTPUT geometry, zeroed once per call.
       const int64_t n = sym_numel(f.out);
       if (known(n) && known(in[0])) f.scratch = align_up(n / in[0]);
+      see_plane(op.plane, in, op.conv);  // adds on top of the membrane
       break;
     }
 
@@ -498,10 +571,29 @@ OpFootprint op_footprint(const Op& op, size_t index, Shape& in, Shape* in2) {
                                                    << "[..., features], got "
                                                    << shape_str(in));
       const size_t li = in.size() - 1;
-      in[li] = unify_dim(in[li], op.weight.size(1), op, index,
-                         "input features");
+      const bool planed = op.plane.quantized();
+      const int64_t in_f = planed ? op.plane.cols() : op.weight.size(1);
+      const int64_t out_f = planed ? op.plane.rows() : op.weight.size(0);
+      in[li] = unify_dim(in[li], in_f, op, index, "input features");
       f.out = in;
-      f.out[li] = op.weight.size(0);
+      f.out[li] = out_f;
+      if (planed) {
+        if (op.plane.dtype() == WeightDtype::kBf16) {
+          f.scratch += align_up(op.plane.numel());
+        } else {
+          // u8 copy of the whole spike matrix [rows, in_f], bytes in floats.
+          int64_t rows = 1;
+          bool rows_known = true;
+          for (size_t d = 0; d < li; ++d) {
+            if (!known(in[d])) {
+              rows_known = false;
+              break;
+            }
+            rows *= in[d];
+          }
+          if (rows_known) f.scratch += align_up((rows * in_f + 3) / 4);
+        }
+      }
       break;
     }
 

@@ -404,17 +404,106 @@ void fuse_elementwise(std::vector<Op>& ops, int& num_regs, int& result_reg) {
   ops = std::move(kept);
 }
 
-/// Bytes of read-only weight storage the plan references, counting each
-/// unique buffer once: Engine copies (Router replicas) and every cached
-/// per-shape program share these tensors by refcount, so this is the
-/// process-wide weight footprint no matter how many shapes are resident.
-int64_t unique_weight_bytes(const std::vector<Op>& ops) {
-  std::set<const float*> seen;
-  int64_t bytes = 0;
+// ---- weight quantization pass ----------------------------------------------
+
+/// True when register `reg` provably holds binary {0,1} spikes: its defining
+/// op is a LIF step (standalone or fused epilogue), possibly viewed through
+/// kFlatten. Register 0 (the raw encoded input) and every arithmetic output
+/// (pools, affines, TT pipelines) are not binary, so int8 consumers of those
+/// registers fall back to f32.
+bool provably_binary(const std::vector<Op>& ops, const std::vector<int>& def_op,
+                     int reg) {
+  while (true) {
+    if (reg <= 0 || reg >= static_cast<int>(def_op.size())) return false;
+    const int d = def_op[static_cast<size_t>(reg)];
+    if (d < 0) return false;
+    const Op& op = ops[static_cast<size_t>(d)];
+    switch (op.kind) {
+      case Op::Kind::kLif:
+      case Op::Kind::kConvLif:
+      case Op::Kind::kAffineLif:
+      case Op::Kind::kAddLif:
+        return true;
+      case Op::Kind::kFlatten:
+        reg = op.in;
+        continue;
+      default:
+        return false;
+    }
+  }
+}
+
+/// Rewrites eligible weight matrices to typed planes per the requested dtype.
+/// Runs after BN folding and elementwise fusion, so the scales are calibrated
+/// on the BN-folded weights (the checkpoint's running stats are already
+/// multiplied in) and the census maps 1:1 onto the final op list. Every op
+/// that keeps f32 records why in quant_note. Biases, BN vectors and the
+/// exact-mode TT cores always stay f32.
+void quantize_weights(std::vector<Op>& ops, int num_regs, WeightDtype dtype) {
+  std::vector<int> def_op(static_cast<size_t>(num_regs), -1);
+  for (size_t i = 0; i < ops.size(); ++i) {
+    def_op[static_cast<size_t>(ops[i].out)] = static_cast<int>(i);
+  }
+  auto encode = [dtype](const Tensor& w) {
+    return dtype == WeightDtype::kInt8 ? WeightPlane::int8_from(w)
+                                       : WeightPlane::bf16_from(w);
+  };
+  for (Op& op : ops) {
+    switch (op.kind) {
+      case Op::Kind::kConv:
+      case Op::Kind::kConvLif:
+      case Op::Kind::kLinear: {
+        if (dtype == WeightDtype::kInt8 && !provably_binary(ops, def_op, op.in)) {
+          op.quant_note = "f32 (input not provably binary spikes)";
+          break;
+        }
+        op.plane = encode(op.weight);
+        op.weight = Tensor();  // the plane owns the only remaining copy
+        op.quant_note = weight_dtype_name(dtype);
+        break;
+      }
+      case Op::Kind::kTTHtt: {
+        if (dtype == WeightDtype::kInt8 && !provably_binary(ops, def_op, op.in)) {
+          op.quant_note = "f32 (input not provably binary spikes)";
+          break;
+        }
+        op.plane = encode(op.full_kernel);
+        op.half_plane = encode(op.half_kernel);
+        op.full_kernel = Tensor();
+        op.half_kernel = Tensor();
+        op.quant_note = weight_dtype_name(dtype);
+        break;
+      }
+      case Op::Kind::kTTExact:
+        op.quant_note = "f32 (exact-mode TT cores stay f32)";
+        break;
+      default:
+        break;  // no weight matrix to quantize
+    }
+  }
+}
+
+/// Bytes of read-only weight storage the plan references, split by dtype and
+/// counting each unique buffer once: Engine copies (Router replicas) and
+/// every cached per-shape program share these tensors and planes by refcount,
+/// so this is the process-wide weight footprint no matter how many shapes are
+/// resident.
+WeightFootprint unique_weight_bytes(const std::vector<Op>& ops) {
+  std::set<const void*> seen;
+  WeightFootprint fp;
   auto add = [&](const Tensor& t) {
     if (!t.defined()) return;
     if (seen.insert(t.data()).second) {
-      bytes += t.numel() * static_cast<int64_t>(sizeof(float));
+      fp.f32_bytes += t.numel() * static_cast<int64_t>(sizeof(float));
+    }
+  };
+  auto add_plane = [&](const WeightPlane& p) {
+    if (!p.quantized()) return;
+    if (!seen.insert(p.storage_key()).second) return;
+    if (p.dtype() == WeightDtype::kBf16) {
+      fp.bf16_bytes += p.payload_bytes();
+    } else {
+      fp.int8_bytes += p.payload_bytes();  // packed data + f32 scales
     }
   };
   for (const Op& op : ops) {
@@ -424,8 +513,10 @@ int64_t unique_weight_bytes(const std::vector<Op>& ops) {
           &op.bn_mean, &op.bn_inv_std, &op.bn_step_scale}) {
       add(*t);
     }
+    add_plane(op.plane);
+    add_plane(op.half_plane);
   }
-  return bytes;
+  return fp;
 }
 
 }  // namespace
@@ -435,12 +526,15 @@ Engine compile(const Module& root, const CompileOptions& opts) {
   int result = lower(root, 0, b);
   TTSNN_CHECK(!b.ops.empty(), "infer::compile: module tree lowered to no ops");
   if (opts.fuse_elementwise) fuse_elementwise(b.ops, b.num_regs, result);
+  if (opts.weight_dtype != WeightDtype::kF32) {
+    quantize_weights(b.ops, b.num_regs, opts.weight_dtype);
+  }
   Engine e;
   e.opts_ = opts;
   e.ops_ = std::move(b.ops);
   e.num_regs_ = b.num_regs;
   e.result_reg_ = result;
-  e.weight_bytes_ = unique_weight_bytes(e.ops_);
+  e.weight_footprint_ = unique_weight_bytes(e.ops_);
   e.seal();
   return e;
 }

@@ -42,11 +42,13 @@ struct ExecCtx {
   ~ExecCtx() = default;
 };
 
-/// Reference executor memory: a fresh tensor per output/temp, grow-only
-/// buffers for col and raw scratch — exactly the pre-planner behavior.
+/// Reference executor memory: a fresh tensor per output/temp, a grow-only
+/// buffer for the column matrix, and one live allocation per raw() call —
+/// an op may hold several raw regions at once (LIF membrane plus a bf16
+/// dequant buffer), so they must never alias or move under each other.
 struct LegacyCtx final : ExecCtx {
   std::vector<float> col_buf;
-  std::vector<float> raw_buf;
+  std::vector<std::vector<float>> raw_bufs;
 
   Tensor out(const Shape& s) override { return Tensor::empty(s); }
   Tensor temp(const Shape& s) override { return Tensor::empty(s); }
@@ -57,11 +59,12 @@ struct LegacyCtx final : ExecCtx {
     return col_buf.data();
   }
   float* raw(int64_t elems) override {
-    if (static_cast<int64_t>(raw_buf.size()) < elems) {
-      raw_buf.resize(static_cast<size_t>(elems));
-    }
-    return raw_buf.data();
+    raw_bufs.emplace_back(static_cast<size_t>(elems));
+    return raw_bufs.back().data();
   }
+  /// Drops this op's raw scratch between ops, keeping the reference path's
+  /// peak at the widest single op rather than the whole plan.
+  void end_op() { raw_bufs.clear(); }
 };
 
 /// Planned executor memory for ONE op: the output is a pre-computed
@@ -112,8 +115,13 @@ struct PlannedCtx final : ExecCtx {
 /// Dense convolution over a folded-batch NCHW tensor. Mirrors
 /// conv2d_forward() exactly (same im2col lowering, same gemm calls in the
 /// same order) so outputs are bit-identical to the Module path; the only
-/// difference is where the column matrix and the output live.
-Tensor run_conv(const Tensor& x, const Tensor& weight,
+/// difference is where the column matrix and the output live. With a
+/// quantized `plane` the weight matrix instead comes from typed storage:
+/// bf16 dequantizes into scratch once per call and runs the identical f32
+/// gemm; int8 converts each lowered spike tile to transposed u8 and runs the
+/// integer spike-GEMM with per-channel rescale. The bias epilogue is shared
+/// by all three paths.
+Tensor run_conv(const Tensor& x, const Tensor& weight, const WeightPlane& plane,
                 const Conv2d::Options& opts, const Tensor& bias, ExecCtx& ctx,
                 bool is_out) {
   TTSNN_CHECK(x.dim() >= 3, "infer conv: input must be at least [C, H, W]");
@@ -147,6 +155,21 @@ Tensor run_conv(const Tensor& x, const Tensor& weight,
   // gemm call is argument-for-argument identical, keeping bit-identity.
   const bool pointwise = g.pointwise();
   float* col = pointwise ? nullptr : ctx.col(g.col_rows() * g.col_cols());
+  // Typed-plane weight resolution (scratch terms mirrored by see_plane in
+  // analysis.cpp). The f32 path reads the tensor in place — its gemm call is
+  // argument-for-argument the historical one.
+  const float* wf = nullptr;
+  uint8_t* su8 = nullptr;
+  if (!plane.quantized()) {
+    wf = weight.data();
+  } else if (plane.dtype() == WeightDtype::kBf16) {
+    float* wbuf = ctx.raw(plane.numel());
+    simd::dequant_bf16(plane.numel(), plane.bf16_data(), wbuf);
+    wf = wbuf;
+  } else {
+    su8 = reinterpret_cast<uint8_t*>(
+        ctx.raw((g.col_rows() * g.col_cols() + 3) / 4));
+  }
   const int64_t in_stride = opts.in_channels * g.in_h * g.in_w;
   const int64_t out_stride = opts.out_channels * oh * ow;
   for (int64_t b = 0; b < batch; ++b) {
@@ -157,8 +180,15 @@ Tensor run_conv(const Tensor& x, const Tensor& weight,
       im2col(x.data() + b * in_stride, g, col);
       lowered = col;
     }
-    gemm(false, false, opts.out_channels, g.col_cols(), g.col_rows(), 1.0F,
-         weight.data(), lowered, 0.0F, out.data() + b * out_stride);
+    if (su8 != nullptr) {
+      simd::spikes_to_u8_t(g.col_rows(), g.col_cols(), lowered, su8);
+      simd::gemm_s8_wxs(opts.out_channels, g.col_cols(), g.col_rows(),
+                        plane.int8_data(), su8, plane.scales().data(),
+                        out.data() + b * out_stride);
+    } else {
+      gemm(false, false, opts.out_channels, g.col_cols(), g.col_rows(), 1.0F,
+           wf, lowered, 0.0F, out.data() + b * out_stride);
+    }
   }
   if (bias.defined()) {
     const float* bb = bias.data();
@@ -214,18 +244,19 @@ Tensor gather_steps_ctx(const Tensor& x, const std::vector<int64_t>& idx,
 /// into separate buffers before the same add, so the bits agree).
 Tensor run_tt_exact(const Op& op, const Tensor& x, ExecCtx& ctx) {
   const Tensor none;
-  Tensor o1 = run_conv(x, op.w1, op.tt_w1_opts, none, ctx, false);
+  const WeightPlane f32;  // exact-mode TT cores always stay f32
+  Tensor o1 = run_conv(x, op.w1, f32, op.tt_w1_opts, none, ctx, false);
   auto ptt_path = [&](const Tensor& in, bool is_out) {
-    Tensor a = run_conv(in, op.w2, op.tt_w2_opts, none, ctx, false);
-    Tensor b = run_conv(in, op.w3, op.tt_w3_opts, none, ctx, false);
+    Tensor a = run_conv(in, op.w2, f32, op.tt_w2_opts, none, ctx, false);
+    Tensor b = run_conv(in, op.w3, f32, op.tt_w3_opts, none, ctx, false);
     a.add_(b);  // in place: a is this call's own conv output
-    return run_conv(a, op.w4, op.tt_w4_opts, none, ctx, is_out);
+    return run_conv(a, op.w4, f32, op.tt_w4_opts, none, ctx, is_out);
   };
   switch (op.tt.mode) {
     case TTMode::kSTT: {
-      Tensor z2 = run_conv(o1, op.w2, op.tt_w2_opts, none, ctx, false);
-      Tensor z3 = run_conv(z2, op.w3, op.tt_w3_opts, none, ctx, false);
-      return run_conv(z3, op.w4, op.tt_w4_opts, none, ctx, true);
+      Tensor z2 = run_conv(o1, op.w2, f32, op.tt_w2_opts, none, ctx, false);
+      Tensor z3 = run_conv(z2, op.w3, f32, op.tt_w3_opts, none, ctx, false);
+      return run_conv(z3, op.w4, f32, op.tt_w4_opts, none, ctx, true);
     }
     case TTMode::kPTT:
       return ptt_path(o1, true);
@@ -237,7 +268,8 @@ Tensor run_tt_exact(const Op& op, const Tensor& x, ExecCtx& ctx) {
       Tensor y_full, y_half;
       if (full_x.defined()) y_full = ptt_path(full_x, false);
       if (half_x.defined()) {
-        y_half = run_conv(half_x, op.w4, op.tt_w4_half_opts, none, ctx, false);
+        y_half =
+            run_conv(half_x, op.w4, f32, op.tt_w4_half_opts, none, ctx, false);
       }
       TTSNN_CHECK(y_full.defined() || y_half.defined(),
                   "infer HTT: empty schedule");
@@ -263,11 +295,12 @@ Tensor run_tt_htt_merged(const Op& op, const Tensor& x, ExecCtx& ctx) {
   Tensor half_x = gather_steps_ctx(x, *split.half, ctx);
   Tensor y_full, y_half;
   if (full_x.defined()) {
-    y_full = run_conv(full_x, op.full_kernel, op.conv, op.bias, ctx, false);
+    y_full = run_conv(full_x, op.full_kernel, op.plane, op.conv, op.bias, ctx,
+                      false);
   }
   if (half_x.defined()) {
-    y_half = run_conv(half_x, op.half_kernel, op.half_conv, op.bias, ctx,
-                      false);
+    y_half = run_conv(half_x, op.half_kernel, op.half_plane, op.half_conv,
+                      op.bias, ctx, false);
   }
   TTSNN_CHECK(y_full.defined() || y_half.defined(), "infer HTT: empty schedule");
   Shape out_shape = (y_full.defined() ? y_full : y_half).shape();
@@ -386,18 +419,36 @@ Tensor run_global_pool(const Tensor& x, ExecCtx& ctx) {
   return out;
 }
 
-/// Dense head; mirrors Linear::forward (weight [out, in]).
+/// Dense head; mirrors Linear::forward (weight [out, in]). Quantized planes
+/// follow the run_conv pattern: bf16 dequantizes into scratch then runs the
+/// identical f32 gemm; int8 converts the spike rows to u8 and runs the
+/// integer GEMM in its linear (trans_b) orientation.
 Tensor run_linear(const Op& op, const Tensor& x, ExecCtx& ctx) {
-  const int64_t out_f = op.weight.size(0);
-  const int64_t in_f = op.weight.size(1);
+  const bool planed = op.plane.quantized();
+  const int64_t out_f = planed ? op.plane.rows() : op.weight.size(0);
+  const int64_t in_f = planed ? op.plane.cols() : op.weight.size(1);
   TTSNN_CHECK(x.size(-1) == in_f, "infer linear expected last dim "
                                       << in_f << ", got " << shape_str(x.shape()));
   const int64_t b = x.numel() / in_f;
   Shape out_shape = x.shape();
   out_shape[out_shape.size() - 1] = out_f;
   Tensor out = ctx.out(out_shape);  // gemm beta=0 writes every element
-  gemm(false, true, b, out_f, in_f, 1.0F, x.data(), op.weight.data(), 0.0F,
-       out.data());
+  if (planed && op.plane.dtype() == WeightDtype::kInt8) {
+    uint8_t* su8 = reinterpret_cast<uint8_t*>(ctx.raw((b * in_f + 3) / 4));
+    simd::spikes_to_u8(b * in_f, x.data(), su8);
+    simd::gemm_s8_sxw(b, out_f, in_f, su8, op.plane.int8_data(),
+                      op.plane.scales().data(), out.data());
+  } else {
+    const float* wf;
+    if (planed) {  // bf16: dequant once, then the identical f32 gemm
+      float* wbuf = ctx.raw(op.plane.numel());
+      simd::dequant_bf16(op.plane.numel(), op.plane.bf16_data(), wbuf);
+      wf = wbuf;
+    } else {
+      wf = op.weight.data();
+    }
+    gemm(false, true, b, out_f, in_f, 1.0F, x.data(), wf, 0.0F, out.data());
+  }
   if (op.bias.defined()) {
     float* p = out.data();
     const float* bb = op.bias.data();
@@ -460,6 +511,20 @@ Tensor run_conv_lif(const Op& op, const Tensor& x, ExecCtx& ctx) {
   const int64_t out_stride = opts.out_channels * oh * ow;
   float* u_post = ctx.raw(n * out_stride);
   std::fill(u_post, u_post + n * out_stride, 0.0F);
+  // Typed-plane resolution after the membrane buffer, matching the scratch
+  // term order of op_footprint's kConvLif case.
+  const float* wf = nullptr;
+  uint8_t* su8 = nullptr;
+  if (!op.plane.quantized()) {
+    wf = op.weight.data();
+  } else if (op.plane.dtype() == WeightDtype::kBf16) {
+    float* wbuf = ctx.raw(op.plane.numel());
+    simd::dequant_bf16(op.plane.numel(), op.plane.bf16_data(), wbuf);
+    wf = wbuf;
+  } else {
+    su8 = reinterpret_cast<uint8_t*>(
+        ctx.raw((g.col_rows() * g.col_cols() + 3) / 4));
+  }
   const int64_t hw = oh * ow;
   const float tau = op.lif.tau;
   const float v_th = op.lif.v_th;
@@ -473,8 +538,15 @@ Tensor run_conv_lif(const Op& op, const Tensor& x, ExecCtx& ctx) {
       lowered = col;
     }
     float* tile = out.data() + b * out_stride;
-    gemm(false, false, opts.out_channels, g.col_cols(), g.col_rows(), 1.0F,
-         op.weight.data(), lowered, 0.0F, tile);
+    if (su8 != nullptr) {
+      simd::spikes_to_u8_t(g.col_rows(), g.col_cols(), lowered, su8);
+      simd::gemm_s8_wxs(opts.out_channels, g.col_cols(), g.col_rows(),
+                        op.plane.int8_data(), su8, op.plane.scales().data(),
+                        tile);
+    } else {
+      gemm(false, false, opts.out_channels, g.col_cols(), g.col_rows(), 1.0F,
+           wf, lowered, 0.0F, tile);
+    }
     float* u = u_post + (b % n) * out_stride;
     if (op.bias.defined()) {
       // Per channel plane, so the scalar bias folds into the membrane input
@@ -611,7 +683,7 @@ Tensor run_affine_add(const Op& op, const Tensor& x, const Tensor& x2,
 Tensor exec_op(const Op& op, const Tensor& x, const Tensor& x2, ExecCtx& ctx) {
   switch (op.kind) {
     case Op::Kind::kConv:
-      return run_conv(x, op.weight, op.conv, op.bias, ctx, true);
+      return run_conv(x, op.weight, op.plane, op.conv, op.bias, ctx, true);
     case Op::Kind::kTTExact:
       return run_tt_exact(op, x, ctx);
     case Op::Kind::kTTHtt:
@@ -731,6 +803,7 @@ Tensor Engine::run_legacy(const Tensor& x) const {
     const Tensor& b = op.in2 >= 0 ? regs[static_cast<size_t>(op.in2)] : kNone;
     TTSNN_CHECK(a.defined(), "infer: op " << i << " reads an undefined register");
     Tensor y = exec_op(op, a, b, ctx);
+    ctx.end_op();
     // Eagerly release registers whose last reader just ran, so peak memory is
     // the widest live set (e.g. a residual input), not the whole history.
     for (int r : {op.in, op.in2}) {
@@ -869,6 +942,31 @@ std::string Engine::summary() const {
     oss << ")";
   }
   oss << "\n";
+  // Quantization census: which weight-bearing ops the pass lowered to the
+  // requested dtype and which fell back (and why). Only printed for plans
+  // actually compiled with a narrow dtype — f32 plans keep today's summary.
+  if (opts_.weight_dtype != WeightDtype::kF32) {
+    int quantized = 0;
+    int fell_back = 0;
+    for (const Op& op : ops_) {
+      if (op.quant_note.empty()) continue;
+      if (op.plane.quantized()) {
+        ++quantized;
+      } else {
+        ++fell_back;
+      }
+    }
+    oss << "weight dtype: " << weight_dtype_name(opts_.weight_dtype) << " — "
+        << quantized << " op(s) quantized, " << fell_back
+        << " kept f32\nquantization census:\n";
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      const Op& op = ops_[i];
+      if (op.quant_note.empty()) continue;
+      oss << "  " << i << ": " << op_kind_name(op.kind);
+      if (!op.label.empty()) oss << " " << op.label;
+      oss << " -> " << op.quant_note << "\n";
+    }
+  }
   if (programs_) {
     const ProgramCacheStats s = programs_->stats();
     oss << "plan cache: " << s.entries << " shape(s), " << s.bytes << " / ";
@@ -879,8 +977,11 @@ std::string Engine::summary() const {
     }
     oss << " bytes, " << s.hits << " hits, " << s.misses << " misses, "
         << s.evictions << " evictions\n";
-    oss << "weights: " << weight_bytes_
-        << " bytes, shared across all cached shapes and engine copies\n";
+    oss << "weights: " << weight_footprint_.total() << " bytes (f32 "
+        << weight_footprint_.f32_bytes << ", bf16 "
+        << weight_footprint_.bf16_bytes << ", int8+scales "
+        << weight_footprint_.int8_bytes
+        << "), shared across all cached shapes and engine copies\n";
   }
   return oss.str();
 }

@@ -39,6 +39,7 @@
 #include "nn/batchnorm.h"
 #include "nn/conv2d.h"
 #include "nn/lif.h"
+#include "tensor/weight_plane.h"
 
 namespace ttsnn::infer {
 
@@ -72,6 +73,16 @@ struct CompileOptions {
   /// intermediate has exactly one consumer. Outputs are bit-identical with
   /// fusion on or off; off keeps the one-op-per-module reference lowering.
   bool fuse_elementwise = true;
+  /// Storage dtype requested for conv/linear weight matrices (including the
+  /// PR-9 fused conv+LIF ops and merged HTT kernel pairs). kF32 — the default
+  /// — is a complete no-op and stays bit-identical to today's engine. kBf16
+  /// re-encodes every eligible weight with the round-to-nearest-even codec
+  /// (dequantized into plan scratch before the unchanged f32 GEMM). kInt8
+  /// additionally requires the op's input to be provably binary spikes (a LIF
+  /// output, possibly through kFlatten) and runs the integer spike-GEMM
+  /// kernels with one float rescale per output channel. Ineligible weights
+  /// fall back to f32 bit-identically; biases and BN tensors always stay f32.
+  WeightDtype weight_dtype = WeightDtype::kF32;
 };
 
 /// One instruction of the flat plan. Ops read register `in` (and `in2` for
@@ -133,12 +144,32 @@ struct Op {
   /// axpy order (first + 1*second) is preserved so the bits match unfused.
   bool fused_swap = false;
 
+  // Typed weight planes (compile.cpp's quantization pass; weight_dtype !=
+  // kF32 only). When `plane` is quantized it REPLACES the f32 tensor it was
+  // encoded from (`weight` for kConv/kConvLif/kLinear, `full_kernel` for
+  // kTTHtt — whose pointwise kernel moves to `half_plane`); the f32 tensor is
+  // dropped so the plan's weight bytes actually shrink. Ops the pass skips
+  // keep their f32 tensors and record why in `quant_note`.
+  WeightPlane plane;
+  WeightPlane half_plane;
+  std::string quant_note;  ///< census entry: dtype name or fallback reason
+
   std::string label;  ///< human-readable op description for summary()
 };
 
 /// Short lowercase mnemonic for an op kind ("conv", "htt", ...), shared by
 /// Engine::summary() and every analysis diagnostic.
 const char* op_kind_name(Op::Kind kind);
+
+/// Unique read-only weight storage of one plan, split by storage dtype.
+/// Each shared buffer is counted once (PR-7 semantics): Engine copies,
+/// Router replicas and all cached programs reference this same storage.
+struct WeightFootprint {
+  int64_t f32_bytes = 0;   ///< float tensors (incl. biases and BN vectors)
+  int64_t bf16_bytes = 0;  ///< bf16 plane payloads
+  int64_t int8_bytes = 0;  ///< int8 plane payloads + per-channel f32 scales
+  int64_t total() const { return f32_bytes + bf16_bytes + int8_bytes; }
+};
 
 /// Immutable compiled plan. Copyable (ops share read-only weight storage,
 /// copies share the analysis and the per-shape plan cache); run() is const
@@ -189,7 +220,11 @@ class Engine {
   /// Bytes of read-only weight storage the plan references, counting each
   /// shared buffer once. Engine copies and all cached programs reference
   /// this same storage — it is never duplicated per shape or per replica.
-  int64_t weight_bytes() const { return weight_bytes_; }
+  int64_t weight_bytes() const { return weight_footprint_.total(); }
+
+  /// weight_bytes() split by storage dtype (f32 / bf16 / int8+scales), for
+  /// mixed-dtype fleet inspection (summary(), RouterStats, benches).
+  const WeightFootprint& weight_footprint() const { return weight_footprint_; }
 
   /// One line per op: kind, label, register dataflow, live range and
   /// alias/in-place flags from the analysis — plus the program-cache
@@ -209,7 +244,7 @@ class Engine {
   int num_regs_ = 1;               ///< register 0 is the input
   int result_reg_ = 0;             ///< register holding the network output
   std::vector<int> last_use_;      ///< per register: index of last reading op
-  int64_t weight_bytes_ = 0;       ///< unique read-only weight storage bytes
+  WeightFootprint weight_footprint_;  ///< unique weight bytes, per dtype
   CompileOptions opts_;
   std::shared_ptr<const PlanAnalysis> analysis_;  ///< set by seal()
   std::shared_ptr<ProgramCache> programs_;        ///< shared across copies

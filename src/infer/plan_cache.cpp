@@ -85,6 +85,12 @@ CompiledProgram compile_program(const std::vector<Op>& ops,
     }
     p.exec.push_back(std::move(e));
   }
+  for (const Op& op : ops) {  // dtype tag: first quantized plane wins
+    if (op.plane.quantized()) {
+      p.weight_dtype = op.plane.dtype();
+      break;
+    }
+  }
   p.bytes = program_bytes(p);
   return p;
 }

@@ -72,6 +72,11 @@ struct CompiledProgram {
   std::shared_ptr<const MemoryPlan> layout;     ///< packed workspace layout
   std::vector<OpExec> exec;                     ///< parallel to the op list
   int64_t bytes = 0;  ///< metadata footprint, the LRU accounting unit
+  /// Storage dtype of the plan's quantized weight planes (kF32 when it holds
+  /// none): a serving-side tag so mixed-dtype fleets can label cached
+  /// programs without walking the op list. Weights themselves stay out of
+  /// the cache entries regardless of dtype.
+  WeightDtype weight_dtype = WeightDtype::kF32;
 };
 
 /// Residency and traffic counters of one ProgramCache.

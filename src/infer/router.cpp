@@ -319,6 +319,13 @@ RouterStats Router::stats() const {
   s.cache_evictions = cache.evictions;
   s.cache_shapes = cache.entries;
   s.cache_bytes = cache.bytes;
+  // Weight storage is likewise shared by every replica: per-dtype unique
+  // bytes from shard 0's engine, labeled with the compiled weight dtype.
+  const WeightFootprint& wf = shards_[0]->engine.weight_footprint();
+  s.weight_dtype = weight_dtype_name(shards_[0]->engine.options().weight_dtype);
+  s.weight_f32_bytes = wf.f32_bytes;
+  s.weight_bf16_bytes = wf.bf16_bytes;
+  s.weight_int8_bytes = wf.int8_bytes;
   return s;
 }
 

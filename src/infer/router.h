@@ -173,6 +173,13 @@ struct RouterStats {
   int64_t cache_shapes = 0;     ///< input signatures currently resident
   int64_t cache_bytes = 0;      ///< plan metadata bytes resident
 
+  // Weight storage of the served plan (unique bytes, shared by every
+  // replica), split by dtype so mixed f32/bf16/int8 fleets are inspectable.
+  const char* weight_dtype = "f32";  ///< CompileOptions::weight_dtype name
+  int64_t weight_f32_bytes = 0;
+  int64_t weight_bf16_bytes = 0;
+  int64_t weight_int8_bytes = 0;  ///< packed int8 payloads + f32 scales
+
   std::vector<int64_t> shard_requests;  ///< per-shard accepted samples
   std::vector<int64_t> shard_batches;   ///< per-shard Engine::run calls
   std::vector<int64_t> shard_steals;    ///< per-shard batches stolen BY it

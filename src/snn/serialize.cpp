@@ -1,5 +1,6 @@
 #include "snn/serialize.h"
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -138,7 +139,23 @@ void load_parameters(Module& root, const std::string& path) {
   TTSNN_CHECK(buf_count == buffers.size(),
               "checkpoint has " << buf_count << " buffers, model has "
                                 << buffers.size());
-  for (BufferRef& b : buffers) read_tensor(in, b.name, *b.value);
+  for (BufferRef& b : buffers) {
+    read_tensor(in, b.name, *b.value);
+    // BN running statistics feed inference-time folding (1/sqrt(var+eps))
+    // and int8 scale calibration; a NaN/Inf running variance would poison
+    // every folded weight silently. Reject it at load with the buffer named,
+    // not downstream as mystery-NaN activations.
+    if (b.name.size() >= 11 &&
+        b.name.compare(b.name.size() - 11, 11, "running_var") == 0) {
+      const float* v = b.value->data();
+      for (int64_t i = 0; i < b.value->numel(); ++i) {
+        TTSNN_CHECK(std::isfinite(v[i]),
+                    "checkpoint corrupt: non-finite BatchNorm running "
+                    "variance in '"
+                        << b.name << "' at index " << i);
+      }
+    }
+  }
 }
 
 }  // namespace ttsnn

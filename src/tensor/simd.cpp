@@ -295,4 +295,64 @@ void gemm_nt_rows_avx2(int64_t m0, int64_t m1, int64_t n, int64_t k,
   avx2::gemm_nt_rows(m0, m1, n, k, alpha, a, b, c);
 }
 
+// ---- typed weight-plane kernels --------------------------------------------
+// Integer accumulation is exact, so unlike the float kernels above these need
+// no ordering discipline: scalar and AVX2 tiers agree bitwise automatically.
+
+void dequant_bf16(int64_t n, const uint16_t* src, float* dst) {
+  if (use_avx2()) return avx2::dequant_bf16(n, src, dst);
+  for (int64_t i = 0; i < n; ++i) {
+    const uint32_t wide = static_cast<uint32_t>(src[i]) << 16U;
+    std::memcpy(&dst[i], &wide, sizeof(float));
+  }
+}
+
+void spikes_to_u8(int64_t n, const float* src, uint8_t* dst) {
+  for (int64_t i = 0; i < n; ++i) dst[i] = src[i] != 0.0F ? 1 : 0;
+}
+
+void spikes_to_u8_t(int64_t k, int64_t n, const float* src, uint8_t* dst) {
+  for (int64_t p = 0; p < k; ++p) {
+    const float* row = src + p * n;
+    for (int64_t j = 0; j < n; ++j) dst[j * k + p] = row[j] != 0.0F ? 1 : 0;
+  }
+}
+
+namespace {
+
+/// Exact int32 dot of an s8 row against a u8 spike row.
+inline int32_t dot_s8u8(int64_t k, const int8_t* w, const uint8_t* s) {
+  int32_t acc = 0;
+  for (int64_t p = 0; p < k; ++p) {
+    acc += static_cast<int32_t>(w[p]) * static_cast<int32_t>(s[p]);
+  }
+  return acc;
+}
+
+}  // namespace
+
+void gemm_s8_wxs(int64_t m, int64_t n, int64_t k, const int8_t* w,
+                 const uint8_t* s, const float* scale, float* c) {
+  if (use_avx2()) return avx2::gemm_s8_wxs(m, n, k, w, s, scale, c);
+  for (int64_t o = 0; o < m; ++o) {
+    const int8_t* wo = w + o * k;
+    const float sc = scale[o];
+    for (int64_t j = 0; j < n; ++j) {
+      c[o * n + j] = sc * static_cast<float>(dot_s8u8(k, wo, s + j * k));
+    }
+  }
+}
+
+void gemm_s8_sxw(int64_t m, int64_t n, int64_t k, const uint8_t* s,
+                 const int8_t* w, const float* scale, float* c) {
+  if (use_avx2()) return avx2::gemm_s8_sxw(m, n, k, s, w, scale, c);
+  for (int64_t i = 0; i < m; ++i) {
+    const uint8_t* si = s + i * k;
+    for (int64_t j = 0; j < n; ++j) {
+      c[i * n + j] =
+          scale[j] * static_cast<float>(dot_s8u8(k, w + j * k, si));
+    }
+  }
+}
+
 }  // namespace ttsnn::simd

@@ -148,4 +148,38 @@ void gemm_tn_rows_avx2(int64_t m0, int64_t m1, int64_t n, int64_t k,
 void gemm_nt_rows_avx2(int64_t m0, int64_t m1, int64_t n, int64_t k,
                        float alpha, const float* a, const float* b, float* c);
 
+// ---- typed weight-plane kernels (tensor/weight_plane.h) --------------------
+// The quantized serving path. Unlike the float kernels above, the int8 GEMMs
+// need no ordering discipline for bit-identity: the accumulation is exact
+// int32 arithmetic (spikes are {0,1} u8, weights s8, k * 127 < 2^31), so any
+// summation order gives the same integer, and the single per-output-channel
+// rescale is one float multiply. Scalar and AVX2 tiers are therefore bitwise
+// identical by construction.
+
+/// dst[i] = f32 whose bit pattern is src[i] << 16 — exact bf16 expansion,
+/// including NaN and denormals. Pure bit movement, identical on both tiers.
+void dequant_bf16(int64_t n, const uint16_t* src, float* dst);
+
+/// Binary {0,1} float spikes -> u8, same order. Exact boolean conversion
+/// (s != 0), tier-independent; scalar on both tiers.
+void spikes_to_u8(int64_t n, const float* src, uint8_t* dst);
+
+/// Binary spike matrix [k, n] in im2col layout -> transposed u8 [n, k], so
+/// the int8 dot products read both operands contiguously along k. Scalar on
+/// both tiers (boolean conversion, exact).
+void spikes_to_u8_t(int64_t k, int64_t n, const float* src, uint8_t* dst);
+
+/// Int8-weight x binary-spike GEMM, conv orientation: w is [m, k] s8 rows
+/// (one output channel per row), s is [n, k] u8 spike columns, and
+/// c[o * n + j] = scale[o] * dot_int32(w_o, s_j). Widening accumulate into
+/// int32, one float rescale per output value.
+void gemm_s8_wxs(int64_t m, int64_t n, int64_t k, const int8_t* w,
+                 const uint8_t* s, const float* scale, float* c);
+
+/// Linear orientation: s is [m, k] u8 spike rows, w is [n, k] s8 rows (one
+/// output feature per row), c[i * n + j] = scale[j] * dot_int32(s_i, w_j) —
+/// the integer analogue of gemm(trans_b=true).
+void gemm_s8_sxw(int64_t m, int64_t n, int64_t k, const uint8_t* s,
+                 const int8_t* w, const float* scale, float* c);
+
 }  // namespace ttsnn::simd

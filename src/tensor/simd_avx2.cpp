@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #if defined(__AVX2__)
 
@@ -556,6 +557,75 @@ void gemm_tn_rows(int64_t m0, int64_t m1, int64_t n, int64_t k, int64_t lda,
   }
 }
 
+// ---- typed weight-plane kernels --------------------------------------------
+
+void dequant_bf16(int64_t n, const uint16_t* src, float* dst) {
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i half =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m256i wide = _mm256_slli_epi32(_mm256_cvtepu16_epi32(half), 16);
+    _mm256_storeu_ps(dst + i, _mm256_castsi256_ps(wide));
+  }
+  for (; i < n; ++i) {  // tail: same bit expansion, one lane at a time
+    const uint32_t wide = static_cast<uint32_t>(src[i]) << 16U;
+    std::memcpy(&dst[i], &wide, sizeof(float));
+  }
+}
+
+namespace {
+
+/// Exact int32 dot of an s8 row against a u8 spike row, 32 bytes per step.
+/// maddubs pairs u8*s8 into s16 sums: spikes are {0,1}, so each pair sum is
+/// in [-254, 254] — far from s16 saturation — and madd widens to exact s32.
+/// Integer addition is associative, so this matches the scalar loop bitwise.
+inline int32_t dot_s8u8(int64_t k, const int8_t* w, const uint8_t* s) {
+  __m256i acc = _mm256_setzero_si256();
+  const __m256i ones = _mm256_set1_epi16(1);
+  int64_t p = 0;
+  for (; p + 32 <= k; p += 32) {
+    const __m256i sv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + p));
+    const __m256i wv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + p));
+    const __m256i pairs = _mm256_maddubs_epi16(sv, wv);
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(pairs, ones));
+  }
+  __m128i lanes = _mm_add_epi32(_mm256_castsi256_si128(acc),
+                                _mm256_extracti128_si256(acc, 1));
+  lanes = _mm_add_epi32(lanes, _mm_shuffle_epi32(lanes, _MM_SHUFFLE(1, 0, 3, 2)));
+  lanes = _mm_add_epi32(lanes, _mm_shuffle_epi32(lanes, _MM_SHUFFLE(2, 3, 0, 1)));
+  int32_t sum = _mm_cvtsi128_si32(lanes);
+  for (; p < k; ++p) {  // tail lanes, scalar
+    sum += static_cast<int32_t>(w[p]) * static_cast<int32_t>(s[p]);
+  }
+  return sum;
+}
+
+}  // namespace
+
+void gemm_s8_wxs(int64_t m, int64_t n, int64_t k, const int8_t* w,
+                 const uint8_t* s, const float* scale, float* c) {
+  for (int64_t o = 0; o < m; ++o) {
+    const int8_t* wo = w + o * k;
+    const float sc = scale[o];
+    for (int64_t j = 0; j < n; ++j) {
+      c[o * n + j] = sc * static_cast<float>(dot_s8u8(k, wo, s + j * k));
+    }
+  }
+}
+
+void gemm_s8_sxw(int64_t m, int64_t n, int64_t k, const uint8_t* s,
+                 const int8_t* w, const float* scale, float* c) {
+  for (int64_t i = 0; i < m; ++i) {
+    const uint8_t* si = s + i * k;
+    for (int64_t j = 0; j < n; ++j) {
+      c[i * n + j] =
+          scale[j] * static_cast<float>(dot_s8u8(k, w + j * k, si));
+    }
+  }
+}
+
 }  // namespace ttsnn::simd::avx2
 
 #else  // !defined(__AVX2__): non-x86 toolchain — stubs that are never called.
@@ -592,6 +662,11 @@ void gemm_tn_rows(int64_t, int64_t, int64_t, int64_t, int64_t, int64_t, float,
                   const float*, const float*, float*) {}
 void gemm_nt_rows(int64_t, int64_t, int64_t, int64_t, float, const float*,
                   const float*, float*) {}
+void dequant_bf16(int64_t, const uint16_t*, float*) {}
+void gemm_s8_wxs(int64_t, int64_t, int64_t, const int8_t*, const uint8_t*,
+                 const float*, float*) {}
+void gemm_s8_sxw(int64_t, int64_t, int64_t, const uint8_t*, const int8_t*,
+                 const float*, float*) {}
 
 }  // namespace ttsnn::simd::avx2
 

@@ -47,5 +47,10 @@ void gemm_tn_rows(int64_t m0, int64_t m1, int64_t n, int64_t k, int64_t lda,
                   float* c);
 void gemm_nt_rows(int64_t m0, int64_t m1, int64_t n, int64_t k, float alpha,
                   const float* a, const float* b, float* c);
+void dequant_bf16(int64_t n, const uint16_t* src, float* dst);
+void gemm_s8_wxs(int64_t m, int64_t n, int64_t k, const int8_t* w,
+                 const uint8_t* s, const float* scale, float* c);
+void gemm_s8_sxw(int64_t m, int64_t n, int64_t k, const uint8_t* s,
+                 const int8_t* w, const float* scale, float* c);
 
 }  // namespace ttsnn::simd::avx2

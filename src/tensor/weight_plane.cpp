@@ -1,0 +1,145 @@
+#include "tensor/weight_plane.h"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "util/common.h"
+
+namespace ttsnn {
+
+const char* weight_dtype_name(WeightDtype dtype) {
+  switch (dtype) {
+    case WeightDtype::kF32:
+      return "f32";
+    case WeightDtype::kBf16:
+      return "bf16";
+    case WeightDtype::kInt8:
+      return "int8";
+  }
+  return "?";
+}
+
+WeightDtype parse_weight_dtype(const std::string& name) {
+  if (name == "f32") return WeightDtype::kF32;
+  if (name == "bf16") return WeightDtype::kBf16;
+  if (name == "int8") return WeightDtype::kInt8;
+  TTSNN_CHECK(false, "unknown weight dtype '" << name
+                                              << "' (expected f32, bf16 or int8)");
+  return WeightDtype::kF32;  // unreachable
+}
+
+uint16_t bf16_from_f32(float x) {
+  uint32_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(x));
+  std::memcpy(&bits, &x, sizeof(bits));
+  if ((bits & 0x7fffffffU) > 0x7f800000U) {
+    // NaN: truncation alone could zero the payload and turn it into an
+    // infinity. Keep the sign + top payload bits and force the quiet bit.
+    return static_cast<uint16_t>((bits >> 16U) | 0x0040U);
+  }
+  // Round to nearest even: add half of the dropped ulp, plus one more when
+  // the kept mantissa LSB is set so exact ties round toward the even code.
+  bits += 0x7fffU + ((bits >> 16U) & 1U);
+  return static_cast<uint16_t>(bits >> 16U);
+}
+
+float bf16_to_f32(uint16_t bits) {
+  const uint32_t wide = static_cast<uint32_t>(bits) << 16U;
+  float out = 0.0F;
+  std::memcpy(&out, &wide, sizeof(out));
+  return out;
+}
+
+WeightPlane WeightPlane::bf16_from(const Tensor& w) {
+  TTSNN_CHECK(w.defined() && w.numel() > 0,
+              "WeightPlane::bf16_from needs a non-empty tensor");
+  WeightPlane p;
+  p.dtype_ = WeightDtype::kBf16;
+  p.shape_ = w.shape();
+  p.numel_ = w.numel();
+  auto payload = std::make_shared<std::vector<uint16_t>>(
+      static_cast<size_t>(p.numel_));
+  const float* src = w.data();
+  for (int64_t i = 0; i < p.numel_; ++i) {
+    (*payload)[static_cast<size_t>(i)] = bf16_from_f32(src[i]);
+  }
+  p.bf16_ = std::move(payload);
+  return p;
+}
+
+WeightPlane WeightPlane::int8_from(const Tensor& w) {
+  TTSNN_CHECK(w.defined() && w.dim() >= 1 && w.numel() > 0,
+              "WeightPlane::int8_from needs a non-empty tensor with an "
+              "output-channel dim");
+  WeightPlane p;
+  p.dtype_ = WeightDtype::kInt8;
+  p.shape_ = w.shape();
+  p.numel_ = w.numel();
+  const int64_t rows = p.rows();
+  const int64_t cols = p.cols();
+  auto payload =
+      std::make_shared<std::vector<int8_t>>(static_cast<size_t>(p.numel_));
+  Tensor scales(Shape{rows});
+  const float* src = w.data();
+  float* sc = scales.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = src + r * cols;
+    float amax = 0.0F;
+    for (int64_t i = 0; i < cols; ++i) amax = std::max(amax, std::fabs(row[i]));
+    const float scale = amax > 0.0F ? amax / 127.0F : 1.0F;
+    sc[r] = scale;
+    int8_t* q = payload->data() + r * cols;
+    for (int64_t i = 0; i < cols; ++i) {
+      long v = std::lrintf(row[i] / scale);
+      if (v > 127) v = 127;
+      if (v < -127) v = -127;
+      q[i] = static_cast<int8_t>(v);
+    }
+  }
+  p.int8_ = std::move(payload);
+  p.scales_ = std::move(scales);
+  return p;
+}
+
+int64_t WeightPlane::payload_bytes() const {
+  switch (dtype_) {
+    case WeightDtype::kF32:
+      return 0;
+    case WeightDtype::kBf16:
+      return numel_ * static_cast<int64_t>(sizeof(uint16_t));
+    case WeightDtype::kInt8:
+      return numel_ * static_cast<int64_t>(sizeof(int8_t)) +
+             rows() * static_cast<int64_t>(sizeof(float));
+  }
+  return 0;
+}
+
+const void* WeightPlane::storage_key() const {
+  if (bf16_) return bf16_->data();
+  if (int8_) return int8_->data();
+  return nullptr;
+}
+
+Tensor WeightPlane::dequant() const {
+  TTSNN_CHECK(quantized(), "dequant() on an f32 (empty) WeightPlane");
+  Tensor out(shape_);
+  float* dst = out.data();
+  if (dtype_ == WeightDtype::kBf16) {
+    const uint16_t* src = bf16_->data();
+    for (int64_t i = 0; i < numel_; ++i) dst[i] = bf16_to_f32(src[i]);
+    return out;
+  }
+  const int8_t* src = int8_->data();
+  const float* sc = scales_.data();
+  const int64_t cols_n = cols();
+  for (int64_t r = 0; r < rows(); ++r) {
+    const float scale = sc[r];
+    for (int64_t i = 0; i < cols_n; ++i) {
+      dst[r * cols_n + i] = scale * static_cast<float>(src[r * cols_n + i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace ttsnn

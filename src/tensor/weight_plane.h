@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file weight_plane.h
+/// Typed read-only weight storage for the inference stack. The training side
+/// is float32 everywhere; serving plans may re-encode eligible weight
+/// matrices into narrower planes: bf16 (round-to-nearest-even truncation of
+/// the f32 bits, dequantized in bulk before the unchanged f32 GEMM) or int8
+/// with one float scale per output channel (symmetric per-channel
+/// quantization, consumed by the integer spike-GEMM kernels in simd.h).
+///
+/// A WeightPlane is a value type holding refcounted immutable payload:
+/// copying an Op or an Engine shares the encoded bytes exactly like the f32
+/// weight tensors they replace, so the per-dtype byte accounting
+/// (Engine::weight_footprint) stays a unique-storage count.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ttsnn {
+
+/// Storage dtype of one weight plane. The lattice is flat: a plan picks one
+/// requested dtype and every weight either lowers to it or falls back to f32
+/// (never to an intermediate dtype), so mixed plans stay two-level.
+enum class WeightDtype {
+  kF32 = 0,   ///< plain float tensors — the bit-identical default
+  kBf16 = 1,  ///< 16-bit truncated floats, dequantized before the f32 GEMM
+  kInt8 = 2,  ///< symmetric int8 + per-output-channel float scales
+};
+
+/// "f32" / "bf16" / "int8" — shared by summaries, benches and CLI flags.
+const char* weight_dtype_name(WeightDtype dtype);
+
+/// Parses a CLI spelling of a dtype name; throws ttsnn::Error on anything
+/// but "f32" / "bf16" / "int8".
+WeightDtype parse_weight_dtype(const std::string& name);
+
+/// Encodes one f32 value as bf16 with round-to-nearest-even (ties to even),
+/// NaN-preserving (always quiet). Infinities and signed zeros round to
+/// themselves; values whose magnitude rounds past the largest finite bf16
+/// become infinity, exactly like hardware bf16 conversion.
+uint16_t bf16_from_f32(float x);
+
+/// Decodes bf16 -> f32: a pure bit expansion (bf16 is the upper half of the
+/// f32 encoding), exact for every input including NaN and denormals.
+float bf16_to_f32(uint16_t bits);
+
+/// One typed weight plane. Default-constructed planes are the f32 state:
+/// quantized() is false and the owning Op keeps its float tensor.
+class WeightPlane {
+ public:
+  WeightPlane() = default;
+
+  /// Re-encodes `w` (any shape) as bf16, element for element.
+  static WeightPlane bf16_from(const Tensor& w);
+
+  /// Symmetric per-output-channel int8: rows are slices along dim 0 (conv
+  /// [O, C, kh, kw] and linear [out, in] both put the output channel first).
+  /// Per row r: scale[r] = max|w_r| / 127 (1.0 for an all-zero row) and
+  /// q = round-to-nearest(w / scale) clamped to [-127, 127].
+  static WeightPlane int8_from(const Tensor& w);
+
+  WeightDtype dtype() const { return dtype_; }
+  bool quantized() const { return dtype_ != WeightDtype::kF32; }
+
+  const Shape& shape() const { return shape_; }
+  int64_t numel() const { return numel_; }
+  /// Output channels (dim 0 of the logical shape); scales() has this many.
+  int64_t rows() const { return shape_.empty() ? 0 : shape_[0]; }
+  /// Elements per output channel.
+  int64_t cols() const { return rows() > 0 ? numel_ / rows() : 0; }
+
+  const uint16_t* bf16_data() const { return bf16_ ? bf16_->data() : nullptr; }
+  const int8_t* int8_data() const { return int8_ ? int8_->data() : nullptr; }
+  const Tensor& scales() const { return scales_; }
+
+  /// Encoded payload bytes (data + the int8 scale vector). This is what the
+  /// plan's weight accounting charges instead of the replaced f32 bytes.
+  int64_t payload_bytes() const;
+
+  /// Stable identity of the shared payload, for unique-storage accounting
+  /// (the analogue of Tensor::data() pointer dedup). Null when f32.
+  const void* storage_key() const;
+
+  /// Decodes back to a fresh f32 tensor (tests and diagnostics; the hot
+  /// paths dequantize into plan scratch via the simd kernels instead).
+  Tensor dequant() const;
+
+ private:
+  WeightDtype dtype_ = WeightDtype::kF32;
+  Shape shape_;
+  int64_t numel_ = 0;
+  std::shared_ptr<const std::vector<uint16_t>> bf16_;
+  std::shared_ptr<const std::vector<int8_t>> int8_;
+  Tensor scales_;  ///< [rows] float scales; defined only for int8
+};
+
+}  // namespace ttsnn

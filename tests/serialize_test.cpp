@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -234,6 +235,47 @@ TEST_F(SerializeTest, CrashBeforeRenameKeepsPreviousCheckpointLoadable) {
   load_parameters(*d, path_);
   d->set_training(false);
   EXPECT_EQ(max_abs_diff(yb, d->forward(x)), 0.0);
+}
+
+// A checkpoint carrying a non-finite BatchNorm running variance must be
+// rejected at load with the buffer named — those values feed BN folding and
+// int8 scale calibration, where a NaN/Inf would silently poison every folded
+// weight instead of failing here.
+TEST_F(SerializeTest, NonFiniteRunningVarianceRejectedAtLoad) {
+  Rng rng(18);
+  ModelConfig cfg{.num_classes = 4, .base_width = 8, .timesteps = 2};
+  ModulePtr a = make_ms_resnet18(cfg, rng);
+  BufferRef* var = nullptr;
+  std::vector<BufferRef> bufs = a->buffers();
+  for (BufferRef& b : bufs) {
+    if (b.name.find("running_var") != std::string::npos) {
+      var = &b;
+      break;
+    }
+  }
+  ASSERT_NE(var, nullptr) << "model exposes no running_var buffer";
+
+  for (const float poison : {std::numeric_limits<float>::quiet_NaN(),
+                             std::numeric_limits<float>::infinity()}) {
+    var->value->data()[1] = poison;
+    save_parameters(*a, path_);
+    ModulePtr fresh = make_ms_resnet18(cfg, rng);
+    try {
+      load_parameters(*fresh, path_);
+      FAIL() << "non-finite running variance was accepted";
+    } catch (const Error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("running variance"), std::string::npos) << what;
+      EXPECT_NE(what.find(var->name), std::string::npos)
+          << "rejection does not name the poisoned buffer: " << what;
+    }
+  }
+
+  // Restored to a finite value, the same checkpoint loads again.
+  var->value->data()[1] = 1.0F;
+  save_parameters(*a, path_);
+  ModulePtr fresh = make_ms_resnet18(cfg, rng);
+  load_parameters(*fresh, path_);
 }
 
 // checkpoint.read stands in for a vanished file / dead filesystem at load

@@ -26,6 +26,11 @@
 //   --expect-fused     fail (exit 1) when any linted lowering carries zero
 //                      fused elementwise ops — the CI guard that the fusion
 //                      pass actually fired on the scenario's architecture
+//   --weight-dtype=D   lint the D-quantized lowering (f32 | bf16 | int8).
+//                      The printed summary carries the per-layer quantization
+//                      census; for bf16/int8 the tool fails unless at least
+//                      one op actually quantized (fallback-only would mean
+//                      the pass silently did nothing for this architecture)
 
 #include <cstdio>
 #include <string>
@@ -47,6 +52,8 @@ void print_help() {
       "  --batch=N          planned input batch extent (default 1)\n"
       "  --exact            lint the unmerged bit-exact lowering\n"
       "  --expect-fused     fail when a lowering has no fused ops\n"
+      "  --weight-dtype=D   quantize weights (f32|bf16|int8) and print the\n"
+      "                     per-layer quantization census\n"
       "  --help             this text\n");
 }
 
@@ -56,6 +63,7 @@ struct LintFlags {
   int64_t batch = 1;
   bool exact = false;
   bool expect_fused = false;
+  ttsnn::WeightDtype weight_dtype = ttsnn::WeightDtype::kF32;
 };
 
 LintFlags parse_flags(const std::vector<std::string>& args) {
@@ -74,6 +82,8 @@ LintFlags parse_flags(const std::vector<std::string>& args) {
       f.exact = true;
     } else if (key == "--expect-fused") {
       f.expect_fused = true;
+    } else if (key == "--weight-dtype") {
+      f.weight_dtype = ttsnn::parse_weight_dtype(value);
     } else {
       TTSNN_CHECK(false, "ttsnn_plan_lint: unknown flag '" << a << "'");
     }
@@ -98,6 +108,7 @@ int lint_one(const ttsnn::ScenarioConfig& cfg, const LintFlags& flags,
   net->set_training(false);
 
   ttsnn::infer::CompileOptions copts;
+  copts.weight_dtype = flags.weight_dtype;
   if (flags.exact) {
     copts.merge_tt = false;
     copts.fold_batchnorm = false;
@@ -132,6 +143,21 @@ int lint_one(const ttsnn::ScenarioConfig& cfg, const LintFlags& flags,
               "ttsnn_plan_lint: --expect-fused, but the "
                   << cfg.tt_mode << "/" << (flags.exact ? "exact" : "merged")
                   << " lowering carries no fused elementwise ops");
+
+  if (flags.weight_dtype != ttsnn::WeightDtype::kF32 && !flags.exact) {
+    // The exact lowering keeps everything f32 by design (TT cores are pinned
+    // to the bit-exact path); for the merged one, a census with zero
+    // quantized ops means the requested dtype silently did nothing.
+    int quantized = 0;
+    for (const ttsnn::infer::Op& op : engine.ops()) {
+      quantized += (op.plane.quantized() || op.half_plane.quantized()) ? 1 : 0;
+    }
+    TTSNN_CHECK(quantized > 0,
+                "ttsnn_plan_lint: --weight-dtype="
+                    << ttsnn::weight_dtype_name(flags.weight_dtype)
+                    << ", but the " << cfg.tt_mode
+                    << " lowering quantized zero ops");
+  }
   return fused;
 }
 
